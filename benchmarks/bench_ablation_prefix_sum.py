@@ -1,0 +1,47 @@
+"""Ablation: the prefix-sum cube (HAMS97) versus summing raw buckets with
+NumPy slices at query time.  Quantifies the constant-time query property
+the paper buys with the cumulative histogram."""
+
+import numpy as np
+
+from repro.grid.lattice import query_boundary_slice, query_interior_slice
+from repro.workloads.tiles import query_set
+
+
+def _cube_pass(hist, queries):
+    return sum(hist.intersect_count(q) for q in queries)
+
+
+def _raw_slice_pass(buckets, queries):
+    total = 0
+    for q in queries:
+        a, b = query_interior_slice(q)
+        total += int(buckets[a, b].sum())
+    return total
+
+
+def test_prefix_sum_cube_queries(benchmark, bench_workbench):
+    hist = bench_workbench.histogram("adl")
+    queries = query_set(bench_workbench.grid, 10)
+    total = benchmark(_cube_pass, hist, queries)
+    assert total > 0
+
+
+def test_raw_slice_queries(benchmark, bench_workbench):
+    hist = bench_workbench.histogram("adl")
+    buckets = np.asarray(hist.buckets())
+    queries = query_set(bench_workbench.grid, 10)
+    total = benchmark(_raw_slice_pass, buckets, queries)
+    # Same answers, different cost profile.
+    assert total == _cube_pass(hist, queries)
+
+
+def test_raw_slice_large_queries_scale_with_area(benchmark, bench_workbench):
+    """For the raw-slice variant the per-query cost grows with the query
+    area -- the behaviour the prefix-sum cube removes.  (Compare this
+    bench's time with test_raw_slice_queries at Q_10.)"""
+    hist = bench_workbench.histogram("adl")
+    buckets = np.asarray(hist.buckets())
+    queries = query_set(bench_workbench.grid, 60)
+    total = benchmark(_raw_slice_pass, buckets, queries)
+    assert total > 0

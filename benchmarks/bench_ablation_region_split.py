@@ -1,0 +1,38 @@
+"""Ablation: which query edge EulerApprox extends across (Region A/B
+orientation).  The paper fixes one edge; this bench quantifies how much
+the choice matters -- for isotropic datasets the four edges should land
+within the same error regime."""
+
+from repro.euler.full import EulerApprox, QueryEdge
+from repro.experiments.report import format_table
+from repro.experiments.runner import estimate_tiling, tiling_errors
+
+
+def _edge_errors(bench_workbench, dataset_name, tile_size):
+    truth = bench_workbench.truth(dataset_name, tile_size)
+    errors = {}
+    for edge in QueryEdge:
+        estimator = EulerApprox(bench_workbench.histogram(dataset_name), edge)
+        estimated = estimate_tiling(estimator, bench_workbench.grid, tile_size)
+        errors[edge.value] = tiling_errors(truth, estimated)
+    return errors
+
+
+def test_region_split_edge_ablation(benchmark, bench_workbench, save_result):
+    errors = benchmark.pedantic(
+        _edge_errors, args=(bench_workbench, "sz_skew", 10), rounds=1, iterations=1
+    )
+    rows = [
+        [edge, f"{100 * errs['n_cs']:.2f}%", f"{100 * errs['n_cd']:.2f}%"]
+        for edge, errs in errors.items()
+    ]
+    save_result(
+        "ablation_region_split",
+        "EulerApprox Region A/B split-edge ablation (sz_skew, Q_10)\n"
+        + format_table(["edge", "N_cs ARE", "N_cd ARE"], rows),
+    )
+
+    # No edge should be catastrophically worse than another on an
+    # isotropic dataset.
+    n_cd = [errs["n_cd"] for errs in errors.values()]
+    assert max(n_cd) < 5 * max(min(n_cd), 0.01)

@@ -1,0 +1,47 @@
+"""Histogram construction throughput: the one-pass build cost that the
+paper amortises over all subsequent browsing queries."""
+
+import pytest
+
+from repro.baselines.cell_count import CellCountHistogram
+from repro.baselines.cumulative_density import CumulativeDensity
+from repro.euler.histogram import EulerHistogram
+from repro.euler.multi import MEulerApprox
+
+
+def test_euler_histogram_build(benchmark, bench_workbench):
+    data = bench_workbench.dataset("adl")
+    hist = benchmark(EulerHistogram.from_dataset, data, bench_workbench.grid)
+    assert hist.num_objects == len(data)
+
+
+def test_multi_euler_build_m5(benchmark, bench_workbench):
+    data = bench_workbench.dataset("sz_skew")
+    estimator = benchmark.pedantic(
+        MEulerApprox,
+        args=(data, bench_workbench.grid, (1.0, 9.0, 25.0, 100.0, 225.0)),
+        rounds=1,
+        iterations=1,
+    )
+    assert estimator.num_histograms == 5
+
+
+def test_cell_count_build(benchmark, bench_workbench):
+    data = bench_workbench.dataset("adl")
+    hist = benchmark(CellCountHistogram, data, bench_workbench.grid)
+    assert hist.num_objects == len(data)
+
+
+def test_cumulative_density_build(benchmark, bench_workbench):
+    data = bench_workbench.dataset("adl")
+    cd = benchmark(CumulativeDensity, data, bench_workbench.grid)
+    assert cd.num_objects == len(data)
+
+
+def test_exact_tiling_ground_truth_build(benchmark, bench_workbench):
+    """The O(M) all-tiles exact evaluation used as ground truth."""
+    from repro.exact.tiling import exact_tiling_counts
+
+    data = bench_workbench.dataset("adl")
+    tiling = benchmark(exact_tiling_counts, data, bench_workbench.grid, 10, 10)
+    assert tiling.num_tiles == 648

@@ -1,0 +1,44 @@
+"""Extension benchmark: per-tile error distributions.
+
+The paper reports workload-weighted average relative error; a browsing
+user experiences the per-tile error *distribution* (one badly estimated
+tile is a visibly wrong raster cell).  This bench reports contains-count
+error quantiles per algorithm on the adl/Q_5 workload.
+"""
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import estimate_tiling
+from repro.metrics.errors import error_quantiles
+
+
+def test_contains_error_distribution(benchmark, bench_workbench, save_result):
+    grid = bench_workbench.grid
+    truth = bench_workbench.truth("adl", 5)
+    estimators = {
+        "S-EulerApprox": bench_workbench.s_euler("adl"),
+        "EulerApprox": bench_workbench.euler("adl"),
+        "M-EulerApprox(m=3)": bench_workbench.multi_euler("adl", 3),
+    }
+
+    def sweep():
+        rows = []
+        for label, estimator in estimators.items():
+            estimated = estimate_tiling(estimator, grid, 5)
+            quantiles = error_quantiles(truth.n_cs, estimated.n_cs)
+            rows.append(
+                [label]
+                + [f"{quantiles[q]:.1f}" for q in (0.5, 0.9, 0.99, 1.0)]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_result(
+        "error_distribution",
+        "Per-tile |N_cs error| quantiles (adl, Q_5, absolute counts)\n"
+        + format_table(["algorithm", "p50", "p90", "p99", "max"], rows),
+    )
+
+    by_label = {row[0]: [float(v) for v in row[1:]] for row in rows}
+    # Each refinement shrinks the tail, not just the mean.
+    assert by_label["M-EulerApprox(m=3)"][2] <= by_label["EulerApprox"][2]
+    assert by_label["EulerApprox"][2] <= by_label["S-EulerApprox"][2]

@@ -1,0 +1,25 @@
+"""Figure 12: dataset profile reproduction (sp_skew spatial clustering,
+sz_skew width distribution), plus the generation cost of all four
+datasets at the benchmark scale."""
+
+from repro.experiments.figures import fig12_dataset_profiles
+from repro.experiments.report import render_dataset_profiles
+
+
+def test_fig12_dataset_profiles(benchmark, bench_workbench, save_result):
+    profiles = benchmark.pedantic(
+        fig12_dataset_profiles, args=(bench_workbench,), rounds=1, iterations=1
+    )
+    save_result("fig12_dataset_profiles", render_dataset_profiles(profiles))
+
+    # Figure 12(a): sp_skew is strongly clustered -- its six densest
+    # 10x10-degree blocks hold far more than the uniform share (6/648).
+    assert profiles["sp_skew"]["top1pct_block_share"] > 0.10
+    # Figure 12(b): sz_skew widths decay across doubling bins.
+    hist = profiles["sz_skew"]["width_hist"]
+    assert hist[2] > hist[4] > hist[7]
+    # All sp_skew objects are exactly 3.6 wide -> single bin.
+    sp_hist = profiles["sp_skew"]["width_hist"]
+    assert sum(1 for v in sp_hist if v > 0) == 1
+    # ca_road objects are uniformly tiny.
+    assert profiles["ca_road"]["width_hist"][0] == profiles["ca_road"]["count"]

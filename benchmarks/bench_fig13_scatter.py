@@ -1,0 +1,21 @@
+"""Figure 13: S-EulerApprox estimated-vs-exact scatter on Q_10, all four
+datasets.  The benchmark measures one full scatter experiment (648 tiles x
+4 datasets, estimates plus exact tilings)."""
+
+from repro.experiments.figures import fig13_s_euler_scatter
+from repro.experiments.report import render_scatter
+
+
+def test_fig13_s_euler_scatter(benchmark, bench_workbench, save_result):
+    result = benchmark.pedantic(
+        fig13_s_euler_scatter, args=(bench_workbench,), rounds=1, iterations=1
+    )
+    save_result("fig13_s_euler_scatter", render_scatter(result))
+
+    # Paper shape: N_o accurate on every dataset; N_cs accurate only on
+    # the small-object datasets; sz_skew off the chart.
+    for name in ("sp_skew", "sz_skew", "adl", "ca_road"):
+        assert result.are[name]["n_o"] < 0.10
+    assert result.are["sp_skew"]["n_cs"] < 0.05
+    assert result.are["ca_road"]["n_cs"] < 0.05
+    assert result.are["sz_skew"]["n_cs"] > 1.0

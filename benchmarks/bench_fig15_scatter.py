@@ -1,0 +1,19 @@
+"""Figure 15: EulerApprox N_cd / N_cs scatter on Q_10 for the large-object
+datasets (adl, sz_skew)."""
+
+from repro.experiments.figures import fig15_euler_scatter
+from repro.experiments.report import render_scatter
+
+
+def test_fig15_euler_scatter(benchmark, bench_workbench, save_result):
+    result = benchmark.pedantic(
+        fig15_euler_scatter, args=(bench_workbench,), rounds=1, iterations=1
+    )
+    save_result("fig15_euler_scatter", render_scatter(result))
+
+    # Paper shape: on adl the N_cs cloud hugs y=x (values are orders of
+    # magnitude above N_cd, so N_cd noise washes out); on sz_skew N_cd is
+    # the reasonable one and N_cs suffers.
+    assert result.are["adl"]["n_cs"] < 0.30
+    assert result.are["sz_skew"]["n_cd"] < 0.30
+    assert result.are["sz_skew"]["n_cs"] > result.are["sz_skew"]["n_cd"]

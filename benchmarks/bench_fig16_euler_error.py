@@ -1,0 +1,24 @@
+"""Figure 16: EulerApprox average relative error (N_cs, N_cd) per query
+set on adl and sz_skew, compared against Figure 14's S-EulerApprox."""
+
+from repro.experiments.figures import fig14_s_euler_errors, fig16_euler_errors
+from repro.experiments.report import render_error_curves
+
+
+def test_fig16_euler_errors(benchmark, bench_workbench, save_result):
+    result = benchmark.pedantic(
+        fig16_euler_errors, args=(bench_workbench,), rounds=1, iterations=1
+    )
+    save_result("fig16_euler_errors", render_error_curves(result))
+
+    # The Section 6.3 claim: a big improvement over S-EulerApprox on both
+    # datasets' N_cs, though sz_skew remains unsatisfactory.
+    s_euler = fig14_s_euler_errors(bench_workbench)
+    for name in ("adl", "sz_skew"):
+        worst_s = max(s_euler.curves[name]["n_cs"].values())
+        worst_e = max(result.curves[name]["n_cs"].values())
+        assert worst_e < worst_s
+    # Worst-case adl N_cs lands in the tens of percent, down from the
+    # S-EulerApprox regime of several hundred percent.
+    assert max(result.curves["adl"]["n_cs"].values()) < 1.0
+    assert result.curves["adl"]["n_cs"][10] < 0.15

@@ -1,0 +1,72 @@
+"""Extension benchmark: online maintenance of the Euler histogram.
+
+Measures insert throughput with deferred merging and the query overhead
+of a dirty (unmerged) histogram, validating the design point that a
+browsing service can absorb catalogue updates without rebuild pauses.
+"""
+
+import numpy as np
+
+from repro.euler.maintained import MaintainedEulerHistogram
+from repro.euler.simple import SEulerApprox
+from repro.geometry.rect import Rect
+from repro.grid.tiles_math import TileQuery
+
+
+def _random_rects(rng, extent, count):
+    w = rng.uniform(0.0, 5.0, size=count)
+    h = rng.uniform(0.0, 5.0, size=count)
+    x = rng.uniform(extent.x_lo, extent.x_hi - w)
+    y = rng.uniform(extent.y_lo, extent.y_hi - h)
+    return [Rect(*t) for t in zip(x, x + w, y, y + h)]
+
+
+def test_insert_throughput(benchmark, bench_workbench):
+    grid = bench_workbench.grid
+    base = bench_workbench.dataset("sp_skew")
+    rng = np.random.default_rng(0)
+    batch = _random_rects(rng, grid.extent, 500)
+
+    maintained = MaintainedEulerHistogram(grid, base, merge_threshold=1024)
+
+    def insert_batch():
+        for rect in batch:
+            maintained.insert(rect)
+        maintained.merge()
+        return maintained.num_objects
+
+    total = benchmark.pedantic(insert_batch, rounds=3, iterations=1)
+    assert total >= len(base) + 500
+
+
+def test_query_with_pending_updates(benchmark, bench_workbench):
+    """Estimator latency against a histogram with a dirty delta of 512
+    pending updates -- the worst sustained case before a merge."""
+    grid = bench_workbench.grid
+    base = bench_workbench.dataset("sp_skew")
+    rng = np.random.default_rng(1)
+    maintained = MaintainedEulerHistogram(grid, base, merge_threshold=100_000)
+    for rect in _random_rects(rng, grid.extent, 512):
+        maintained.insert(rect)
+    assert maintained.pending_updates == 512
+
+    estimator = SEulerApprox(maintained)
+    query = TileQuery(100, 110, 80, 90)
+    counts = benchmark(estimator.estimate, query)
+    assert counts.total == maintained.num_objects
+
+
+def test_query_after_merge(benchmark, bench_workbench):
+    """Same query after merging: back to pure prefix-sum cost."""
+    grid = bench_workbench.grid
+    base = bench_workbench.dataset("sp_skew")
+    rng = np.random.default_rng(1)
+    maintained = MaintainedEulerHistogram(grid, base, merge_threshold=100_000)
+    for rect in _random_rects(rng, grid.extent, 512):
+        maintained.insert(rect)
+    maintained.merge()
+
+    estimator = SEulerApprox(maintained)
+    query = TileQuery(100, 110, 80, 90)
+    counts = benchmark(estimator.estimate, query)
+    assert counts.total == maintained.num_objects

@@ -1,0 +1,38 @@
+"""Theorem 3.1 storage-bound table (Section 3), including the paper's
+"~4 GB at 360x180" example, plus the cost of actually *building* the exact
+store at a feasible resolution."""
+
+import numpy as np
+
+from repro.exact.storage import exact_contains_bucket_count
+from repro.exact.store import ExactLevel2Store2D
+from repro.experiments.figures import storage_bound_table
+from repro.experiments.report import render_storage_table
+from repro.datasets.base import RectDataset
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+
+
+def _uniform_dataset(rng, grid, n):
+    w = rng.uniform(0.0, 20.0, size=n)
+    h = rng.uniform(0.0, 10.0, size=n)
+    x_lo = rng.uniform(grid.extent.x_lo, grid.extent.x_hi - w)
+    y_lo = rng.uniform(grid.extent.y_lo, grid.extent.y_hi - h)
+    return RectDataset(x_lo, x_lo + w, y_lo, y_lo + h, grid.extent, "uniform")
+
+
+def test_storage_bound_table(benchmark, save_result):
+    rows = benchmark(storage_bound_table)
+    assert 3.9e9 < rows[-1]["exact_bytes"] < 4.3e9
+    save_result("storage_bound", render_storage_table(rows))
+
+
+def test_exact_store_construction_at_small_resolution(benchmark):
+    """Building the Theorem 3.1 store on a 36x18 grid (the largest the
+    bound leaves practical) -- the baseline the Euler histogram's O(N)
+    footprint is traded against."""
+    grid = Grid(Rect(0.0, 360.0, 0.0, 180.0), 36, 18)
+    data = _uniform_dataset(np.random.default_rng(0), grid, 50_000)
+
+    store = benchmark(ExactLevel2Store2D, data, grid)
+    assert store.effective_bucket_count == exact_contains_bucket_count([36, 18])

@@ -1,0 +1,98 @@
+"""Extension benchmark: unaligned-query estimation.
+
+Random arbitrary (non-grid-aligned) windows against the continuous exact
+truth.  Two backends:
+
+- the **exact** aligned backend, for which the inner/outer envelopes are
+  *sound brackets* (asserted at 100%);
+- the **M-EulerApprox** backend, for which the interpolated point
+  estimates are measured (envelopes then inherit the backend's aligned
+  approximation error, so they are reported, not asserted).
+"""
+
+import numpy as np
+
+from repro.euler.unaligned import UnalignedEstimator
+from repro.exact.continuous import ContinuousExactEvaluator
+from repro.exact.evaluator import ExactEvaluator
+from repro.experiments.report import format_table
+from repro.geometry.rect import Rect
+
+
+def _random_windows(rng, extent, count=300, min_side=0.5):
+    windows = []
+    while len(windows) < count:
+        x = np.sort(rng.uniform(extent.x_lo, extent.x_hi, size=2))
+        y = np.sort(rng.uniform(extent.y_lo, extent.y_hi, size=2))
+        if x[1] - x[0] >= min_side and y[1] - y[0] >= min_side:
+            windows.append(Rect(float(x[0]), float(x[1]), float(y[0]), float(y[1])))
+    return windows
+
+
+def _envelope_soundness(estimator, truth, windows) -> float:
+    inside = 0
+    for window in windows:
+        exact = truth.estimate(window)
+        env = estimator.envelope(window)
+        inside += (
+            env.intersect_lo <= exact.n_intersect <= env.intersect_hi
+            and env.contains_lo <= exact.n_cs <= env.contains_hi
+            and env.contained_lo <= exact.n_cd <= env.contained_hi
+        )
+    return inside / len(windows)
+
+
+def _estimate_errors(estimator, truth, windows) -> dict[str, float]:
+    abs_err = {"n_intersect": 0.0, "n_cs": 0.0, "n_cd": 0.0}
+    truth_sum = dict.fromkeys(abs_err, 0.0)
+    for window in windows:
+        exact = truth.estimate(window)
+        counts = estimator.estimate(window)
+        for field in abs_err:
+            abs_err[field] += abs(getattr(exact, field) - getattr(counts, field))
+            truth_sum[field] += getattr(exact, field)
+    return {f: abs_err[f] / max(truth_sum[f], 1.0) for f in abs_err}
+
+
+def test_unaligned_accuracy(benchmark, bench_workbench, save_result):
+    grid = bench_workbench.grid
+    data = bench_workbench.dataset("adl")
+    truth = ContinuousExactEvaluator(data)
+    windows = _random_windows(np.random.default_rng(5), grid.extent)
+
+    exact_backend = UnalignedEstimator(ExactEvaluator(data, grid), grid, len(data))
+    approx_backend = UnalignedEstimator(
+        bench_workbench.multi_euler("adl", 3), grid, len(data)
+    )
+
+    def sweep():
+        soundness = _envelope_soundness(exact_backend, truth, windows)
+        are = _estimate_errors(approx_backend, truth, windows)
+        return soundness, are
+
+    soundness, are = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_result(
+        "unaligned_queries",
+        "Unaligned-query estimation (adl, 300 random windows)\n"
+        + format_table(
+            ["metric", "value"],
+            [
+                ["envelope soundness (exact backend)", f"{100 * soundness:.1f}%"],
+                ["intersect ARE (M-Euler m=3 interp.)", f"{100 * are['n_intersect']:.2f}%"],
+                ["contains ARE (M-Euler m=3 interp.)", f"{100 * are['n_cs']:.2f}%"],
+                ["contained ARE (M-Euler m=3 interp.)", f"{100 * are['n_cd']:.2f}%"],
+            ],
+        ),
+    )
+    assert soundness == 1.0
+    assert are["n_intersect"] < 0.10
+    assert are["n_cs"] < 0.10
+
+
+def test_unaligned_query_latency(benchmark, bench_workbench):
+    grid = bench_workbench.grid
+    data = bench_workbench.dataset("adl")
+    estimator = UnalignedEstimator(bench_workbench.multi_euler("adl", 3), grid, len(data))
+    window = Rect(100.3, 112.7, 80.1, 91.9)
+    counts = benchmark(estimator.estimate, window)
+    assert counts.total > 0

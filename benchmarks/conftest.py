@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run the real experiment harness at ``REPRO_SCALE`` (default 0.1
+of the paper's dataset sizes; set ``REPRO_SCALE=1`` for the full million-
+object runs).  Every figure benchmark writes its rendered table to
+``benchmarks/results/<name>.txt`` and prints it, so a
+``pytest benchmarks/ --benchmark-only -s`` run leaves the complete
+evaluation on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import Workbench
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_workbench() -> Workbench:
+    return Workbench()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a rendered figure table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _save

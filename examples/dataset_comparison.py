@@ -1,0 +1,83 @@
+"""Dataset comparison: how the estimators behave across the paper's four
+workloads (a compact, runnable slice of Section 6).
+
+For each dataset (sp_skew, sz_skew, adl, ca_road) this script prints the
+Section 6.1.1 shape statistics and the average relative error of
+S-EulerApprox, EulerApprox and M-EulerApprox on two query sets -- showing
+with live numbers why the paper needs all three algorithms:
+
+- small-object datasets: S-EulerApprox is already (near-)exact;
+- mixed/large-object datasets: S-EulerApprox's contains counts blow up,
+  EulerApprox recovers most of it, M-EulerApprox nearly all.
+
+Run:  python examples/dataset_comparison.py           (~40k objects each)
+      REPRO_N=200000 python examples/dataset_comparison.py
+"""
+
+import os
+
+from repro import (
+    EulerApprox,
+    EulerHistogram,
+    Grid,
+    MEulerApprox,
+    SEulerApprox,
+    by_name,
+    DATASET_NAMES,
+)
+from repro.exact import exact_tiling_counts
+from repro.experiments.report import format_table
+from repro.experiments.runner import estimate_tiling, tiling_errors
+
+
+def pct(value: float) -> str:
+    return "inf" if value == float("inf") else f"{100 * value:.2f}%"
+
+
+def main() -> None:
+    grid = Grid.world_1deg()
+    num_objects = int(os.environ.get("REPRO_N", "40000"))
+    query_sizes = (10, 5)
+
+    for name in DATASET_NAMES:
+        data = by_name(name, num_objects, seed=42)
+        stats = data.describe()
+        print(
+            f"\n=== {name}: {stats['count']:,} objects | "
+            f"mean area {stats['area_mean']:.2f} cells | "
+            f"p99 area {stats['area_p99']:.1f} | "
+            f"{100 * stats['degenerate_fraction']:.0f}% points/segments ==="
+        )
+
+        histogram = EulerHistogram.from_dataset(data, grid)
+        estimators = [
+            SEulerApprox(histogram),
+            EulerApprox(histogram),
+            MEulerApprox(data, grid, [1.0, 9.0, 100.0]),
+        ]
+
+        rows = []
+        for n in query_sizes:
+            truth = exact_tiling_counts(data, grid, n, n)
+            for estimator in estimators:
+                errors = tiling_errors(truth, estimate_tiling(estimator, grid, n))
+                rows.append(
+                    [
+                        f"Q_{n}",
+                        estimator.name,
+                        pct(errors["n_o"]),
+                        pct(errors["n_cs"]),
+                        pct(errors["n_cd"]),
+                    ]
+                )
+        print(format_table(["query set", "algorithm", "N_o ARE", "N_cs ARE", "N_cd ARE"], rows))
+
+    print(
+        "\nReading guide: N_o is accurate for every algorithm (the shared "
+        "Euler intersect machinery); the N_cs/N_cd columns separate the "
+        "algorithms exactly as the paper's Figures 14-18 do."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""A GeoBrowsing session: the paper's motivating application (Section 1).
+
+Recreates the Figure 1 interaction pattern against an ADL-like dataset:
+
+1. the user looks at the whole world, gridded coarsely, colored by how
+   many records *overlap* each tile;
+2. they zoom into a data-rich region and re-tile it finer -- hundreds of
+   trial queries in one click;
+3. they switch the spatial relation to *contains* ("records entirely
+   within a tile") and *contained* ("maps covering the whole tile"), the
+   queries Level-1 systems cannot answer;
+4. every raster is estimated from the multi-resolution Euler histogram
+   (never touching the objects) and compared against exact evaluation.
+
+Run:  python examples/geobrowsing_session.py
+"""
+
+import time
+
+from repro import (
+    ExactEvaluator,
+    GeoBrowsingService,
+    Grid,
+    MEulerApprox,
+    TileQuery,
+    adl_like,
+)
+
+
+def show_raster(title, result, exact_result):
+    print(f"\n--- {title} ({result.relation}) ---")
+    print(result.render_ascii(width=6))
+    diff = abs(result.counts - exact_result.counts).sum()
+    total = max(exact_result.counts.sum(), 1.0)
+    print(f"    [estimate vs exact: total deviation {diff:.0f} of {total:.0f} objects]")
+
+
+def main() -> None:
+    grid = Grid.world_1deg()
+    data = adl_like(300_000, seed=42)
+    print(f"dataset: {len(data):,} ADL-like records (points, maps, atlases)")
+
+    build_start = time.perf_counter()
+    estimator = MEulerApprox(data, grid, [1.0, 9.0, 100.0])
+    print(
+        f"summary built in {time.perf_counter() - build_start:.2f}s "
+        f"({estimator.nbytes / 1e6:.1f} MB, {estimator.num_histograms} histograms)"
+    )
+
+    service = GeoBrowsingService(estimator, grid)
+    oracle = GeoBrowsingService(ExactEvaluator(data, grid), grid)
+
+    # 1. World overview: 6 x 12 tiles of 30x30 degrees.
+    world = TileQuery(0, 360, 0, 180)
+    t0 = time.perf_counter()
+    overview = service.browse(world, rows=6, cols=12, relation="overlap")
+    t1 = time.perf_counter()
+    show_raster("world overview, 30x30-degree tiles", overview, oracle.browse(world, 6, 12, "overlap"))
+    print(f"    [72 tile queries estimated in {1000 * (t1 - t0):.1f} ms]")
+
+    # 2. Zoom into the densest tile and re-grid it finer.
+    dense = overview.counts.argmax()
+    r, c = divmod(int(dense), overview.cols)
+    tile = overview.tiles[r][c]
+    region = TileQuery(tile.qx_lo, tile.qx_hi, tile.qy_lo, tile.qy_hi)
+    print(f"\nzooming into the densest tile: x[{region.qx_lo},{region.qx_hi}) "
+          f"y[{region.qy_lo},{region.qy_hi})")
+
+    detail = service.browse(region, rows=6, cols=6, relation="overlap")
+    show_raster("zoomed region, 5x5-degree tiles", detail, oracle.browse(region, 6, 6, "overlap"))
+
+    # 3. Level-2 relations on the zoomed region: what Level-1 histograms
+    #    cannot answer.
+    contains = service.browse(region, rows=6, cols=6, relation="contains")
+    show_raster("records entirely inside each tile", contains, oracle.browse(region, 6, 6, "contains"))
+
+    contained = service.browse(region, rows=6, cols=6, relation="contained")
+    show_raster("maps covering each whole tile", contained, oracle.browse(region, 6, 6, "contained"))
+
+    print(
+        "\nNote the three rasters differ: dense overlap counts include "
+        "through-running large maps, `contains` isolates local records, "
+        "and `contained` shows wide-area coverage -- the reason the paper "
+        "pushes past the Level-1 intersect-only model."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Query optimization with Level-2 selectivity estimates.
+
+The paper's closing remark: "we believe that our approach can be very
+useful in query optimization for spatial database systems."  This example
+is that loop running end to end:
+
+1. build a grid-bucket spatial index (the exact access path) and an Euler
+   histogram (the selectivity oracle) over an ADL-like dataset;
+2. issue relation-predicate queries of very different selectivities;
+3. watch the cost-based planner pick INDEX_SCAN for selective windows and
+   FULL_SCAN for broad ones, with EXPLAIN-style reports;
+4. audit the decisions: estimated vs. actual result sizes, candidates
+   examined vs. dataset size.
+
+Run:  python examples/query_optimizer.py
+"""
+
+from repro import (
+    GridBucketIndex,
+    Grid,
+    MEulerApprox,
+    SelectivityEstimator,
+    SpatialQueryPlanner,
+    TileQuery,
+    adl_like,
+)
+
+
+def main() -> None:
+    grid = Grid.world_1deg()
+    data = adl_like(200_000, seed=5)
+    print(f"dataset: {len(data):,} ADL-like records\n")
+
+    index = GridBucketIndex(data, grid)
+    print(
+        f"index: {index.nbytes / 1e6:.1f} MB, {index.num_oversize:,} oversize "
+        f"objects on the linear list"
+    )
+
+    # M-EulerApprox: the only summary that estimates *contained* ("maps
+    # covering this window") usefully, which the workload below needs.
+    estimator = MEulerApprox(data, grid, [1.0, 9.0, 100.0])
+    selectivity = SelectivityEstimator(estimator, len(data))
+    planner = SpatialQueryPlanner(index, selectivity)
+    print(f"selectivity oracle: {selectivity.name}\n")
+
+    workload = [
+        ("tiny window, overlap", TileQuery(100, 102, 60, 62), "overlap"),
+        ("city-scale, contains", TileQuery(250, 260, 100, 110), "contains"),
+        ("continent-scale, intersect", TileQuery(60, 180, 30, 150), "intersect"),
+        ("hemisphere, contains", TileQuery(0, 180, 0, 180), "contains"),
+        ("tiny window, contained", TileQuery(200, 201, 90, 91), "contained"),
+    ]
+
+    for label, query, relation in workload:
+        estimate = selectivity.estimate(query, relation)
+        print(f"### {label}")
+        print(
+            f"    estimated selectivity: {100 * estimate.selectivity:.3f}% "
+            f"(~{estimate.cardinality:.0f} records)"
+        )
+        ids, report = planner.execute(query, relation)
+        print("    " + report.explain().replace("\n", "\n    "))
+        savings = 1.0 - report.actual_candidates / len(data)
+        print(f"    candidates avoided: {100 * savings:.1f}% of the dataset\n")
+
+    print(
+        "Summary: the planner's decisions come straight from the Euler\n"
+        "histogram's Level-2 selectivity estimates -- no data access is\n"
+        "needed to choose a plan, and the index is only probed when the\n"
+        "estimate says the result set is small."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""repro: Euler-histogram spatial browsing.
+
+A complete reproduction of Sun, Agrawal & El Abbadi, *Exploring Spatial
+Datasets with Histograms* (ICDE 2002): the interior-exterior relation
+model, the Theorem 3.1 storage bound, the Euler histogram, and the
+S-EulerApprox / EulerApprox / M-EulerApprox Level-2 estimators, together
+with exact evaluators, Level-1 baselines, the paper's datasets and query
+workloads, and a GeoBrowsing-style service.
+
+Quickstart::
+
+    from repro import (
+        Grid, sp_skew, EulerHistogram, SEulerApprox, ExactEvaluator, query_set,
+    )
+
+    grid = Grid.world_1deg()
+    data = sp_skew(100_000, seed=7)
+    estimator = SEulerApprox(EulerHistogram.from_dataset(data, grid))
+    exact = ExactEvaluator(data, grid)
+    tile = query_set(grid, 10)[42]
+    print(estimator.estimate(tile), exact.estimate(tile))
+"""
+
+from repro.baselines import (
+    BeigelTaninIntersect,
+    CellCountHistogram,
+    CumulativeDensity,
+    MinskewHistogram,
+)
+from repro.browse import AttributeCatalog, BrowseResult, GeoBrowsingService
+from repro.datasets import (
+    DATASET_NAMES,
+    RectDataset,
+    adl_like,
+    by_name,
+    ca_road_like,
+    sp_skew,
+    sz_skew,
+)
+from repro.euler import (
+    EulerApprox,
+    EulerHistogram,
+    EulerHistogramBuilder,
+    EulerHistogramND,
+    Level2Counts,
+    Level2Estimator,
+    MaintainedEulerHistogram,
+    MEulerApprox,
+    QueryEdge,
+    SEulerApprox,
+    SEulerApproxND,
+    UnalignedEstimator,
+    tune_area_thresholds,
+)
+from repro.exact import (
+    ContinuousExactEvaluator,
+    ExactContainsStore1D,
+    ExactEvaluator,
+    ExactLevel2Store2D,
+    exact_contains_bucket_count,
+    exact_contains_storage_bytes,
+    exact_tiling_counts,
+)
+from repro.geometry import (
+    Level1Relation,
+    Level2Relation,
+    Level3Relation,
+    Polygon,
+    Polyline,
+    Rect,
+    dataset_from_geometries,
+)
+from repro.grid import BoxQuery, Grid, GridND, TileQuery, aligned_query_cells
+from repro.index import GridBucketIndex
+from repro.metrics import average_relative_error
+from repro.selectivity import SelectivityEstimator, SpatialQueryPlanner
+from repro.workloads import PAPER_QUERY_SET_SIZES, browsing_tiles, paper_query_sets, query_set
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # geometry & grid
+    "Rect",
+    "Polygon",
+    "Polyline",
+    "dataset_from_geometries",
+    "Level1Relation",
+    "Level2Relation",
+    "Level3Relation",
+    "Grid",
+    "GridND",
+    "TileQuery",
+    "BoxQuery",
+    "aligned_query_cells",
+    # datasets
+    "RectDataset",
+    "sp_skew",
+    "sz_skew",
+    "adl_like",
+    "ca_road_like",
+    "by_name",
+    "DATASET_NAMES",
+    # core estimators
+    "EulerHistogram",
+    "EulerHistogramBuilder",
+    "EulerHistogramND",
+    "SEulerApproxND",
+    "MaintainedEulerHistogram",
+    "UnalignedEstimator",
+    "SEulerApprox",
+    "EulerApprox",
+    "QueryEdge",
+    "MEulerApprox",
+    "tune_area_thresholds",
+    "Level2Counts",
+    "Level2Estimator",
+    # exact
+    "ExactEvaluator",
+    "ContinuousExactEvaluator",
+    "exact_tiling_counts",
+    "ExactContainsStore1D",
+    "ExactLevel2Store2D",
+    "exact_contains_bucket_count",
+    "exact_contains_storage_bytes",
+    # baselines
+    "CellCountHistogram",
+    "CumulativeDensity",
+    "BeigelTaninIntersect",
+    "MinskewHistogram",
+    # workloads & metrics
+    "PAPER_QUERY_SET_SIZES",
+    "query_set",
+    "paper_query_sets",
+    "browsing_tiles",
+    "average_relative_error",
+    # browsing service
+    "GeoBrowsingService",
+    "BrowseResult",
+    "AttributeCatalog",
+    # index & query optimization
+    "GridBucketIndex",
+    "SelectivityEstimator",
+    "SpatialQueryPlanner",
+]

@@ -1,0 +1,23 @@
+"""Baselines the paper positions itself against.
+
+- :mod:`repro.baselines.cell_count` -- the naive one-bucket-per-cell
+  histogram (Minskew-style multi-counting), Figure 6's motivating failure.
+- :mod:`repro.baselines.cumulative_density` -- the Cumulative Density
+  algorithm of Jin, An & Sivasubramaniam (ICDE'00): exact Level-1
+  intersect counts from four corner sub-histograms.
+- :mod:`repro.baselines.beigel_tanin` -- Beigel & Tanin's Euler-histogram
+  intersect counter (LATIN'98), the Level-1 ancestor of the paper's
+  algorithms.
+"""
+
+from repro.baselines.beigel_tanin import BeigelTaninIntersect
+from repro.baselines.cell_count import CellCountHistogram
+from repro.baselines.cumulative_density import CumulativeDensity
+from repro.baselines.minskew import MinskewHistogram
+
+__all__ = [
+    "CellCountHistogram",
+    "CumulativeDensity",
+    "BeigelTaninIntersect",
+    "MinskewHistogram",
+]

@@ -1,0 +1,6 @@
+"""The GeoBrowsing-style service facade and attribute catalog."""
+
+from repro.browse.catalog import AttributeCatalog, SummedEstimator
+from repro.browse.service import BrowseResult, GeoBrowsingService
+
+__all__ = ["GeoBrowsingService", "BrowseResult", "AttributeCatalog", "SummedEstimator"]

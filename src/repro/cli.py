@@ -1,0 +1,149 @@
+"""Command-line interface: generate data, build histograms, browse.
+
+A thin operational layer over the library for shell users::
+
+    python -m repro.cli generate sz_skew 100000 -o data.npz
+    python -m repro.cli describe data.npz
+    python -m repro.cli build data.npz -o hist.npz
+    python -m repro.cli browse hist.npz --region 0 360 0 180 \\
+        --rows 6 --cols 12 --relation overlap
+
+``generate`` writes a dataset ``.npz``; ``build`` summarises it into an
+Euler histogram ``.npz`` (the artifact a browsing service would ship);
+``browse`` serves a GeoBrowsing-style tile raster from the histogram
+alone -- the dataset is not needed at query time, which is the paper's
+point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.browse.service import GeoBrowsingService, RELATION_FIELDS
+from repro.datasets import DATASET_NAMES, RectDataset, by_name
+from repro.euler.histogram import EulerHistogram
+from repro.euler.simple import SEulerApprox
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Euler-histogram spatial browsing toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate one of the paper's datasets")
+    gen.add_argument("dataset", choices=DATASET_NAMES)
+    gen.add_argument("count", type=int, help="number of objects")
+    gen.add_argument("-o", "--output", required=True, help="output .npz path")
+    gen.add_argument("--seed", type=int, default=0)
+
+    desc = sub.add_parser("describe", help="print dataset statistics")
+    desc.add_argument("dataset", help="dataset .npz path")
+
+    build = sub.add_parser("build", help="build an Euler histogram from a dataset")
+    build.add_argument("dataset", help="dataset .npz path")
+    build.add_argument("-o", "--output", required=True, help="output histogram .npz path")
+    build.add_argument(
+        "--cells",
+        type=int,
+        nargs=2,
+        default=(360, 180),
+        metavar=("N1", "N2"),
+        help="grid cells per axis (default: 360 180)",
+    )
+
+    browse = sub.add_parser("browse", help="tile-count raster from a histogram")
+    browse.add_argument("histogram", help="histogram .npz path")
+    browse.add_argument(
+        "--region",
+        type=float,
+        nargs=4,
+        required=True,
+        metavar=("X_LO", "X_HI", "Y_LO", "Y_HI"),
+        help="world-coordinate region (must be grid-aligned)",
+    )
+    browse.add_argument("--rows", type=int, required=True)
+    browse.add_argument("--cols", type=int, required=True)
+    browse.add_argument(
+        "--relation", choices=sorted(RELATION_FIELDS), default="overlap"
+    )
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.count < 1:
+        print("error: count must be positive", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    data = by_name(args.dataset, args.count, seed=args.seed)
+    data.save(args.output)
+    print(
+        f"wrote {len(data):,} {args.dataset} objects to {args.output} "
+        f"({time.perf_counter() - start:.2f}s)"
+    )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    data = RectDataset.load(args.dataset)
+    for key, value in data.describe().items():
+        if isinstance(value, float):
+            print(f"{key:>20}: {value:.4f}")
+        else:
+            print(f"{key:>20}: {value}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    data = RectDataset.load(args.dataset)
+    grid = Grid(data.extent, args.cells[0], args.cells[1])
+    start = time.perf_counter()
+    histogram = EulerHistogram.from_dataset(data, grid)
+    histogram.save(args.output)
+    print(
+        f"built {histogram.num_buckets:,}-bucket histogram of {len(data):,} "
+        f"objects in {time.perf_counter() - start:.2f}s -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_browse(args: argparse.Namespace) -> int:
+    histogram = EulerHistogram.load(args.histogram)
+    service = GeoBrowsingService(SEulerApprox(histogram), histogram.grid)
+    region = Rect(args.region[0], args.region[1], args.region[2], args.region[3])
+    try:
+        start = time.perf_counter()
+        result = service.browse(region, rows=args.rows, cols=args.cols, relation=args.relation)
+        elapsed = time.perf_counter() - start
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.render_ascii(width=7))
+    print(
+        f"# {args.relation} counts, {args.rows}x{args.cols} tiles, "
+        f"{1000 * elapsed:.1f} ms ({service.estimator_name})"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "describe": _cmd_describe,
+    "build": _cmd_build,
+    "browse": _cmd_browse,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

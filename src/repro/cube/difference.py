@@ -1,0 +1,97 @@
+"""2-d difference-array accumulator.
+
+Adding ``+1`` to every array element inside a box, for millions of boxes,
+is the construction workload of every histogram in this library (Euler,
+cell-count, exact tilings).  The classic difference-array trick makes the
+whole batch cost ``O(M + buckets)``: each box contributes four corner
+updates to a scratch array whose 2-d prefix sum is the final result.
+
+Corner updates are applied with ``np.add.at`` on the flattened scratch so a
+vectorised batch of a million boxes is four scatter-adds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DifferenceArray2D"]
+
+
+class DifferenceArray2D:
+    """Accumulates "+w over inclusive box [a_lo..a_hi] x [b_lo..b_hi]"
+    updates and materialises the dense result on demand."""
+
+    def __init__(self, shape: tuple[int, int], dtype: np.dtype | type = np.int64) -> None:
+        if len(shape) != 2 or shape[0] < 1 or shape[1] < 1:
+            raise ValueError(f"shape must be 2-d and positive, got {shape}")
+        self._shape = (int(shape[0]), int(shape[1]))
+        # One extra row/column catches the "past the end" corner updates.
+        self._scratch = np.zeros((self._shape[0] + 1, self._shape[1] + 1), dtype=dtype)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    def add_box(self, a_lo: int, a_hi: int, b_lo: int, b_hi: int, weight: int = 1) -> None:
+        """Add ``weight`` to every element of the inclusive box."""
+        self._check_bounds(np.asarray([a_lo]), np.asarray([a_hi]), np.asarray([b_lo]), np.asarray([b_hi]))
+        s = self._scratch
+        s[a_lo, b_lo] += weight
+        s[a_hi + 1, b_lo] -= weight
+        s[a_lo, b_hi + 1] -= weight
+        s[a_hi + 1, b_hi + 1] += weight
+
+    def add_boxes(
+        self,
+        a_lo: np.ndarray,
+        a_hi: np.ndarray,
+        b_lo: np.ndarray,
+        b_hi: np.ndarray,
+        weights: np.ndarray | int = 1,
+    ) -> None:
+        """Vectorised :meth:`add_box` over arrays of inclusive boxes."""
+        a_lo = np.asarray(a_lo, dtype=np.int64)
+        a_hi = np.asarray(a_hi, dtype=np.int64)
+        b_lo = np.asarray(b_lo, dtype=np.int64)
+        b_hi = np.asarray(b_hi, dtype=np.int64)
+        if not (a_lo.shape == a_hi.shape == b_lo.shape == b_hi.shape):
+            raise ValueError("box corner arrays must share one shape")
+        self._check_bounds(a_lo, a_hi, b_lo, b_hi)
+
+        if np.isscalar(weights):
+            w = np.broadcast_to(np.int64(weights), a_lo.shape)
+        else:
+            w = np.asarray(weights)
+            if w.shape != a_lo.shape:
+                raise ValueError("weights must match the box arrays' shape")
+
+        cols = self._shape[1] + 1
+        flat = self._scratch.reshape(-1)
+        np.add.at(flat, a_lo * cols + b_lo, w)
+        np.subtract.at(flat, (a_hi + 1) * cols + b_lo, w)
+        np.subtract.at(flat, a_lo * cols + (b_hi + 1), w)
+        np.add.at(flat, (a_hi + 1) * cols + (b_hi + 1), w)
+
+    def _check_bounds(
+        self, a_lo: np.ndarray, a_hi: np.ndarray, b_lo: np.ndarray, b_hi: np.ndarray
+    ) -> None:
+        if a_lo.size == 0:
+            return
+        if (
+            int(a_lo.min()) < 0
+            or int(b_lo.min()) < 0
+            or int(a_hi.max()) >= self._shape[0]
+            or int(b_hi.max()) >= self._shape[1]
+        ):
+            raise IndexError(f"some boxes exceed the array shape {self._shape}")
+        if np.any(a_hi < a_lo) or np.any(b_hi < b_lo):
+            raise ValueError("boxes must be non-empty (hi >= lo on both axes)")
+
+    def materialize(self) -> np.ndarray:
+        """Dense result array of :attr:`shape`.
+
+        The accumulator remains usable; further updates compose with the
+        boxes already added.
+        """
+        dense = np.cumsum(np.cumsum(self._scratch, axis=0), axis=1)
+        return dense[: self._shape[0], : self._shape[1]].copy()

@@ -1,0 +1,90 @@
+"""d-dimensional difference-array accumulator.
+
+The d-dimensional generalisation of :class:`repro.cube.difference.
+DifferenceArray2D`: every inclusive box update becomes ``2^d`` signed
+corner updates on a scratch array one element larger per axis, and the
+dense result is the d-fold prefix sum.  Used by the d-dimensional Euler
+histogram (:mod:`repro.euler.histogram_nd`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["DifferenceArrayND"]
+
+
+class DifferenceArrayND:
+    """Accumulates "+w over inclusive box" updates in d dimensions."""
+
+    def __init__(self, shape: Sequence[int], dtype: np.dtype | type = np.int64) -> None:
+        shape = tuple(int(s) for s in shape)
+        if not shape or any(s < 1 for s in shape):
+            raise ValueError(f"shape must be non-empty and positive, got {shape}")
+        self._shape = shape
+        self._scratch = np.zeros(tuple(s + 1 for s in shape), dtype=dtype)
+        # Flat strides of the scratch array, for vectorised corner updates.
+        self._strides = np.array(
+            [int(np.prod([s + 1 for s in shape[k + 1 :]], dtype=np.int64)) for k in range(len(shape))],
+            dtype=np.int64,
+        )
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self._shape)
+
+    def add_boxes(self, lo: np.ndarray, hi: np.ndarray, weights: np.ndarray | int = 1) -> None:
+        """Vectorised batch update.
+
+        ``lo`` and ``hi`` are ``(M, d)`` integer arrays of inclusive box
+        corners; ``weights`` a scalar or ``(M,)`` array.
+        """
+        lo = np.asarray(lo, dtype=np.int64)
+        hi = np.asarray(hi, dtype=np.int64)
+        if lo.ndim != 2 or lo.shape[1] != self.ndim or lo.shape != hi.shape:
+            raise ValueError(
+                f"expected (M, {self.ndim}) corner arrays, got {lo.shape} / {hi.shape}"
+            )
+        if lo.size == 0:
+            return
+        if np.any(lo < 0) or np.any(hi >= np.array(self._shape)):
+            raise IndexError(f"some boxes exceed the array shape {self._shape}")
+        if np.any(hi < lo):
+            raise ValueError("boxes must be non-empty (hi >= lo on every axis)")
+
+        if np.isscalar(weights):
+            w = np.full(lo.shape[0], weights, dtype=self._scratch.dtype)
+        else:
+            w = np.asarray(weights).astype(self._scratch.dtype)
+            if w.shape != (lo.shape[0],):
+                raise ValueError("weights must be scalar or shaped (M,)")
+
+        flat = self._scratch.reshape(-1)
+        for corner in itertools.product((0, 1), repeat=self.ndim):
+            # Corner bit 1 on axis k -> use hi[k] + 1, sign flips per bit.
+            idx = np.zeros(lo.shape[0], dtype=np.int64)
+            for k, bit in enumerate(corner):
+                coord = hi[:, k] + 1 if bit else lo[:, k]
+                idx += coord * self._strides[k]
+            sign = -1 if sum(corner) % 2 else 1
+            np.add.at(flat, idx, sign * w)
+
+    def add_box(self, lo: Sequence[int], hi: Sequence[int], weight: int = 1) -> None:
+        """Scalar convenience wrapper around :meth:`add_boxes`."""
+        self.add_boxes(
+            np.asarray([lo], dtype=np.int64), np.asarray([hi], dtype=np.int64), weight
+        )
+
+    def materialize(self) -> np.ndarray:
+        """Dense result array of :attr:`shape` (accumulator stays usable)."""
+        dense = self._scratch
+        for axis in range(self.ndim):
+            dense = np.cumsum(dense, axis=axis)
+        return dense[tuple(slice(0, s) for s in self._shape)].copy()

@@ -1,0 +1,113 @@
+"""The prefix-sum data cube of Ho, Agrawal, Megiddo & Srikant (SIGMOD'97).
+
+This is the query-side substrate of every histogram in the library: given a
+d-dimensional array ``A``, the cube stores ``P[i] = sum(A[0..i])`` (with a
+zero-padded border) so that the sum of any axis-aligned box of ``A`` costs
+``2^d`` lookups and ``2^d - 1`` additions -- constant time per query, the
+property the paper leans on for its "constant query response time" claims
+(Sections 2 and 5.2).
+
+The implementation is dimension-generic; the library uses d=2 for Euler
+histograms and d=1 in a few tests, and the d-generic form keeps the HAMS97
+reproduction honest.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PrefixSumCube"]
+
+
+class PrefixSumCube:
+    """Immutable prefix-sum cube over a dense d-dimensional array.
+
+    Parameters
+    ----------
+    values:
+        The source array ``A``.  A copy is cumulated; the source is not
+        retained.  Integer inputs are widened to int64 to make overflow a
+        non-issue for realistic dataset sizes (sums of at most ~2^63).
+    """
+
+    def __init__(self, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        if values.ndim < 1:
+            raise ValueError("PrefixSumCube requires an array of dimension >= 1")
+        dtype = np.int64 if np.issubdtype(values.dtype, np.integer) else np.float64
+        # Zero-pad one layer at the low end of every axis so that range-sum
+        # corner lookups never need boundary special cases.
+        padded_shape = tuple(s + 1 for s in values.shape)
+        cum = np.zeros(padded_shape, dtype=dtype)
+        cum[tuple(slice(1, None) for _ in values.shape)] = values
+        for axis in range(values.ndim):
+            np.cumsum(cum, axis=axis, out=cum)
+        self._cum = cum
+        self._shape = values.shape
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the source array."""
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self._shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint of the cumulative array."""
+        return int(self._cum.nbytes)
+
+    @property
+    def total(self) -> int | float:
+        """Sum of the entire source array."""
+        return self._cum[tuple(-1 for _ in self._shape)].item()
+
+    def range_sum(self, lo: Sequence[int], hi: Sequence[int]) -> int | float:
+        """Sum of the source box ``[lo, hi]`` (inclusive on both ends).
+
+        An empty box (any ``hi[k] < lo[k]``) sums to zero, which lets
+        callers pass degenerate regions (e.g. a Region-A slab of height 0
+        when the query touches the data-space boundary) without guards.
+        """
+        lo = tuple(int(v) for v in lo)
+        hi = tuple(int(v) for v in hi)
+        if len(lo) != self.ndim or len(hi) != self.ndim:
+            raise ValueError(f"expected {self.ndim}-d corners, got {lo} / {hi}")
+        for k, (lo_k, hi_k) in enumerate(zip(lo, hi)):
+            if hi_k < lo_k:
+                return self._cum.dtype.type(0).item()
+            if lo_k < 0 or hi_k >= self._shape[k]:
+                raise IndexError(f"box [{lo}, {hi}] exceeds array shape {self._shape}")
+
+        # Inclusion-exclusion over the 2^d corners of the padded cube.
+        total = self._cum.dtype.type(0)
+        for corner in itertools.product((0, 1), repeat=self.ndim):
+            idx = tuple(hi[k] + 1 if bit else lo[k] for k, bit in enumerate(corner))
+            sign = 1 if (self.ndim - sum(corner)) % 2 == 0 else -1
+            total = total + sign * self._cum[idx]
+        return total.item()
+
+    def range_sum_2d(self, a_lo: int, a_hi: int, b_lo: int, b_hi: int) -> int | float:
+        """Specialised 2-d inclusive range sum (the hot path).
+
+        Identical to ``range_sum((a_lo, b_lo), (a_hi, b_hi))`` but without
+        the generic corner loop: four lookups and three additions, exactly
+        the operation count quoted in Section 5.2.
+        """
+        if self.ndim != 2:
+            raise ValueError("range_sum_2d requires a 2-d cube")
+        if a_hi < a_lo or b_hi < b_lo:
+            return self._cum.dtype.type(0).item()
+        if a_lo < 0 or b_lo < 0 or a_hi >= self._shape[0] or b_hi >= self._shape[1]:
+            raise IndexError(
+                f"box [({a_lo},{b_lo}), ({a_hi},{b_hi})] exceeds array shape {self._shape}"
+            )
+        c = self._cum
+        return (
+            c[a_hi + 1, b_hi + 1] - c[a_lo, b_hi + 1] - c[a_hi + 1, b_lo] + c[a_lo, b_lo]
+        ).item()

@@ -1,0 +1,47 @@
+"""Datasets: the columnar MBR container and the paper's four workloads.
+
+Two of the paper's datasets are synthetic and regenerated exactly as
+described (``sp_skew``, ``sz_skew``); the two real-world ones (Alexandria
+Digital Library records and TIGER/Line California roads) are proprietary /
+external downloads, so this package ships statistically matched simulators
+(``adl_like``, ``ca_road_like``) -- see DESIGN.md for the substitution
+rationale.
+"""
+
+from repro.datasets.base import RectDataset
+from repro.datasets.simulated_real import adl_like, ca_road_like
+from repro.datasets.synthetic import sp_skew, sz_skew
+from repro.datasets.zipf import bounded_zipf
+
+__all__ = [
+    "RectDataset",
+    "sp_skew",
+    "sz_skew",
+    "adl_like",
+    "ca_road_like",
+    "bounded_zipf",
+    "by_name",
+    "DATASET_NAMES",
+]
+
+#: Generator registry keyed by the paper's dataset names.
+_GENERATORS = {
+    "sp_skew": sp_skew,
+    "sz_skew": sz_skew,
+    "adl": adl_like,
+    "ca_road": ca_road_like,
+}
+
+DATASET_NAMES = tuple(_GENERATORS)
+
+
+def by_name(name: str, num_objects: int, *, seed: int = 0) -> RectDataset:
+    """Generate one of the paper's datasets by name.
+
+    ``name`` is one of ``sp_skew``, ``sz_skew``, ``adl``, ``ca_road``.
+    """
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise ValueError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}") from None
+    return generator(num_objects, seed=seed)

@@ -1,0 +1,213 @@
+"""Columnar MBR dataset container.
+
+Millions of rectangles as four NumPy columns.  Everything downstream
+(histogram construction, exact evaluation, statistics) is vectorised over
+these columns; :class:`repro.geometry.rect.Rect` is only the scalar view.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+__all__ = ["RectDataset"]
+
+
+@dataclass(frozen=True)
+class RectDataset:
+    """An immutable set of MBRs inside a declared data-space extent.
+
+    Coordinates are world coordinates; conversion to grid cell units is the
+    grid's job.  Objects may be degenerate (points, axis-parallel
+    segments): both real datasets in the paper contain them.
+
+    Attributes
+    ----------
+    x_lo, x_hi, y_lo, y_hi:
+        float64 columns of MBR corner coordinates, one entry per object.
+    extent:
+        The enclosing data space (``R^2``); every object must lie inside it.
+    name:
+        Human-readable label used by the experiment harness.
+    """
+
+    x_lo: np.ndarray
+    x_hi: np.ndarray
+    y_lo: np.ndarray
+    y_hi: np.ndarray
+    extent: Rect
+    name: str = field(default="dataset")
+
+    def __post_init__(self) -> None:
+        columns = []
+        for col_name in ("x_lo", "x_hi", "y_lo", "y_hi"):
+            col = np.ascontiguousarray(getattr(self, col_name), dtype=np.float64)
+            if col.ndim != 1:
+                raise ValueError(f"{col_name} must be a 1-d array")
+            col.setflags(write=False)
+            object.__setattr__(self, col_name, col)
+            columns.append(col)
+        n = columns[0].shape[0]
+        if any(c.shape[0] != n for c in columns):
+            raise ValueError("all coordinate columns must have the same length")
+        if n:
+            if any(not np.isfinite(c).all() for c in columns):
+                raise ValueError("MBR coordinates must be finite (no NaN/inf)")
+            if np.any(self.x_lo > self.x_hi) or np.any(self.y_lo > self.y_hi):
+                raise ValueError("MBRs must satisfy lo <= hi on both axes")
+            if (
+                self.x_lo.min() < self.extent.x_lo
+                or self.x_hi.max() > self.extent.x_hi
+                or self.y_lo.min() < self.extent.y_lo
+                or self.y_hi.max() > self.extent.y_hi
+            ):
+                raise ValueError(f"some objects lie outside the extent {self.extent}")
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_rects(cls, rects: Sequence[Rect], extent: Rect, name: str = "dataset") -> "RectDataset":
+        """Build a dataset from scalar rectangles."""
+        return cls(
+            x_lo=np.array([r.x_lo for r in rects], dtype=np.float64),
+            x_hi=np.array([r.x_hi for r in rects], dtype=np.float64),
+            y_lo=np.array([r.y_lo for r in rects], dtype=np.float64),
+            y_hi=np.array([r.y_hi for r in rects], dtype=np.float64),
+            extent=extent,
+            name=name,
+        )
+
+    @classmethod
+    def empty(cls, extent: Rect, name: str = "empty") -> "RectDataset":
+        zeros = np.zeros(0, dtype=np.float64)
+        return cls(zeros, zeros.copy(), zeros.copy(), zeros.copy(), extent, name)
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return int(self.x_lo.shape[0])
+
+    def __getitem__(self, index: int) -> Rect:
+        return Rect(
+            float(self.x_lo[index]),
+            float(self.x_hi[index]),
+            float(self.y_lo[index]),
+            float(self.y_hi[index]),
+        )
+
+    def __iter__(self) -> Iterator[Rect]:
+        for i in range(len(self)):
+            yield self[i]
+
+    # ------------------------------------------------------------------ #
+    # derived columns
+    # ------------------------------------------------------------------ #
+
+    @property
+    def widths(self) -> np.ndarray:
+        return self.x_hi - self.x_lo
+
+    @property
+    def heights(self) -> np.ndarray:
+        return self.y_hi - self.y_lo
+
+    @property
+    def areas(self) -> np.ndarray:
+        return self.widths * self.heights
+
+    def areas_in_cells(self, cell_width: float, cell_height: float) -> np.ndarray:
+        """Object areas measured in grid-cell units -- the quantity
+        M-EulerApprox partitions on (Section 5.4)."""
+        if cell_width <= 0 or cell_height <= 0:
+            raise ValueError("cell dimensions must be positive")
+        return (self.widths / cell_width) * (self.heights / cell_height)
+
+    # ------------------------------------------------------------------ #
+    # transformation
+    # ------------------------------------------------------------------ #
+
+    def select(self, mask: np.ndarray, name: str | None = None) -> "RectDataset":
+        """Subset by boolean mask (or integer index array)."""
+        return RectDataset(
+            self.x_lo[mask],
+            self.x_hi[mask],
+            self.y_lo[mask],
+            self.y_hi[mask],
+            self.extent,
+            name if name is not None else self.name,
+        )
+
+    def concatenated(self, other: "RectDataset", name: str | None = None) -> "RectDataset":
+        """Union of two datasets over the same extent."""
+        if other.extent != self.extent:
+            raise ValueError("can only concatenate datasets sharing an extent")
+        return RectDataset(
+            np.concatenate([self.x_lo, other.x_lo]),
+            np.concatenate([self.x_hi, other.x_hi]),
+            np.concatenate([self.y_lo, other.y_lo]),
+            np.concatenate([self.y_hi, other.y_hi]),
+            self.extent,
+            name if name is not None else self.name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Persist to a compressed ``.npz`` file."""
+        np.savez_compressed(
+            path,
+            x_lo=self.x_lo,
+            x_hi=self.x_hi,
+            y_lo=self.y_lo,
+            y_hi=self.y_hi,
+            extent=np.array(self.extent.as_tuple(), dtype=np.float64),
+            name=np.array(self.name),
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "RectDataset":
+        with np.load(path, allow_pickle=False) as data:
+            extent = Rect(*(float(v) for v in data["extent"]))
+            return cls(
+                data["x_lo"],
+                data["x_hi"],
+                data["y_lo"],
+                data["y_hi"],
+                extent,
+                str(data["name"]),
+            )
+
+    # ------------------------------------------------------------------ #
+    # description
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> dict[str, float | int | str]:
+        """Summary statistics used by examples and EXPERIMENTS.md."""
+        if not len(self):
+            return {"name": self.name, "count": 0}
+        areas = self.areas
+        return {
+            "name": self.name,
+            "count": len(self),
+            "width_mean": float(self.widths.mean()),
+            "height_mean": float(self.heights.mean()),
+            "area_mean": float(areas.mean()),
+            "area_p50": float(np.percentile(areas, 50)),
+            "area_p99": float(np.percentile(areas, 99)),
+            "area_max": float(areas.max()),
+            "degenerate_fraction": float(np.mean((self.widths == 0) | (self.heights == 0))),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RectDataset(name={self.name!r}, n={len(self)}, extent={self.extent})"

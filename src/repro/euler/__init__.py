@@ -1,0 +1,61 @@
+"""The paper's core contribution: Euler histograms and the three
+Level-2 approximation algorithms.
+
+- :mod:`repro.euler.histogram` -- the ``(2n1-1)(2n2-1)``-bucket Euler
+  histogram (Section 5.1) with constant-time region sums.
+- :mod:`repro.euler.simple` -- S-EulerApprox (Section 5.2).
+- :mod:`repro.euler.full` -- EulerApprox with the Region A/B containment
+  estimate (Section 5.3).
+- :mod:`repro.euler.multi` -- M-EulerApprox, the multi-resolution variant
+  (Section 5.4), and :mod:`repro.euler.tuning` -- the pragmatic
+  threshold-selection procedure (Section 6.4).
+- :mod:`repro.euler.euler_formula` -- Euler's formula and Corollaries
+  4.1/4.2 on grid regions (the theory of Section 4, used by tests and
+  examples).
+"""
+
+from repro.euler.base import Level2Estimator
+from repro.euler.estimates import Level2Counts
+from repro.euler.euler_formula import (
+    euler_characteristic,
+    interior_counts,
+    region_euler_sum,
+)
+from repro.euler.exterior import ExteriorHistogram
+from repro.euler.full import EulerApprox, QueryEdge
+from repro.euler.full_nd import EulerApproxND
+from repro.euler.histogram import EulerHistogram, EulerHistogramBuilder
+from repro.euler.histogram_nd import EulerHistogramND, SEulerApproxND
+from repro.euler.maintained import MaintainedEulerHistogram
+from repro.euler.multi import MEulerApprox, area_partition
+from repro.euler.multi_nd import MEulerApproxND
+from repro.euler.pyramid import HistogramPyramid
+from repro.euler.simple import SEulerApprox
+from repro.euler.tuning import TuningResult, tune_area_thresholds
+from repro.euler.unaligned import RelationEnvelope, UnalignedEstimator
+
+__all__ = [
+    "EulerHistogram",
+    "EulerHistogramBuilder",
+    "EulerHistogramND",
+    "SEulerApproxND",
+    "EulerApproxND",
+    "MEulerApproxND",
+    "MaintainedEulerHistogram",
+    "UnalignedEstimator",
+    "RelationEnvelope",
+    "ExteriorHistogram",
+    "HistogramPyramid",
+    "Level2Counts",
+    "Level2Estimator",
+    "SEulerApprox",
+    "EulerApprox",
+    "QueryEdge",
+    "MEulerApprox",
+    "area_partition",
+    "tune_area_thresholds",
+    "TuningResult",
+    "euler_characteristic",
+    "interior_counts",
+    "region_euler_sum",
+]

@@ -1,0 +1,30 @@
+"""The estimator protocol every Level-2 algorithm implements."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.euler.estimates import Level2Counts
+from repro.grid.tiles_math import TileQuery
+
+__all__ = ["Level2Estimator"]
+
+
+@runtime_checkable
+class Level2Estimator(Protocol):
+    """A Level-2 relation estimator over one grid and dataset.
+
+    Implementations: :class:`repro.euler.simple.SEulerApprox`,
+    :class:`repro.euler.full.EulerApprox`,
+    :class:`repro.euler.multi.MEulerApprox`, and the ground-truth
+    :class:`repro.exact.evaluator.ExactEvaluator`.
+    """
+
+    @property
+    def name(self) -> str:
+        """Short label used in experiment tables."""
+        ...
+
+    def estimate(self, query: TileQuery) -> Level2Counts:
+        """Estimate the Level-2 counts for one grid-aligned query."""
+        ...

@@ -1,0 +1,60 @@
+"""Result type shared by every Level-2 estimator and the exact evaluator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Level2Counts"]
+
+
+@dataclass(frozen=True, slots=True)
+class Level2Counts:
+    """Counts (or estimates) of the Level-2 relations for one query.
+
+    Fields mirror the paper's notation:
+
+    - ``n_d``  -- disjoint objects,
+    - ``n_cs`` -- objects *contained in* the query (paper: ``N_cs``, the
+      query's *contains* result),
+    - ``n_cd`` -- objects *containing* the query (paper: ``N_cd``, the
+      query's *contained* result),
+    - ``n_o``  -- overlapping objects.
+
+    Under the shrinking convention ``N_eq`` is identically zero and is not
+    carried.  Values are floats because approximation algorithms can
+    legitimately produce non-integral or even negative estimates (e.g.
+    S-EulerApprox's ``N_o`` in the presence of crossover objects); the
+    estimators report raw solutions of their equation systems and leave any
+    clamping to presentation layers.
+    """
+
+    n_d: float
+    n_cs: float
+    n_cd: float
+    n_o: float
+
+    @property
+    def total(self) -> float:
+        """Sum of the four counts; equals ``|S|`` for every estimator in
+        this library (the equation systems are built around that identity).
+        """
+        return self.n_d + self.n_cs + self.n_cd + self.n_o
+
+    @property
+    def n_intersect(self) -> float:
+        """The Level-1 intersect count ``n_ii = N_cs + N_cd + N_o``."""
+        return self.n_cs + self.n_cd + self.n_o
+
+    def clamped(self) -> "Level2Counts":
+        """Non-negative version for display purposes."""
+        return Level2Counts(
+            max(self.n_d, 0.0), max(self.n_cs, 0.0), max(self.n_cd, 0.0), max(self.n_o, 0.0)
+        )
+
+    def __add__(self, other: "Level2Counts") -> "Level2Counts":
+        return Level2Counts(
+            self.n_d + other.n_d,
+            self.n_cs + other.n_cs,
+            self.n_cd + other.n_cd,
+            self.n_o + other.n_o,
+        )

@@ -1,0 +1,100 @@
+"""Euler's formula and its corollaries on grid regions (Section 4.1).
+
+These functions realise the theory the histograms rest on, for regions
+given as unions of grid cells (boolean cell masks):
+
+- :func:`interior_counts` -- the numbers ``(V_i, E_i, F_i)`` of interior
+  vertices, edges and faces of a cell region, with "interior" as in
+  Corollaries 4.1/4.2 (not an exterior face, not entirely contained in a
+  boundary).
+- :func:`euler_characteristic` -- ``V_i - E_i + F_i``.  Corollary 4.2 says
+  this equals ``2 - k`` where ``k`` is the number of exterior faces (the
+  unbounded face plus one per hole); for ``c`` connected components it adds
+  up componentwise, so the general value is ``c - holes``.
+- :func:`region_euler_sum` -- the same number read off an Euler histogram
+  restricted to the region, demonstrating that the histogram's region sums
+  *are* the Euler characteristic (the fact Figures 7, 9 and 10 illustrate).
+
+They are used by the property tests (the corollaries must hold for every
+random region) and by the quickstart example to demonstrate the loophole
+effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["interior_counts", "euler_characteristic", "region_euler_sum"]
+
+
+def _as_cell_mask(cells: np.ndarray) -> np.ndarray:
+    mask = np.asarray(cells, dtype=bool)
+    if mask.ndim != 2:
+        raise ValueError("cell mask must be 2-d")
+    return mask
+
+
+def interior_counts(cells: np.ndarray) -> tuple[int, int, int]:
+    """Count interior vertices, edges and faces of a cell-union region.
+
+    ``cells[i, j]`` marks grid cell ``(i, j)`` as part of the region.  With
+    the region read as a closed point set:
+
+    - every region cell is an interior face;
+    - a grid edge between two cells is interior iff both cells are in the
+      region (otherwise it lies on the region's boundary or outside);
+    - a grid vertex is interior iff all four incident cells are in the
+      region.
+    """
+    mask = _as_cell_mask(cells)
+    faces = int(mask.sum())
+    # Vertical grid lines between horizontally adjacent cells...
+    edges_x = int(np.logical_and(mask[:-1, :], mask[1:, :]).sum())
+    # ...and horizontal grid lines between vertically adjacent cells.
+    edges_y = int(np.logical_and(mask[:, :-1], mask[:, 1:]).sum())
+    vertices = int(
+        np.logical_and.reduce(
+            [mask[:-1, :-1], mask[1:, :-1], mask[:-1, 1:], mask[1:, 1:]]
+        ).sum()
+    )
+    return vertices, edges_x + edges_y, faces
+
+
+def euler_characteristic(cells: np.ndarray) -> int:
+    """``V_i - E_i + F_i`` of the region.
+
+    Equals ``(connected components) - (holes)``; Corollary 4.1 is the
+    special case "one hole-free component -> 1" and Corollary 4.2 the case
+    "one component with ``k - 1`` holes -> ``2 - k``".
+    """
+    v, e, f = interior_counts(cells)
+    return v - e + f
+
+
+def region_euler_sum(signed_buckets: np.ndarray, cells: np.ndarray) -> int:
+    """Sum an Euler histogram's buckets over the lattice elements interior
+    to a cell-union region.
+
+    ``signed_buckets`` is a ``(2*n1-1, 2*n2-1)`` signed bucket array (as
+    returned by :meth:`repro.euler.histogram.EulerHistogram.buckets`) and
+    ``cells`` an ``(n1, n2)`` boolean region mask.  The lattice elements
+    interior to the region are selected with the same rules as
+    :func:`interior_counts`, so for a histogram containing a single object
+    covering exactly the region this returns the region's Euler
+    characteristic.
+    """
+    mask = _as_cell_mask(cells)
+    n1, n2 = mask.shape
+    if signed_buckets.shape != (2 * n1 - 1, 2 * n2 - 1):
+        raise ValueError(
+            f"bucket array shape {signed_buckets.shape} does not match "
+            f"lattice of a {n1}x{n2} cell mask"
+        )
+    lattice_mask = np.zeros_like(signed_buckets, dtype=bool)
+    lattice_mask[::2, ::2] = mask
+    lattice_mask[1::2, ::2] = np.logical_and(mask[:-1, :], mask[1:, :])
+    lattice_mask[::2, 1::2] = np.logical_and(mask[:, :-1], mask[:, 1:])
+    lattice_mask[1::2, 1::2] = np.logical_and.reduce(
+        [mask[:-1, :-1], mask[1:, :-1], mask[:-1, 1:], mask[1:, 1:]]
+    )
+    return int(signed_buckets[lattice_mask].sum())

@@ -1,0 +1,175 @@
+"""A maintained (updatable) Euler histogram.
+
+The paper builds its histograms in one offline pass; a deployed browsing
+service also needs inserts and deletes as the catalogue changes.  Because
+every query the estimators issue is a *linear* functional of the bucket
+array, maintenance can be layered without touching the algorithms:
+
+- a **base** :class:`~repro.euler.histogram.EulerHistogram` holds the bulk
+  of the data behind its prefix-sum cube;
+- updates accumulate in a **pending delta list** of snapped footprints;
+- a region sum is the base cube's answer plus each pending footprint's
+  closed-form contribution, which is O(1) per pending object: the signed
+  sum of an axis-aligned coverage box over an axis-aligned lattice box
+  factors per axis into ``+1`` (odd-length overlap starting on a face
+  coordinate), ``-1`` (odd length starting on an edge coordinate) or
+  ``0`` (even length);
+- when the delta grows past ``merge_threshold``, it is folded into a
+  rebuilt base (an O(buckets) pass), keeping query cost bounded.
+
+:class:`MaintainedEulerHistogram` exposes the same query surface as
+:class:`EulerHistogram`, so ``SEulerApprox(MaintainedEulerHistogram(...))``
+and friends work unchanged -- verified in
+``tests/euler/test_maintained.py``.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import RectDataset
+from repro.euler.histogram import EulerHistogram, EulerHistogramBuilder
+from repro.geometry.rect import Rect
+from repro.geometry.snapping import LatticeSpan, snap_rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+__all__ = ["MaintainedEulerHistogram"]
+
+
+def _axis_factor(span_lo: int, span_hi: int, box_lo: int, box_hi: int) -> int:
+    """Signed sum of one axis of a footprint restricted to a lattice box.
+
+    The alternating lattice sign along one axis is ``+1`` on even (cell)
+    coordinates and ``-1`` on odd (grid-line) coordinates; summed over the
+    overlap ``[max(lo), min(hi)]`` this telescopes to 0 for even overlap
+    lengths and to the sign of the first overlapped coordinate otherwise.
+    """
+    lo = max(span_lo, box_lo)
+    hi = min(span_hi, box_hi)
+    if hi < lo:
+        return 0
+    if (hi - lo + 1) % 2 == 0:
+        return 0
+    return 1 if lo % 2 == 0 else -1
+
+
+class MaintainedEulerHistogram:
+    """An Euler histogram supporting online inserts and deletes."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        dataset: RectDataset | None = None,
+        *,
+        merge_threshold: int = 1024,
+    ) -> None:
+        if merge_threshold < 1:
+            raise ValueError("merge_threshold must be positive")
+        self._grid = grid
+        self._merge_threshold = merge_threshold
+        self._builder = EulerHistogramBuilder(grid)
+        if dataset is not None:
+            self._builder.add_dataset(dataset)
+        self._base: EulerHistogram = self._builder.build()
+        #: Snapped pending updates as (span, weight), weight in {+1, -1}.
+        self._pending: list[tuple[LatticeSpan, int]] = []
+        self._pending_objects = 0
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+
+    @property
+    def grid(self) -> Grid:
+        return self._grid
+
+    @property
+    def num_objects(self) -> int:
+        return self._base.num_objects + self._pending_objects
+
+    @property
+    def num_buckets(self) -> int:
+        return self._base.num_buckets
+
+    @property
+    def pending_updates(self) -> int:
+        """Number of updates not yet merged into the base cube."""
+        return len(self._pending)
+
+    def insert(self, rect: Rect) -> None:
+        """Add one object (world coordinates)."""
+        self._apply(rect, +1)
+
+    def delete(self, rect: Rect) -> None:
+        """Remove one previously inserted object.
+
+        The caller is responsible for only deleting objects that are in
+        the histogram; the structure is a summary and cannot check.
+        """
+        self._apply(rect, -1)
+
+    def _apply(self, rect: Rect, weight: int) -> None:
+        span = snap_rect(*self._grid.rect_to_cell_units(rect), self._grid.n1, self._grid.n2)
+        self._builder.add(rect, weight)
+        self._pending.append((span, weight))
+        self._pending_objects += weight
+        if len(self._pending) >= self._merge_threshold:
+            self.merge()
+
+    def merge(self) -> None:
+        """Fold the pending delta into a rebuilt base cube."""
+        if not self._pending:
+            return
+        self._base = self._builder.build()
+        self._pending.clear()
+        self._pending_objects = 0
+
+    # ------------------------------------------------------------------ #
+    # the EulerHistogram query surface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_sum(self) -> int:
+        return self._base.total_sum + self._pending_objects
+
+    def lattice_range_sum(self, a_lo: int, a_hi: int, b_lo: int, b_hi: int) -> int:
+        """Inclusive lattice-box sum: base cube plus pending deltas."""
+        base = self._base.lattice_range_sum(a_lo, a_hi, b_lo, b_hi)
+        delta = 0
+        for span, weight in self._pending:
+            delta += weight * (
+                _axis_factor(span.a_lo, span.a_hi, a_lo, a_hi)
+                * _axis_factor(span.b_lo, span.b_hi, b_lo, b_hi)
+            )
+        return base + delta
+
+    def intersect_count(self, region: TileQuery) -> int:
+        """Exact intersect count (n_ii), pending updates included."""
+        region.validate_against(self._grid)
+        return self.lattice_range_sum(
+            2 * region.qx_lo, 2 * region.qx_hi - 2, 2 * region.qy_lo, 2 * region.qy_hi - 2
+        )
+
+    def closed_region_sum(self, region: TileQuery) -> int:
+        """Closed-region bucket sum, pending updates included."""
+        region.validate_against(self._grid)
+        shape = self._grid.lattice_shape
+        return self.lattice_range_sum(
+            max(2 * region.qx_lo - 1, 0),
+            min(2 * region.qx_hi - 1, shape[0] - 1),
+            max(2 * region.qy_lo - 1, 0),
+            min(2 * region.qy_hi - 1, shape[1] - 1),
+        )
+
+    def outside_sum(self, region: TileQuery) -> int:
+        """n'_ei: buckets outside the closed region, updates included."""
+        return self.total_sum - self.closed_region_sum(region)
+
+    def contained_count(self, region: TileQuery) -> int:
+        """S-Euler contains estimate over the maintained state."""
+        return self.num_objects - self.outside_sum(region)
+
+    def snapshot(self) -> EulerHistogram:
+        """An immutable point-in-time :class:`EulerHistogram` (merges
+        pending updates first)."""
+        self.merge()
+        return self._base

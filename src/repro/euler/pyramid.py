@@ -1,0 +1,137 @@
+"""Multi-resolution histogram pyramids for zoomable browsing.
+
+GeoBrowsing presents "summary information of a data collection ... at
+various resolutions" (Section 1).  One histogram fixes one resolution:
+aligned-query guarantees hold only on its grid, and a world-level
+overview over a 1-degree histogram needlessly pays fine-grid work while a
+street-level zoom cannot go below one degree.
+
+A :class:`HistogramPyramid` keeps one Euler histogram per zoom level
+(grids halving per level, like map tile pyramids).  Levels must be built
+from the data -- a coarse Euler histogram is *not* derivable from a fine
+one, because the fine histogram no longer knows which crossings belong to
+which object -- so the pyramid builds all levels in one constructor pass
+(construction is linear per level and the level sizes form a geometric
+series, so the total is ~4/3 the finest level's cost).
+
+``level_for`` picks the coarsest level that still gives every tile of a
+requested browse at least the caller's resolution, which is how a
+browsing UI serves any zoom with aligned queries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.base import RectDataset
+from repro.euler.base import Level2Estimator
+from repro.euler.histogram import EulerHistogram
+from repro.euler.simple import SEulerApprox
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+
+__all__ = ["HistogramPyramid"]
+
+#: Builds the estimator served at one level.
+LevelFactory = Callable[[RectDataset, Grid], Level2Estimator]
+
+
+def _default_factory(dataset: RectDataset, grid: Grid) -> Level2Estimator:
+    return SEulerApprox(EulerHistogram.from_dataset(dataset, grid))
+
+
+class HistogramPyramid:
+    """Euler histograms at halving resolutions over one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The summarised collection.
+    base_grid:
+        The finest grid (level 0).  Coarser levels halve the cell counts
+        (rounding up) until an axis reaches ``min_cells``.
+    factory:
+        Estimator constructor per level (default S-EulerApprox).
+    """
+
+    def __init__(
+        self,
+        dataset: RectDataset,
+        base_grid: Grid,
+        *,
+        min_cells: int = 4,
+        factory: LevelFactory = _default_factory,
+    ) -> None:
+        if min_cells < 1:
+            raise ValueError("min_cells must be positive")
+        self._grids: list[Grid] = []
+        self._estimators: list[Level2Estimator] = []
+        n1, n2 = base_grid.n1, base_grid.n2
+        while True:
+            grid = Grid(base_grid.extent, n1, n2)
+            self._grids.append(grid)
+            self._estimators.append(factory(dataset, grid))
+            if n1 <= min_cells or n2 <= min_cells:
+                break
+            n1 = (n1 + 1) // 2
+            n2 = (n2 + 1) // 2
+        self._num_objects = len(dataset)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self._grids)
+
+    @property
+    def num_objects(self) -> int:
+        return self._num_objects
+
+    def grid(self, level: int) -> Grid:
+        """Grid of one level (0 = finest)."""
+        return self._grids[self._check(level)]
+
+    def estimator(self, level: int) -> Level2Estimator:
+        """Estimator serving one level."""
+        return self._estimators[self._check(level)]
+
+    def _check(self, level: int) -> int:
+        if not 0 <= level < self.num_levels:
+            raise IndexError(f"level {level} outside 0..{self.num_levels - 1}")
+        return level
+
+    @property
+    def nbytes(self) -> int:
+        return sum(
+            est.histogram.nbytes
+            for est in self._estimators
+            if hasattr(est, "histogram")
+        )
+
+    def level_for(self, region: Rect, rows: int, cols: int) -> int:
+        """The coarsest level whose grid still aligns with a
+        ``rows x cols`` tiling of ``region``.
+
+        Serving from the coarsest adequate level touches the fewest
+        buckets and keeps every tile an aligned (guarantee-covered)
+        query.  Raises when even the finest grid cannot align the
+        request.
+        """
+        if rows < 1 or cols < 1:
+            raise ValueError("rows and cols must be positive")
+        for level in range(self.num_levels - 1, -1, -1):
+            grid = self._grids[level]
+            if not grid.is_aligned(region):
+                continue
+            x_lo, x_hi, y_lo, y_hi = grid.rect_to_cell_units(region)
+            width = round(x_hi - x_lo)
+            height = round(y_hi - y_lo)
+            if width >= cols and height >= rows and width % cols == 0 and height % rows == 0:
+                return level
+        raise ValueError(
+            f"no pyramid level aligns a {rows}x{cols} tiling of {region}; "
+            f"finest grid is {self._grids[0].n1}x{self._grids[0].n2}"
+        )
+
+    def browse_estimator(self, region: Rect, rows: int, cols: int) -> tuple[int, Level2Estimator, Grid]:
+        """(level, estimator, grid) to serve one browse request."""
+        level = self.level_for(region, rows, cols)
+        return level, self._estimators[level], self._grids[level]

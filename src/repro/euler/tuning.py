@@ -1,0 +1,146 @@
+"""The pragmatic M-EulerApprox threshold-selection procedure (Section 6.4).
+
+Finding optimal ``m`` and ``area(H_i)`` analytically is intractable (it
+depends on object shapes and positions, not just areas), so the paper
+proposes a feedback loop:
+
+    Start with 2 histograms, ``area(H_0) = 1x1`` and
+    ``area(H_1) = k/2 x l/2`` for the largest supported query ``k x l``.
+    Measure estimation error on a set of test queries.  While some query
+    area's error exceeds the limit, add a histogram at either
+    ``area(H_1)/4`` or at the query area where the error peaks.  Stop when
+    every area is under the limit or adding histograms stops helping.
+    In practice ``m`` stays between 2 and 5.
+
+:func:`tune_area_thresholds` implements that loop against a ground-truth
+oracle (the exact evaluator, or a held-out sample).  Error is measured per
+query set as the average relative error of the ``N_cs`` estimate (the
+metric the paper tunes for in Figures 17-18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.datasets.base import RectDataset
+from repro.euler.estimates import Level2Counts
+from repro.euler.multi import MEulerApprox
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+__all__ = ["TuningResult", "tune_area_thresholds"]
+
+#: Oracle signature: exact Level-2 counts for one query.
+Oracle = Callable[[TileQuery], Level2Counts]
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of the pragmatic tuning loop."""
+
+    thresholds: tuple[float, ...]
+    estimator: MEulerApprox
+    #: (query-set label, worst N_cs relative error) per iteration, for
+    #: inspection and the ablation bench.
+    history: tuple[tuple[int, float], ...]
+
+    @property
+    def num_histograms(self) -> int:
+        return len(self.thresholds)
+
+
+def _area_errors(
+    estimator: MEulerApprox,
+    oracle: Oracle,
+    query_sets: Sequence[Sequence[TileQuery]],
+) -> list[tuple[float, float]]:
+    """Per query set: (query area, average relative N_cs error)."""
+    results = []
+    for queries in query_sets:
+        if not queries:
+            continue
+        abs_err = 0.0
+        truth_sum = 0.0
+        for q in queries:
+            exact = oracle(q)
+            est = estimator.estimate(q)
+            abs_err += abs(exact.n_cs - est.n_cs)
+            truth_sum += exact.n_cs
+        error = abs_err / truth_sum if truth_sum > 0 else 0.0
+        results.append((float(queries[0].area), error))
+    return results
+
+
+def tune_area_thresholds(
+    dataset: RectDataset,
+    grid: Grid,
+    oracle: Oracle,
+    query_sets: Sequence[Sequence[TileQuery]],
+    *,
+    error_limit: float = 0.05,
+    max_histograms: int = 5,
+    max_query_area: float | None = None,
+) -> TuningResult:
+    """Run the Section 6.4 feedback loop and return the chosen thresholds.
+
+    Parameters
+    ----------
+    dataset, grid:
+        What to summarise.
+    oracle:
+        Ground truth per query (e.g. ``ExactEvaluator(...).estimate``).
+    query_sets:
+        Test workloads, one inner sequence per query size (the paper's
+        ``Q_n`` sets).  Every query in a set must share one area.
+    error_limit:
+        The acceptable worst per-set average relative error of ``N_cs``.
+    max_histograms:
+        Hard cap on ``m`` (the paper observes 2-5 suffices).
+    max_query_area:
+        ``k x l`` in the paper's description; defaults to the largest area
+        among the query sets.
+    """
+    if max_histograms < 2:
+        raise ValueError("the procedure starts from 2 histograms")
+    if not query_sets or all(not qs for qs in query_sets):
+        raise ValueError("at least one non-empty query set is required")
+
+    if max_query_area is None:
+        max_query_area = max(float(qs[0].area) for qs in query_sets if qs)
+    # area(H_1) = (k/2) x (l/2) = (k x l) / 4.
+    start = max(max_query_area / 4.0, 2.0)
+    thresholds: list[float] = [1.0, start]
+
+    history: list[tuple[int, float]] = []
+    best: tuple[float, list[float], MEulerApprox] | None = None
+
+    while True:
+        estimator = MEulerApprox(dataset, grid, thresholds)
+        errors = _area_errors(estimator, oracle, query_sets)
+        worst = max(err for _, err in errors) if errors else 0.0
+        history.append((len(thresholds), worst))
+
+        if best is None or worst < best[0] - 1e-12:
+            best = (worst, list(thresholds), estimator)
+        else:
+            # Adding the last histogram no longer reduced the error: stop
+            # and keep the previous best (the paper's second stop rule).
+            break
+        if worst <= error_limit or len(thresholds) >= max_histograms:
+            break
+
+        # Add a histogram at the error peak's query area, falling back to
+        # area(H_1)/4 when the peak already has a threshold.
+        peak_area = max(errors, key=lambda t: t[1])[0]
+        candidate = peak_area
+        if any(abs(candidate - t) < 1e-9 for t in thresholds) or candidate <= 1.0:
+            candidate = thresholds[1] / 4.0
+        if candidate <= 1.0 or any(abs(candidate - t) < 1e-9 for t in thresholds):
+            break
+        thresholds = sorted(set(thresholds) | {candidate})
+
+    worst, chosen, estimator = best
+    return TuningResult(
+        thresholds=tuple(chosen), estimator=estimator, history=tuple(history)
+    )

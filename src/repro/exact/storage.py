@@ -1,0 +1,82 @@
+"""Theorem 3.1 storage accounting.
+
+    *Given an* ``n_1 x n_2 x ... x n_d`` *grid, an algorithm that can
+    return exact results for the contains spatial relation requires at
+    least* ``prod_i n_i (n_i + 1) / 2 = O(N^2)`` *storage.*
+
+These helpers turn the bound into numbers: bucket counts, byte estimates,
+and the paper's headline example (a 360x180 world grid at 1-degree
+resolution needs ~4 GB, Section 3), reproduced by
+``benchmarks/bench_storage_bound.py`` and the ``storage_lower_bound``
+example.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "exact_contains_bucket_count",
+    "exact_contains_storage_bytes",
+    "euler_histogram_bucket_count",
+    "storage_comparison_row",
+]
+
+
+def exact_contains_bucket_count(dims: Sequence[int], *, corner_types: bool = False) -> int:
+    """Theorem 3.1's minimum bucket count for an exact contains algorithm.
+
+    ``dims`` is the per-axis cell count ``(n_1, ..., n_d)``.  With
+    ``corner_types=True`` the count includes the paper's extension to the
+    four 1-d boundary types ``(i,j) / [i,j) / (i,j] / [i,j]`` -- "a
+    constant factor of 4" per axis.
+    """
+    if not dims:
+        raise ValueError("at least one dimension is required")
+    if any(n < 1 for n in dims):
+        raise ValueError(f"cell counts must be positive, got {tuple(dims)}")
+    count = math.prod(n * (n + 1) // 2 for n in dims)
+    if corner_types:
+        count *= 4 ** len(dims)
+    return count
+
+
+def exact_contains_storage_bytes(
+    dims: Sequence[int], *, bytes_per_bucket: int = 4, corner_types: bool = False
+) -> int:
+    """Byte estimate of the exact store.
+
+    The paper's "~4 GB" figure for the 360x180 1-degree grid corresponds
+    to ``4 * (360*361)/2 * (180*181)/2`` -- i.e. 4 bytes per bucket over
+    the base (single-type) bucket count.
+    """
+    if bytes_per_bucket < 1:
+        raise ValueError("bytes_per_bucket must be positive")
+    return bytes_per_bucket * exact_contains_bucket_count(dims, corner_types=corner_types)
+
+
+def euler_histogram_bucket_count(dims: Sequence[int]) -> int:
+    """Bucket count of the Euler histogram on the same grid:
+    ``prod_i (2 n_i - 1) = O(N)`` -- the contrast Theorem 3.1 draws with
+    the intersect-only lower bound."""
+    if not dims:
+        raise ValueError("at least one dimension is required")
+    if any(n < 1 for n in dims):
+        raise ValueError(f"cell counts must be positive, got {tuple(dims)}")
+    return math.prod(2 * n - 1 for n in dims)
+
+
+def storage_comparison_row(dims: Sequence[int], *, bytes_per_bucket: int = 4) -> dict[str, float]:
+    """One row of the storage-bound table: exact-store vs Euler-histogram
+    footprint for a grid, plus their ratio."""
+    exact_buckets = exact_contains_bucket_count(dims)
+    euler_buckets = euler_histogram_bucket_count(dims)
+    return {
+        "grid": "x".join(str(n) for n in dims),
+        "exact_buckets": exact_buckets,
+        "exact_bytes": exact_buckets * bytes_per_bucket,
+        "euler_buckets": euler_buckets,
+        "euler_bytes": euler_buckets * bytes_per_bucket,
+        "ratio": exact_buckets / euler_buckets,
+    }

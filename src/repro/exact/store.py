@@ -1,0 +1,174 @@
+"""The exact Level-2 stores behind Theorem 3.1.
+
+Section 3 constructs, for 1-d range data on an ``n``-segment grid, the
+2-dimensional histogram ``H`` with one bucket per object type ``(i, j)``
+(objects starting after grid point ``i`` and ending before ``j``),
+``0 <= i < j <= n`` -- ``n(n+1)/2`` buckets -- and proves no exact
+``contains`` algorithm can store less.  These classes *are* that
+construction (plus its 2-d product form), with prefix sums bolted on so
+all Level-2 counts come out in constant time:
+
+- :class:`ExactContainsStore1D` -- the paper's ``H`` verbatim, answering
+  1-d ``contains``/``contained``/``intersect`` exactly.
+- :class:`ExactLevel2Store2D` -- the d=2 product: one bucket per snapped
+  footprint ``(i1, j1) x (i2, j2)``, ``[n1(n1+1)/2] * [n2(n2+1)/2]``
+  buckets, exactly the Theorem 3.1 lower bound, stored as a 4-d cube.
+
+They exist to (a) make the lower bound concrete -- the storage accounting
+property-tested against :func:`repro.exact.storage.exact_contains_bucket_count`
+-- and (b) serve as an independent exact oracle for small grids in the test
+suite.  They are intentionally *not* used by the estimators: their storage
+is what the paper shows to be infeasible at real resolutions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cube.prefix_sum import PrefixSumCube
+from repro.datasets.base import RectDataset
+from repro.euler.estimates import Level2Counts
+from repro.geometry.snapping import snap_axis_arrays, snap_rects
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+__all__ = ["ExactContainsStore1D", "ExactLevel2Store2D"]
+
+
+class ExactContainsStore1D:
+    """The paper's histogram ``H`` for 1-d range objects (Figure 4).
+
+    Bucket ``(i, j)`` with ``0 <= i < j <= n`` counts objects of type
+    ``(i, j)``: in snapped cell terms, objects touching cells
+    ``i .. j - 1``.  Stored as an ``(n, n)`` array indexed
+    ``[i, j - 1]`` (the upper-left triangle is unused), which makes the
+    *effective* bucket count ``n(n+1)/2`` as in the theorem.
+    """
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray, n: int) -> None:
+        """``lo``/``hi`` are open object intervals in cell units on an
+        ``n``-cell axis."""
+        self._n = n
+        a_lo, a_hi = snap_axis_arrays(np.asarray(lo), np.asarray(hi), n)
+        i = a_lo // 2
+        j = a_hi // 2 + 1
+        counts = np.zeros((n, n), dtype=np.int64)
+        np.add.at(counts, (i, j - 1), 1)
+        self._cube = PrefixSumCube(counts)
+        self._num_objects = int(len(i))
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def num_objects(self) -> int:
+        return self._num_objects
+
+    @property
+    def effective_bucket_count(self) -> int:
+        """``n(n+1)/2``: the buckets with ``i < j`` that can be non-zero."""
+        return self._n * (self._n + 1) // 2
+
+    def contains(self, q_lo: int, q_hi: int) -> int:
+        """Objects contained in the closed range ``[q_lo, q_hi]`` (grid
+        points): types with ``i >= q_lo`` and ``j <= q_hi``."""
+        self._check_query(q_lo, q_hi)
+        return int(self._cube.range_sum((q_lo, q_lo), (self._n - 1, q_hi - 1)))
+
+    def contained(self, q_lo: int, q_hi: int) -> int:
+        """Objects containing ``[q_lo, q_hi]``: types with ``i < q_lo`` and
+        ``j > q_hi``; zero when the query touches the axis boundary."""
+        self._check_query(q_lo, q_hi)
+        if q_lo == 0 or q_hi == self._n:
+            return 0
+        return int(self._cube.range_sum((0, q_hi), (q_lo - 1, self._n - 1)))
+
+    def intersect(self, q_lo: int, q_hi: int) -> int:
+        """Objects whose interiors meet the open ``(q_lo, q_hi)``: types
+        with ``i < q_hi`` and ``j > q_lo``."""
+        self._check_query(q_lo, q_hi)
+        return int(self._cube.range_sum((0, q_lo), (q_hi - 1, self._n - 1)))
+
+    def _check_query(self, q_lo: int, q_hi: int) -> None:
+        if not (0 <= q_lo < q_hi <= self._n):
+            raise ValueError(f"query [{q_lo}, {q_hi}] invalid on an {self._n}-cell axis")
+
+
+class ExactLevel2Store2D:
+    """The 2-d exact store: the Theorem 3.1 construction for rectangles.
+
+    One bucket per snapped footprint ``(i1, j1, i2, j2)``; 4-d prefix sums
+    answer every Level-2 count in constant time.  Storage grows as
+    ``O((n1 * n2)^2)`` -- build only on small grids (the constructor
+    refuses grids needing more than ``max_buckets`` buckets to protect
+    callers from the very explosion the theorem is about).
+    """
+
+    def __init__(self, dataset: RectDataset, grid: Grid, *, max_buckets: int = 50_000_000) -> None:
+        n1, n2 = grid.n1, grid.n2
+        buckets = n1 * n1 * n2 * n2
+        if buckets > max_buckets:
+            raise ValueError(
+                f"exact store for a {n1}x{n2} grid needs {buckets} buckets "
+                f"(> {max_buckets}); this is exactly the Theorem 3.1 blow-up"
+            )
+        self._grid = grid
+        a_lo, a_hi, b_lo, b_hi = snap_rects(
+            grid.to_cell_units_x(dataset.x_lo),
+            grid.to_cell_units_x(dataset.x_hi),
+            grid.to_cell_units_y(dataset.y_lo),
+            grid.to_cell_units_y(dataset.y_hi),
+            n1,
+            n2,
+        )
+        i1, j1 = a_lo // 2, a_hi // 2 + 1
+        i2, j2 = b_lo // 2, b_hi // 2 + 1
+        counts = np.zeros((n1, n1, n2, n2), dtype=np.int64)
+        np.add.at(counts, (i1, j1 - 1, i2, j2 - 1), 1)
+        self._cube = PrefixSumCube(counts)
+        self._num_objects = len(dataset)
+
+    @property
+    def num_objects(self) -> int:
+        return self._num_objects
+
+    @property
+    def effective_bucket_count(self) -> int:
+        """``[n1(n1+1)/2] * [n2(n2+1)/2]``: Theorem 3.1's lower bound."""
+        n1, n2 = self._grid.n1, self._grid.n2
+        return (n1 * (n1 + 1) // 2) * (n2 * (n2 + 1) // 2)
+
+    def _counts(self, query: TileQuery) -> tuple[int, int, int]:
+        query.validate_against(self._grid)
+        n1, n2 = self._grid.n1, self._grid.n2
+        qx_lo, qx_hi, qy_lo, qy_hi = query.qx_lo, query.qx_hi, query.qy_lo, query.qy_hi
+
+        n_cs = int(
+            self._cube.range_sum(
+                (qx_lo, qx_lo, qy_lo, qy_lo), (n1 - 1, qx_hi - 1, n2 - 1, qy_hi - 1)
+            )
+        )
+        if qx_lo == 0 or qy_lo == 0 or qx_hi == n1 or qy_hi == n2:
+            n_cd = 0
+        else:
+            n_cd = int(
+                self._cube.range_sum(
+                    (0, qx_hi, 0, qy_hi), (qx_lo - 1, n1 - 1, qy_lo - 1, n2 - 1)
+                )
+            )
+        n_int = int(
+            self._cube.range_sum((0, qx_lo, 0, qy_lo), (qx_hi - 1, n1 - 1, qy_hi - 1, n2 - 1))
+        )
+        return n_int, n_cs, n_cd
+
+    def estimate(self, query: TileQuery) -> Level2Counts:
+        """Exact counts (named ``estimate`` to satisfy the estimator
+        protocol)."""
+        n_int, n_cs, n_cd = self._counts(query)
+        return Level2Counts(
+            n_d=float(self._num_objects - n_int),
+            n_cs=float(n_cs),
+            n_cd=float(n_cd),
+            n_o=float(n_int - n_cs - n_cd),
+        )

@@ -1,0 +1,40 @@
+"""Experiment harness: one function per paper table/figure.
+
+Every figure of Section 6 has a generator here that returns a structured
+result (and can render it as a text table).  ``python -m repro.experiments``
+runs the full evaluation and prints every figure; the per-figure benchmark
+files under ``benchmarks/`` call the same functions.
+
+Scale: the paper uses 1M-2.6M-object datasets.  The harness scales them by
+the ``REPRO_SCALE`` environment variable (default 0.1, i.e. 100k-260k
+objects); relative-error results are size-stable, so the figures' shapes
+are unaffected (set ``REPRO_SCALE=1`` to run the paper's full sizes).
+"""
+
+from repro.experiments.config import ExperimentConfig, Workbench
+from repro.experiments.figures import (
+    fig13_s_euler_scatter,
+    fig14_s_euler_errors,
+    fig15_euler_scatter,
+    fig16_euler_errors,
+    fig17_multi2_errors,
+    fig18_multi_m_errors,
+    fig19_query_times,
+    storage_bound_table,
+)
+from repro.experiments.runner import estimate_tiling, tiling_errors
+
+__all__ = [
+    "ExperimentConfig",
+    "Workbench",
+    "estimate_tiling",
+    "tiling_errors",
+    "fig13_s_euler_scatter",
+    "fig14_s_euler_errors",
+    "fig15_euler_scatter",
+    "fig16_euler_errors",
+    "fig17_multi2_errors",
+    "fig18_multi_m_errors",
+    "fig19_query_times",
+    "storage_bound_table",
+]

@@ -1,0 +1,75 @@
+"""Run the complete Section 6 evaluation and print every figure.
+
+Usage::
+
+    python -m repro.experiments                 # default scale (0.1)
+    REPRO_SCALE=1 python -m repro.experiments   # the paper's full sizes
+    python -m repro.experiments --figures 14 18 # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.config import Workbench
+from repro.experiments.figures import (
+    fig12_dataset_profiles,
+    fig13_s_euler_scatter,
+    fig14_s_euler_errors,
+    fig15_euler_scatter,
+    fig16_euler_errors,
+    fig17_multi2_errors,
+    fig18_multi_m_errors,
+    fig19_query_times,
+    storage_bound_table,
+)
+from repro.experiments.report import (
+    render_dataset_profiles,
+    render_error_curves,
+    render_scatter,
+    render_storage_table,
+    render_timing,
+)
+
+_RUNNERS = {
+    "storage": lambda bench: render_storage_table(storage_bound_table()),
+    "12": lambda bench: render_dataset_profiles(fig12_dataset_profiles(bench)),
+    "13": lambda bench: render_scatter(fig13_s_euler_scatter(bench)),
+    "14": lambda bench: render_error_curves(fig14_s_euler_errors(bench)),
+    "15": lambda bench: render_scatter(fig15_euler_scatter(bench)),
+    "16": lambda bench: render_error_curves(fig16_euler_errors(bench)),
+    "17": lambda bench: render_error_curves(fig17_multi2_errors(bench)),
+    "18": lambda bench: render_error_curves(fig18_multi_m_errors(bench)),
+    "19": lambda bench: render_timing(fig19_query_times(bench)),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--figures",
+        nargs="*",
+        default=list(_RUNNERS),
+        choices=list(_RUNNERS),
+        help="which figures to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    bench = Workbench()
+    print(
+        f"repro evaluation | scale={bench.config.scale} seed={bench.config.seed} "
+        f"grid={bench.grid.n1}x{bench.grid.n2}",
+        flush=True,
+    )
+    for key in args.figures:
+        start = time.perf_counter()
+        output = _RUNNERS[key](bench)
+        elapsed = time.perf_counter() - start
+        print(f"\n{'=' * 72}\n{output}\n({elapsed:.1f}s)", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Experiment configuration and the lazily-built workbench.
+
+:class:`ExperimentConfig` pins the knobs of Section 6.1 (grid, dataset
+sizes, query sets, M-Euler threshold schedules); :class:`Workbench`
+materialises datasets, histograms, estimators and ground truth on demand
+and memoises them, so the figure functions and benchmarks share work.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.datasets import by_name
+from repro.datasets.base import RectDataset
+from repro.euler.full import EulerApprox, QueryEdge
+from repro.euler.histogram import EulerHistogram
+from repro.euler.multi import MEulerApprox
+from repro.euler.simple import SEulerApprox
+from repro.exact.tiling import TilingCounts, exact_tiling_counts
+from repro.grid.grid import Grid
+from repro.workloads.tiles import PAPER_QUERY_SET_SIZES
+
+__all__ = ["ExperimentConfig", "Workbench", "PAPER_DATASET_SIZES"]
+
+#: The paper's dataset cardinalities (Section 6.1.1).
+PAPER_DATASET_SIZES: dict[str, int] = {
+    "sp_skew": 1_000_000,
+    "sz_skew": 1_000_000,
+    "adl": 2_335_840,
+    "ca_road": 2_665_088,
+}
+
+#: Figure 18's M-EulerApprox threshold schedules, in unit-cell areas
+#: (the paper writes them as side lengths: 1x1, 3x3, 5x5, 10x10, 15x15).
+MULTI_THRESHOLD_SCHEDULES: dict[int, tuple[float, ...]] = {
+    2: (1.0, 100.0),
+    3: (1.0, 9.0, 100.0),
+    4: (1.0, 9.0, 25.0, 100.0),
+    5: (1.0, 9.0, 25.0, 100.0, 225.0),
+}
+
+
+def _env_scale(default: float = 0.1) -> float:
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
+        return default
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_SCALE must be a number, got {raw!r}") from None
+    if scale <= 0:
+        raise ValueError(f"REPRO_SCALE must be positive, got {scale}")
+    return scale
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All Section 6 experiment knobs."""
+
+    scale: float = field(default_factory=_env_scale)
+    seed: int = 42
+    query_sizes: tuple[int, ...] = PAPER_QUERY_SET_SIZES
+
+    def grid(self) -> Grid:
+        """The evaluation grid (the paper's 360x180 at 1 degree)."""
+        return Grid.world_1deg()
+
+    def dataset_size(self, name: str) -> int:
+        """Scaled object count for one dataset (floor 1000)."""
+        return max(int(PAPER_DATASET_SIZES[name] * self.scale), 1000)
+
+
+class Workbench:
+    """Memoised factory for datasets, estimators and ground truth."""
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or ExperimentConfig()
+        self.grid = self.config.grid()
+        self._datasets: dict[str, RectDataset] = {}
+        self._histograms: dict[str, EulerHistogram] = {}
+        self._multi: dict[tuple[str, tuple[float, ...]], MEulerApprox] = {}
+        self._truth: dict[tuple[str, int], TilingCounts] = {}
+
+    def dataset(self, name: str) -> RectDataset:
+        """The named dataset at the configured scale (memoised)."""
+        if name not in self._datasets:
+            self._datasets[name] = by_name(
+                name, self.config.dataset_size(name), seed=self.config.seed
+            )
+        return self._datasets[name]
+
+    def histogram(self, name: str) -> EulerHistogram:
+        """The dataset's Euler histogram (memoised)."""
+        if name not in self._histograms:
+            self._histograms[name] = EulerHistogram.from_dataset(self.dataset(name), self.grid)
+        return self._histograms[name]
+
+    def s_euler(self, name: str) -> SEulerApprox:
+        """S-EulerApprox over the shared histogram."""
+        return SEulerApprox(self.histogram(name))
+
+    def euler(self, name: str, edge: QueryEdge = QueryEdge.LEFT) -> EulerApprox:
+        """EulerApprox over the shared histogram."""
+        return EulerApprox(self.histogram(name), edge)
+
+    def multi_euler(self, name: str, num_histograms: int) -> MEulerApprox:
+        """M-EulerApprox with the paper's schedule for m histograms."""
+        thresholds = MULTI_THRESHOLD_SCHEDULES[num_histograms]
+        return self.multi_euler_with(name, thresholds)
+
+    def multi_euler_with(self, name: str, thresholds: tuple[float, ...]) -> MEulerApprox:
+        """M-EulerApprox with an explicit threshold schedule (memoised)."""
+        key = (name, tuple(thresholds))
+        if key not in self._multi:
+            self._multi[key] = MEulerApprox(self.dataset(name), self.grid, thresholds)
+        return self._multi[key]
+
+    def truth(self, name: str, tile_size: int) -> TilingCounts:
+        """Exact Level-2 counts for the complete ``Q_n`` tiling."""
+        key = (name, tile_size)
+        if key not in self._truth:
+            self._truth[key] = exact_tiling_counts(
+                self.dataset(name), self.grid, tile_size, tile_size
+            )
+        return self._truth[key]

@@ -1,0 +1,78 @@
+"""CSV export of experiment results.
+
+The text tables of :mod:`repro.experiments.report` are for reading; these
+writers emit the same series as CSV so users can re-plot the paper's
+figures with their tool of choice (``python -m repro.experiments`` keeps
+printing text; benchmarks call these when an output directory is given).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+
+from repro.experiments.figures import ErrorCurves, ScatterResult, TimingResult
+
+__all__ = [
+    "write_error_curves_csv",
+    "write_scatter_csv",
+    "write_timing_csv",
+]
+
+
+def _open_writer(path: str | os.PathLike):
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path.open("w", newline="")
+
+
+def write_error_curves_csv(result: ErrorCurves, path: str | os.PathLike) -> None:
+    """Long-format CSV: figure, curve label, relation, tile size, ARE."""
+    with _open_writer(path) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["figure", "algorithm", "label", "relation", "tile_size", "are"])
+        for label, relations in result.curves.items():
+            for relation, by_size in relations.items():
+                for tile_size in result.tile_sizes:
+                    writer.writerow(
+                        [
+                            result.figure,
+                            result.algorithm,
+                            label,
+                            relation,
+                            tile_size,
+                            by_size[tile_size],
+                        ]
+                    )
+
+
+def write_scatter_csv(result: ScatterResult, path: str | os.PathLike) -> None:
+    """Long-format CSV of every (exact, estimated) scatter point."""
+    with _open_writer(path) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["figure", "algorithm", "dataset", "relation", "exact", "estimated"])
+        for dataset, relations in result.points.items():
+            for relation, points in relations.items():
+                for exact, estimated in points:
+                    writer.writerow(
+                        [result.figure, result.algorithm, dataset, relation, exact, estimated]
+                    )
+
+
+def write_timing_csv(result: TimingResult, path: str | os.PathLike) -> None:
+    """Long-format CSV: algorithm, tile size, #queries, seconds."""
+    with _open_writer(path) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["figure", "algorithm", "tile_size", "num_queries", "seconds"])
+        for algorithm, by_size in result.seconds.items():
+            for tile_size, seconds in by_size.items():
+                writer.writerow(
+                    [
+                        result.figure,
+                        algorithm,
+                        tile_size,
+                        result.num_queries[tile_size],
+                        seconds,
+                    ]
+                )

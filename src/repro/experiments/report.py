@@ -1,0 +1,139 @@
+"""Text rendering of experiment results.
+
+The paper's figures are plots; the reproduction reports the same series as
+aligned text tables (per-query-set ARE columns, scatter summaries, timing
+rows) so results are diffable and greppable in CI logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.figures import ErrorCurves, ScatterResult, TimingResult
+
+__all__ = [
+    "format_table",
+    "render_error_curves",
+    "render_scatter",
+    "render_timing",
+    "render_storage_table",
+]
+
+#: Display names of the relation fields.
+_RELATION_LABELS = {"n_d": "N_d", "n_cs": "N_cs", "n_cd": "N_cd", "n_o": "N_o"}
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned, pipe-separated text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("-+-".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _pct(value: float) -> str:
+    if value != value or value == float("inf"):  # NaN / inf guards
+        return "inf"
+    return f"{100.0 * value:.2f}%"
+
+
+def render_error_curves(result: ErrorCurves) -> str:
+    """One table per relation: rows = query sizes, columns = curves."""
+    blocks = [f"{result.figure}: {result.algorithm} average relative error"]
+    labels = list(result.curves)
+    relations = list(next(iter(result.curves.values())))
+    for rel in relations:
+        headers = ["Q_n"] + labels
+        rows = []
+        for n in result.tile_sizes:
+            rows.append([f"Q_{n}"] + [_pct(result.curves[lab][rel][n]) for lab in labels])
+        blocks.append(f"\n[{_RELATION_LABELS.get(rel, rel)}]")
+        blocks.append(format_table(headers, rows))
+    return "\n".join(blocks)
+
+
+def render_scatter(result: ScatterResult, *, max_points: int = 8) -> str:
+    """Scatter summary: ARE per dataset/relation plus sample points."""
+    blocks = [
+        f"{result.figure}: {result.algorithm} estimated vs exact on Q_{result.tile_size}"
+    ]
+    headers = ["dataset", "relation", "ARE", "points (exact -> est, sample)"]
+    rows = []
+    for dataset, rels in result.points.items():
+        for rel, points in rels.items():
+            interesting = sorted(points, key=lambda p: -abs(p[0] - p[1]))[:max_points]
+            sample = ", ".join(f"{r:.0f}->{e:.0f}" for r, e in interesting)
+            rows.append(
+                [dataset, _RELATION_LABELS.get(rel, rel), _pct(result.are[dataset][rel]), sample]
+            )
+    blocks.append(format_table(headers, rows))
+    return "\n".join(blocks)
+
+
+def render_timing(result: TimingResult) -> str:
+    """Timing table: per-query-set wall-clock milliseconds per algorithm."""
+    blocks = [f"{result.figure}: wall-clock per complete query set (ms)"]
+    labels = list(result.seconds)
+    sizes = sorted(result.num_queries, reverse=True)
+    headers = ["Q_n", "#queries"] + labels + ["us/query (first alg)"]
+    rows = []
+    for n in sizes:
+        per_query_us = 1e6 * result.seconds[labels[0]][n] / result.num_queries[n]
+        rows.append(
+            [f"Q_{n}", result.num_queries[n]]
+            + [f"{1e3 * result.seconds[lab][n]:.2f}" for lab in labels]
+            + [f"{per_query_us:.1f}"]
+        )
+    blocks.append(format_table(headers, rows))
+    return "\n".join(blocks)
+
+
+def render_dataset_profiles(profiles: dict) -> str:
+    """Figure 12-style dataset profile table: spatial concentration and
+    the object-width histogram per dataset."""
+    headers = ["dataset", "count", "top-6-block share", "empty blocks", "width histogram (doubling bins from 0.5)"]
+    rows = []
+    for name, p in profiles.items():
+        hist = " ".join(str(v) for v in p["width_hist"])
+        rows.append(
+            [
+                name,
+                f"{p['count']:,}",
+                f"{100 * p['top1pct_block_share']:.1f}%",
+                f"{100 * p['empty_block_fraction']:.1f}%",
+                hist,
+            ]
+        )
+    return "Figure 12: dataset profiles (10x10-degree occupancy, widths)\n" + format_table(
+        headers, rows
+    )
+
+
+def render_storage_table(rows: Sequence[dict[str, float]]) -> str:
+    """The Theorem 3.1 storage-bound table."""
+    headers = ["grid", "exact buckets", "exact bytes", "euler buckets", "euler bytes", "ratio"]
+    body = [
+        [
+            row["grid"],
+            f"{int(row['exact_buckets']):,}",
+            _human_bytes(row["exact_bytes"]),
+            f"{int(row['euler_buckets']):,}",
+            _human_bytes(row["euler_bytes"]),
+            f"{row['ratio']:.0f}x",
+        ]
+        for row in rows
+    ]
+    return "Theorem 3.1 storage bound vs Euler histogram\n" + format_table(headers, body)
+
+
+def _human_bytes(n: float) -> str:
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024.0 or unit == "TB":
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")

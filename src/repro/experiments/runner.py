@@ -1,0 +1,57 @@
+"""Shared experiment plumbing: run an estimator over a whole tiling and
+score it against the exact tiling counts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.euler.base import Level2Estimator
+from repro.exact.tiling import TilingCounts
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+from repro.metrics.errors import average_relative_error
+
+__all__ = ["EstimatedTiling", "estimate_tiling", "tiling_errors"]
+
+#: Level2Counts field per reported relation.
+FIELDS = ("n_d", "n_cs", "n_cd", "n_o")
+
+
+@dataclass(frozen=True)
+class EstimatedTiling:
+    """An estimator's answers over a complete tiling, field arrays shaped
+    like the matching :class:`TilingCounts`."""
+
+    tile_size: int
+    n_d: np.ndarray
+    n_cs: np.ndarray
+    n_cd: np.ndarray
+    n_o: np.ndarray
+
+
+def estimate_tiling(estimator: Level2Estimator, grid: Grid, tile_size: int) -> EstimatedTiling:
+    """Run ``estimator`` over every tile of the complete ``Q_n`` tiling."""
+    if grid.n1 % tile_size or grid.n2 % tile_size:
+        raise ValueError(f"tile size {tile_size} does not divide the grid")
+    tiles_x, tiles_y = grid.n1 // tile_size, grid.n2 // tile_size
+    arrays = {f: np.zeros((tiles_x, tiles_y)) for f in FIELDS}
+    for tx in range(tiles_x):
+        for ty in range(tiles_y):
+            query = TileQuery(
+                tx * tile_size, (tx + 1) * tile_size, ty * tile_size, (ty + 1) * tile_size
+            )
+            counts = estimator.estimate(query)
+            for f in FIELDS:
+                arrays[f][tx, ty] = getattr(counts, f)
+    return EstimatedTiling(tile_size=tile_size, **arrays)
+
+
+def tiling_errors(truth: TilingCounts, estimated: EstimatedTiling) -> dict[str, float]:
+    """Average relative error per relation over the whole tiling."""
+    if truth.shape != estimated.n_d.shape:
+        raise ValueError("truth and estimate cover different tilings")
+    return {
+        f: average_relative_error(getattr(truth, f), getattr(estimated, f)) for f in FIELDS
+    }

@@ -1,0 +1,58 @@
+"""Geometric primitives for the spatial browsing library.
+
+This subpackage provides the low-level building blocks the rest of the
+library is written in terms of:
+
+- :mod:`repro.geometry.intervals` -- 1-dimensional open/closed interval
+  algebra, the precise form used by the paper's "shrinking" convention.
+- :mod:`repro.geometry.rect` -- axis-aligned rectangles (MBRs).
+- :mod:`repro.geometry.relations` -- the 9-intersection model, the paper's
+  interior-exterior intersection model, and Level 1/2/3 relation
+  classification.
+- :mod:`repro.geometry.snapping` -- lossless snapping of open rectangles to
+  the Euler-histogram lattice of a grid.
+"""
+
+from repro.geometry.intervals import (
+    interval_contained,
+    interval_contains,
+    interval_interiors_intersect,
+    interval_relation,
+)
+from repro.geometry.polygon import Polygon, Polyline, dataset_from_geometries
+from repro.geometry.rect import Rect
+from repro.geometry.relations import (
+    Level1Relation,
+    Level2Relation,
+    Level3Relation,
+    IntersectionMatrix,
+    classify_level1,
+    classify_level2,
+    classify_level3,
+    interior_exterior_matrix,
+    nine_intersection_matrix,
+)
+from repro.geometry.snapping import LatticeSpan, snap_rect, snap_rects
+
+__all__ = [
+    "Rect",
+    "Polygon",
+    "Polyline",
+    "dataset_from_geometries",
+    "LatticeSpan",
+    "Level1Relation",
+    "Level2Relation",
+    "Level3Relation",
+    "IntersectionMatrix",
+    "classify_level1",
+    "classify_level2",
+    "classify_level3",
+    "interior_exterior_matrix",
+    "nine_intersection_matrix",
+    "interval_contained",
+    "interval_contains",
+    "interval_interiors_intersect",
+    "interval_relation",
+    "snap_rect",
+    "snap_rects",
+]

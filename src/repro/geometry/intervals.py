@@ -1,0 +1,111 @@
+"""Open/closed interval algebra underlying the paper's Level-2 relations.
+
+The paper (Section 2 and Figure 4) fixes the following convention, which we
+adopt throughout the library:
+
+- **Objects are open intervals** ``(lo, hi)``.  This is the paper's
+  "shrinking" rule: an object whose boundary aligns with the grid is treated
+  as if it were shrunk infinitesimally, so the *equals* relation never
+  occurs and boundary-contact relations (*meet*, *covers*, ...) collapse
+  into the neighbouring Level-2 relation.
+- **Queries are closed intervals** ``[qlo, qhi]``.  Figure 4 of the paper
+  spells the consequence out: object ``[1, 3)`` *contains* the query range
+  ``[1, 2]`` while object ``(1, 3)`` merely *overlaps* it, because the open
+  object does not cover the query's boundary point ``x = 1``.
+
+These two choices make all predicates below exact half-open comparisons with
+no epsilon juggling, and they match the lattice snapping of
+:mod:`repro.geometry.snapping` exactly (that equivalence is property-tested).
+
+All functions treat a degenerate object interval with ``lo == hi`` as a
+point-like object living at that coordinate; its interior is considered to
+be a vanishingly small neighbourhood rather than the empty set, which is the
+only reading under which point records (plentiful in the ADL dataset) can
+intersect anything at all.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = [
+    "IntervalRelation",
+    "interval_interiors_intersect",
+    "interval_contains",
+    "interval_contained",
+    "interval_relation",
+]
+
+
+class IntervalRelation(Enum):
+    """1-d analogue of the Level-2 relations, for a single axis.
+
+    The relation is stated from the *object's* point of view relative to the
+    query, mirroring the paper's convention for ``N_cs`` / ``N_cd``:
+
+    - ``DISJOINT``: object interior misses the query interior.
+    - ``WITHIN``: object lies inside the closed query (contributes to the
+      query's *contains* count ``N_cs`` if it holds on every axis).
+    - ``COVERS``: object interior strictly covers the closed query
+      (contributes to ``N_cd`` if it holds on every axis).
+    - ``OVERLAP``: interiors intersect but neither of the above holds.
+    """
+
+    DISJOINT = "disjoint"
+    WITHIN = "within"
+    COVERS = "covers"
+    OVERLAP = "overlap"
+
+
+def interval_interiors_intersect(lo: float, hi: float, qlo: float, qhi: float) -> bool:
+    """Return True when the open object ``(lo, hi)`` meets the open query
+    ``(qlo, qhi)`` interior.
+
+    A degenerate object (``lo == hi``) intersects when its point lies inside
+    the closed query; a point sitting exactly on the query boundary is
+    resolved by the snapping convention (it belongs to the cell it is the
+    lower-left corner of), handled at the lattice level -- here we take the
+    closed-query reading, which matches the lattice for points strictly
+    inside the data space.
+    """
+    if lo == hi:
+        return qlo <= lo <= qhi
+    return lo < qhi and hi > qlo
+
+
+def interval_contains(lo: float, hi: float, qlo: float, qhi: float) -> bool:
+    """Object within query axis-wise: open ``(lo, hi)`` inside closed
+    ``[qlo, qhi]``.
+
+    Because the object is open, touching the query boundary is permitted:
+    object ``(1, 3)`` *is* within query ``[1, 3]``.
+    """
+    return qlo <= lo and hi <= qhi
+
+
+def interval_contained(lo: float, hi: float, qlo: float, qhi: float) -> bool:
+    """Object covers query axis-wise: open ``(lo, hi)`` strictly covers the
+    closed ``[qlo, qhi]``.
+
+    The object's interior must include the query's boundary points, hence
+    the strict inequalities: object ``(1, 5)`` does *not* cover query
+    ``[1, 3]`` (the point ``x = 1`` is outside the open object) but
+    ``(0.5, 5)`` does.
+    """
+    return lo < qlo and qhi < hi
+
+
+def interval_relation(lo: float, hi: float, qlo: float, qhi: float) -> IntervalRelation:
+    """Classify one axis of an object/query pair.
+
+    ``WITHIN`` wins over ``COVERS`` only in the impossible case of both
+    holding (requires ``qlo <= lo < qlo``); the order below is therefore
+    arbitrary but fixed for determinism.
+    """
+    if not interval_interiors_intersect(lo, hi, qlo, qhi):
+        return IntervalRelation.DISJOINT
+    if interval_contains(lo, hi, qlo, qhi):
+        return IntervalRelation.WITHIN
+    if interval_contained(lo, hi, qlo, qhi):
+        return IntervalRelation.COVERS
+    return IntervalRelation.OVERLAP

@@ -1,0 +1,150 @@
+"""Polygon and polyline sources for MBR datasets.
+
+The paper's objects are MBRs of richer geometries ("rectangular objects
+are particularly important because different types of objects can be
+represented by their Minimal Bounding Rectangles", Section 2): ADL
+records are map footprints, ``ca_road`` is segment MBRs of TIGER
+polylines.  This module provides that ingestion path: simple polygon and
+polyline types with exact area/length and MBR extraction, plus bulk
+conversion into a :class:`~repro.datasets.base.RectDataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+if TYPE_CHECKING:  # geometry must not import datasets at module scope
+    from repro.datasets.base import RectDataset
+
+__all__ = ["Polygon", "Polyline", "dataset_from_geometries"]
+
+
+def _as_points(points: Sequence[tuple[float, float]]) -> np.ndarray:
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError("points must be a sequence of (x, y) pairs")
+    if not np.isfinite(pts).all():
+        raise ValueError("points must be finite")
+    return pts
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A simple polygon given by its vertex ring (not repeated at the
+    end).  Only MBR extraction and signed area are needed by the library;
+    no general polygon algebra is attempted."""
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        pts = _as_points(self.points)
+        if pts.shape[0] < 3:
+            raise ValueError("a polygon needs at least 3 vertices")
+        object.__setattr__(self, "points", tuple(map(tuple, pts.tolist())))
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.points)
+
+    def mbr(self) -> Rect:
+        """Minimal bounding rectangle of the ring."""
+        pts = np.asarray(self.points)
+        return Rect(
+            float(pts[:, 0].min()),
+            float(pts[:, 0].max()),
+            float(pts[:, 1].min()),
+            float(pts[:, 1].max()),
+        )
+
+    def signed_area(self) -> float:
+        """Shoelace formula; positive for counter-clockwise rings."""
+        pts = np.asarray(self.points)
+        x, y = pts[:, 0], pts[:, 1]
+        return 0.5 * float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+
+    @property
+    def area(self) -> float:
+        return abs(self.signed_area())
+
+    def mbr_coverage(self) -> float:
+        """``area(polygon) / area(MBR)`` in (0, 1]: how tight the MBR
+        approximation is (a diagnostic for MBR-based summaries)."""
+        mbr_area = self.mbr().area
+        if mbr_area == 0.0:
+            return 1.0
+        return self.area / mbr_area
+
+
+@dataclass(frozen=True)
+class Polyline:
+    """An open polyline (e.g. a road); segment-wise MBR extraction is the
+    ``ca_road`` ingestion model (one MBR per segment, Section 6.1.1)."""
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        pts = _as_points(self.points)
+        if pts.shape[0] < 2:
+            raise ValueError("a polyline needs at least 2 vertices")
+        object.__setattr__(self, "points", tuple(map(tuple, pts.tolist())))
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.points) - 1
+
+    @property
+    def length(self) -> float:
+        pts = np.asarray(self.points)
+        return float(np.hypot(*(np.diff(pts, axis=0).T)).sum())
+
+    def mbr(self) -> Rect:
+        """Minimal bounding rectangle of the whole line."""
+        pts = np.asarray(self.points)
+        return Rect(
+            float(pts[:, 0].min()),
+            float(pts[:, 0].max()),
+            float(pts[:, 1].min()),
+            float(pts[:, 1].max()),
+        )
+
+    def segment_mbrs(self) -> list[Rect]:
+        """One MBR per segment -- the TIGER-style decomposition."""
+        pts = np.asarray(self.points)
+        return [
+            Rect(
+                float(min(pts[i, 0], pts[i + 1, 0])),
+                float(max(pts[i, 0], pts[i + 1, 0])),
+                float(min(pts[i, 1], pts[i + 1, 1])),
+                float(max(pts[i, 1], pts[i + 1, 1])),
+            )
+            for i in range(len(self.points) - 1)
+        ]
+
+
+def dataset_from_geometries(
+    geometries: Iterable[Polygon | Polyline],
+    extent: Rect,
+    *,
+    split_polylines: bool = True,
+    name: str = "geometries",
+) -> "RectDataset":
+    """Convert geometries into an MBR dataset.
+
+    Polygons contribute their MBR; polylines contribute one MBR per
+    segment when ``split_polylines`` (the ``ca_road`` model) or their
+    whole-line MBR otherwise.
+    """
+    from repro.datasets.base import RectDataset  # deferred: avoids a cycle
+
+    rects: list[Rect] = []
+    for geometry in geometries:
+        if isinstance(geometry, Polyline) and split_polylines:
+            rects.extend(geometry.segment_mbrs())
+        else:
+            rects.append(geometry.mbr())
+    return RectDataset.from_rects(rects, extent, name=name)

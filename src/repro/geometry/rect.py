@@ -1,0 +1,119 @@
+"""Axis-aligned rectangles (MBRs).
+
+The paper approximates every spatial object by its minimal bounding
+rectangle (MBR), so a single rectangle type carries the whole library.
+``Rect`` is an immutable value object; bulk data lives in
+:class:`repro.datasets.base.RectDataset` as NumPy columns instead, and
+``Rect`` is the scalar view used by the scalar APIs, tests and examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Rect"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle ``[x_lo, x_hi] x [y_lo, y_hi]``.
+
+    Whether the rectangle is read as open or closed is decided by the
+    consumer (objects are open, queries closed -- see
+    :mod:`repro.geometry.intervals`); the coordinates themselves are just
+    the MBR corner values.
+
+    Degenerate rectangles (zero width and/or height) are allowed and
+    represent point or axis-parallel segment objects.
+    """
+
+    x_lo: float
+    x_hi: float
+    y_lo: float
+    y_hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.x_lo) or math.isnan(self.x_hi) or math.isnan(self.y_lo) or math.isnan(self.y_hi):
+            raise ValueError("Rect coordinates must not be NaN")
+        if self.x_lo > self.x_hi:
+            raise ValueError(f"x_lo ({self.x_lo}) must not exceed x_hi ({self.x_hi})")
+        if self.y_lo > self.y_hi:
+            raise ValueError(f"y_lo ({self.y_lo}) must not exceed y_hi ({self.y_hi})")
+
+    @classmethod
+    def from_center(cls, cx: float, cy: float, width: float, height: float) -> "Rect":
+        """Build a rectangle from its center point and side lengths."""
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        return cls(cx - width / 2.0, cx + width / 2.0, cy - height / 2.0, cy + height / 2.0)
+
+    @classmethod
+    def point(cls, x: float, y: float) -> "Rect":
+        """Degenerate rectangle for a point object."""
+        return cls(x, x, y, y)
+
+    @property
+    def width(self) -> float:
+        return self.x_hi - self.x_lo
+
+    @property
+    def height(self) -> float:
+        return self.y_hi - self.y_lo
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.x_lo + self.x_hi) / 2.0, (self.y_lo + self.y_hi) / 2.0)
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True for point or axis-parallel-segment MBRs (zero area)."""
+        return self.width == 0.0 or self.height == 0.0
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """This rectangle shifted by (dx, dy)."""
+        return Rect(self.x_lo + dx, self.x_hi + dx, self.y_lo + dy, self.y_hi + dy)
+
+    def clipped(self, other: "Rect") -> "Rect":
+        """Clip this rectangle to ``other``.
+
+        Raises ``ValueError`` when the closed rectangles do not intersect at
+        all (there is nothing meaningful to return).
+        """
+        x_lo = max(self.x_lo, other.x_lo)
+        x_hi = min(self.x_hi, other.x_hi)
+        y_lo = max(self.y_lo, other.y_lo)
+        y_hi = min(self.y_hi, other.y_hi)
+        if x_lo > x_hi or y_lo > y_hi:
+            raise ValueError(f"{self} does not intersect {other}; cannot clip")
+        return Rect(x_lo, x_hi, y_lo, y_hi)
+
+    def intersects_closed(self, other: "Rect") -> bool:
+        """Closed-rectangle intersection test (boundaries touch counts)."""
+        return (
+            self.x_lo <= other.x_hi
+            and self.x_hi >= other.x_lo
+            and self.y_lo <= other.y_hi
+            and self.y_hi >= other.y_lo
+        )
+
+    def covers_closed(self, other: "Rect") -> bool:
+        """True when this closed rectangle covers ``other`` entirely."""
+        return (
+            self.x_lo <= other.x_lo
+            and other.x_hi <= self.x_hi
+            and self.y_lo <= other.y_lo
+            and other.y_hi <= self.y_hi
+        )
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """The (x_lo, x_hi, y_lo, y_hi) tuple."""
+        return (self.x_lo, self.x_hi, self.y_lo, self.y_hi)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.as_tuple())

@@ -1,0 +1,23 @@
+"""Grid model: data-space gridding, tiles and lattice index algebra."""
+
+from repro.grid.grid import Grid
+from repro.grid.grid_nd import BoxQuery, GridND
+from repro.grid.lattice import (
+    lattice_shape,
+    lattice_sign_matrix,
+    query_boundary_slice,
+    query_interior_slice,
+)
+from repro.grid.tiles_math import TileQuery, aligned_query_cells
+
+__all__ = [
+    "Grid",
+    "GridND",
+    "BoxQuery",
+    "TileQuery",
+    "aligned_query_cells",
+    "lattice_shape",
+    "lattice_sign_matrix",
+    "query_interior_slice",
+    "query_boundary_slice",
+]

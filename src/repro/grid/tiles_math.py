@@ -1,0 +1,83 @@
+"""Aligned-query math: converting world queries into integer cell spans.
+
+Every browsing query is a grid-aligned rectangle; downstream code (Euler
+histograms, exact evaluators) works exclusively on the integer cell span
+``[qx_lo, qx_hi) x [qy_lo, qy_hi)``.  :class:`TileQuery` is that integer
+form, and :func:`aligned_query_cells` is the validated world -> cells
+conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+
+__all__ = ["TileQuery", "aligned_query_cells"]
+
+
+@dataclass(frozen=True, slots=True)
+class TileQuery:
+    """A grid-aligned query: cells ``[qx_lo, qx_hi) x [qy_lo, qy_hi)``.
+
+    In cell units the closed query rectangle is
+    ``[qx_lo, qx_hi] x [qy_lo, qy_hi]``; the half-open fields here index the
+    *cells* the query covers, so ``qx_hi - qx_lo`` is the query width in
+    cells and is always >= 1.
+    """
+
+    qx_lo: int
+    qx_hi: int
+    qy_lo: int
+    qy_hi: int
+
+    def __post_init__(self) -> None:
+        if self.qx_lo < 0 or self.qy_lo < 0:
+            raise ValueError(f"query cells must be non-negative: {self}")
+        if self.qx_hi <= self.qx_lo or self.qy_hi <= self.qy_lo:
+            raise ValueError(f"query must cover at least one cell: {self}")
+
+    @property
+    def width(self) -> int:
+        return self.qx_hi - self.qx_lo
+
+    @property
+    def height(self) -> int:
+        return self.qy_hi - self.qy_lo
+
+    @property
+    def area(self) -> int:
+        """Query area in unit cells (``area(Q)`` in Section 5.4)."""
+        return self.width * self.height
+
+    def validate_against(self, grid: Grid) -> None:
+        """Raise when the query pokes outside ``grid``."""
+        if self.qx_hi > grid.n1 or self.qy_hi > grid.n2:
+            raise ValueError(f"query {self} exceeds grid {grid.n1}x{grid.n2}")
+
+    def to_world(self, grid: Grid) -> Rect:
+        """The query's world-coordinate rectangle on ``grid``."""
+        self.validate_against(grid)
+        return Rect(
+            grid.to_world_x(self.qx_lo),
+            grid.to_world_x(self.qx_hi),
+            grid.to_world_y(self.qy_lo),
+            grid.to_world_y(self.qy_hi),
+        )
+
+
+def aligned_query_cells(grid: Grid, rect: Rect, *, tol: float = 1e-9) -> TileQuery:
+    """Convert a world-coordinate query rectangle to its cell span.
+
+    Raises ``ValueError`` when the rectangle is not aligned with the grid or
+    lies outside the data space: the histogram algorithms' guarantees only
+    hold for aligned queries, so misalignment is a caller bug rather than
+    something to silently round.
+    """
+    if not grid.contains_rect(rect):
+        raise ValueError(f"query {rect} lies outside the data space {grid.extent}")
+    if not grid.is_aligned(rect, tol=tol):
+        raise ValueError(f"query {rect} is not aligned with the {grid.n1}x{grid.n2} grid")
+    x_lo, x_hi, y_lo, y_hi = grid.rect_to_cell_units(rect)
+    return TileQuery(round(x_lo), round(x_hi), round(y_lo), round(y_hi))

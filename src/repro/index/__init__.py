@@ -1,0 +1,14 @@
+"""Spatial index substrate.
+
+The GeoBrowsing prototype the paper replaces was "an index structure on
+top of the actual data" (Section 1).  This package provides that
+substrate: a grid-bucket index that answers Level-2 relation queries
+*exactly* by candidate retrieval + refinement.  It serves two roles:
+the accurate-but-slower comparator the histograms are traded against, and
+the access path the query planner (:mod:`repro.selectivity.planner`)
+chooses when estimated result sets are small.
+"""
+
+from repro.index.grid_index import GridBucketIndex, IndexStats
+
+__all__ = ["GridBucketIndex", "IndexStats"]

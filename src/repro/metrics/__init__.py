@@ -1,0 +1,16 @@
+"""Metrics: the paper's accuracy measure and timing helpers."""
+
+from repro.metrics.errors import (
+    average_relative_error,
+    per_query_errors,
+    scatter_points,
+)
+from repro.metrics.timing import Timer, time_query_batch
+
+__all__ = [
+    "average_relative_error",
+    "per_query_errors",
+    "scatter_points",
+    "Timer",
+    "time_query_batch",
+]

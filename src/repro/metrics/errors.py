@@ -1,0 +1,96 @@
+"""Accuracy metrics (Section 6.1.3).
+
+The paper's quantitative metric is the **Average Relative Error** of
+Acharya, Poosala & Ramaswamy: for a query set ``Q`` with exact answers
+``r_i`` and estimates ``e_i``,
+
+.. math::
+
+    ARE(Q) = \\frac{\\sum_{q_i \\in Q} |r_i - e_i|}{\\sum_{q_i \\in Q} r_i}
+
+Note the normalisation by the *summed* truth, not per-query truth: the
+metric is well defined even when individual queries have ``r_i = 0`` and it
+weighs errors by workload mass, which is what makes the paper's Figure 14
+"goes off the chart" readings meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "average_relative_error",
+    "per_query_errors",
+    "error_quantiles",
+    "scatter_points",
+]
+
+
+def average_relative_error(exact: np.ndarray, estimated: np.ndarray) -> float:
+    """ARE of one query set: ``sum |r - e| / sum r``.
+
+    When the query set's total truth is zero the ARE is defined as 0 if the
+    estimates are also all exact (zero absolute error) and ``inf``
+    otherwise -- the natural continuous extension, and what keeps the
+    ``sz_skew`` ``N_o`` curve plottable (truth can be tiny).
+    """
+    exact = np.asarray(exact, dtype=np.float64)
+    estimated = np.asarray(estimated, dtype=np.float64)
+    if exact.shape != estimated.shape:
+        raise ValueError("exact and estimated must have the same shape")
+    abs_err = float(np.abs(exact - estimated).sum())
+    truth = float(exact.sum())
+    if truth == 0.0:
+        return 0.0 if abs_err == 0.0 else float("inf")
+    return abs_err / truth
+
+
+def per_query_errors(exact: np.ndarray, estimated: np.ndarray) -> np.ndarray:
+    """Per-query absolute errors ``|r_i - e_i|`` (the drill-down behind an
+    ARE figure)."""
+    exact = np.asarray(exact, dtype=np.float64)
+    estimated = np.asarray(estimated, dtype=np.float64)
+    if exact.shape != estimated.shape:
+        raise ValueError("exact and estimated must have the same shape")
+    return np.abs(exact - estimated)
+
+
+def error_quantiles(
+    exact: np.ndarray,
+    estimated: np.ndarray,
+    quantiles: tuple[float, ...] = (0.5, 0.9, 0.99, 1.0),
+) -> dict[float, float]:
+    """Quantiles of the per-query absolute error.
+
+    The ARE is a workload-mass-weighted mean; browsing users experience
+    the per-tile error *distribution* (a 99th-percentile tile being far
+    off shows as a visibly wrong raster cell even when the ARE is tiny).
+    Returns ``{quantile: |r - e| value}``.
+    """
+    if not quantiles:
+        raise ValueError("at least one quantile is required")
+    if any(not 0.0 <= q <= 1.0 for q in quantiles):
+        raise ValueError(f"quantiles must lie in [0, 1], got {quantiles}")
+    errors = per_query_errors(exact, estimated).ravel()
+    if errors.size == 0:
+        return {q: 0.0 for q in quantiles}
+    return {q: float(np.quantile(errors, q)) for q in quantiles}
+
+
+def scatter_points(
+    exact: np.ndarray, estimated: np.ndarray, *, drop_zero_truth: bool = False
+) -> list[tuple[float, float]]:
+    """(exact, estimated) pairs for a Figure 13/15-style scatter.
+
+    With ``drop_zero_truth`` the (0, 0) mass -- tiles that are empty and
+    correctly estimated so -- is removed, matching how the paper's scatter
+    plots read.
+    """
+    exact = np.asarray(exact, dtype=np.float64).ravel()
+    estimated = np.asarray(estimated, dtype=np.float64).ravel()
+    if exact.shape != estimated.shape:
+        raise ValueError("exact and estimated must have the same shape")
+    points = zip(exact.tolist(), estimated.tolist())
+    if drop_zero_truth:
+        return [(r, e) for r, e in points if r != 0.0 or e != 0.0]
+    return list(points)

@@ -1,0 +1,52 @@
+"""Wall-clock timing helpers for the Figure 19 measurements."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.grid.tiles_math import TileQuery
+
+__all__ = ["Timer", "time_query_batch"]
+
+
+@dataclass
+class Timer:
+    """A context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    """
+
+    elapsed: float = field(default=0.0)
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_query_batch(
+    estimate: Callable[[TileQuery], object],
+    queries: Sequence[TileQuery],
+    *,
+    repeats: int = 1,
+) -> float:
+    """Best-of-``repeats`` wall-clock seconds to run ``estimate`` over the
+    whole query set -- the paper's Figure 19 measurement (time per query
+    *set*, not per query)."""
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    best = float("inf")
+    for _ in range(repeats):
+        with Timer() as t:
+            for q in queries:
+                estimate(q)
+        best = min(best, t.elapsed)
+    return best

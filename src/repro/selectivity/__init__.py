@@ -1,0 +1,26 @@
+"""Selectivity estimation and plan selection on top of the histograms.
+
+The paper's closing sentence: "we believe that our approach can be very
+useful in query optimization for spatial database systems.  Our future
+work will explore this direction."  This package is that direction,
+built: Level-2 selectivity estimates from any estimator, and a cost-based
+planner that uses them to pick between a full scan and the grid-bucket
+index for spatial relation queries.
+"""
+
+from repro.selectivity.estimator import SelectivityEstimate, SelectivityEstimator
+from repro.selectivity.planner import (
+    CostModel,
+    PlanReport,
+    SpatialQueryPlanner,
+    Strategy,
+)
+
+__all__ = [
+    "SelectivityEstimator",
+    "SelectivityEstimate",
+    "SpatialQueryPlanner",
+    "CostModel",
+    "PlanReport",
+    "Strategy",
+]

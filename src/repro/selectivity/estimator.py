@@ -1,0 +1,89 @@
+"""Level-2 selectivity estimation.
+
+Classic selectivity estimators answer "what fraction of objects
+*intersect* this window?"  With the Euler histograms the same question is
+answerable per Level-2 relation: the fraction contained in the window,
+the fraction containing it, the fraction strictly overlapping.  A spatial
+optimizer uses these to cost relation-predicate query plans
+(:mod:`repro.selectivity.planner`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.euler.base import Level2Estimator
+from repro.euler.estimates import Level2Counts
+from repro.grid.tiles_math import TileQuery
+
+__all__ = ["SelectivityEstimate", "SelectivityEstimator", "RELATION_ACCESSORS"]
+
+#: Relation name -> Level2Counts accessor.
+RELATION_ACCESSORS = {
+    "intersect": lambda c: c.n_intersect,
+    "disjoint": lambda c: c.n_d,
+    "contains": lambda c: c.n_cs,
+    "contained": lambda c: c.n_cd,
+    "overlap": lambda c: c.n_o,
+}
+
+
+@dataclass(frozen=True)
+class SelectivityEstimate:
+    """One selectivity answer.
+
+    ``cardinality`` is the estimated result-set size (clamped to
+    ``[0, |S|]`` -- approximation algorithms can produce out-of-range raw
+    values); ``selectivity`` the fraction of the dataset; ``raw`` the
+    unclamped estimate, kept for diagnostics.
+    """
+
+    relation: str
+    cardinality: float
+    selectivity: float
+    raw: float
+
+
+class SelectivityEstimator:
+    """Turns any Level-2 estimator into a selectivity oracle."""
+
+    def __init__(self, estimator: Level2Estimator, num_objects: int) -> None:
+        if num_objects < 0:
+            raise ValueError("num_objects must be non-negative")
+        self._estimator = estimator
+        self._num_objects = num_objects
+
+    @property
+    def num_objects(self) -> int:
+        return self._num_objects
+
+    @property
+    def name(self) -> str:
+        return f"Selectivity[{self._estimator.name}]"
+
+    def counts(self, query: TileQuery) -> Level2Counts:
+        """Raw Level-2 estimates from the wrapped estimator."""
+        return self._estimator.estimate(query)
+
+    def estimate(self, query: TileQuery, relation: str) -> SelectivityEstimate:
+        """Estimated cardinality and selectivity of one relation predicate.
+
+        ``relation`` is one of ``intersect``, ``disjoint``, ``contains``,
+        ``contained``, ``overlap``.
+        """
+        try:
+            accessor = RELATION_ACCESSORS[relation]
+        except KeyError:
+            raise ValueError(
+                f"unknown relation {relation!r}; expected one of {sorted(RELATION_ACCESSORS)}"
+            ) from None
+        raw = float(accessor(self.counts(query)))
+        cardinality = min(max(raw, 0.0), float(self._num_objects))
+        selectivity = cardinality / self._num_objects if self._num_objects else 0.0
+        return SelectivityEstimate(
+            relation=relation, cardinality=cardinality, selectivity=selectivity, raw=raw
+        )
+
+    def selectivity(self, query: TileQuery, relation: str) -> float:
+        """Shorthand for ``estimate(...).selectivity``."""
+        return self.estimate(query, relation).selectivity

@@ -1,0 +1,20 @@
+"""Workloads: the paper's tile query sets, GeoBrowsing-style queries and
+session traces."""
+
+from repro.workloads.sessions import BrowseInteraction, BrowseSession, generate_sessions
+from repro.workloads.tiles import (
+    PAPER_QUERY_SET_SIZES,
+    browsing_tiles,
+    paper_query_sets,
+    query_set,
+)
+
+__all__ = [
+    "PAPER_QUERY_SET_SIZES",
+    "query_set",
+    "paper_query_sets",
+    "browsing_tiles",
+    "BrowseInteraction",
+    "BrowseSession",
+    "generate_sessions",
+]

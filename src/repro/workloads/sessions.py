@@ -1,0 +1,130 @@
+"""Browsing-session workloads.
+
+The paper's tile sets (``Q_n``) stress single interactions; a deployed
+GeoBrowsing service sees *sessions*: a user opens the world view, picks a
+dense tile, zooms, re-tiles, switches relation, zooms again (the Figure 1
+interaction loop).  This module generates reproducible session traces for
+the service-level benchmark and capacity planning.
+
+A session is a sequence of :class:`BrowseInteraction` steps: each step
+re-tiles its region with a random divisor partition, requests a relation
+drawn from a UI-like mix, and the next step zooms into one tile of the
+previous raster, chosen uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+__all__ = ["BrowseInteraction", "BrowseSession", "generate_sessions"]
+
+#: Relations a session step may request, with rough UI frequencies.
+_RELATION_MIX = (("overlap", 0.45), ("intersect", 0.25), ("contains", 0.2), ("contained", 0.1))
+
+
+@dataclass(frozen=True)
+class BrowseInteraction:
+    """One click: a region, its tiling, and the requested relation."""
+
+    region: TileQuery
+    rows: int
+    cols: int
+    relation: str
+
+    @property
+    def num_tiles(self) -> int:
+        return self.rows * self.cols
+
+    def tile_queries(self) -> list[TileQuery]:
+        """The individual tile queries this interaction expands into."""
+        from repro.workloads.tiles import browsing_tiles
+
+        return [t for row in browsing_tiles(self.region, self.rows, self.cols) for t in row]
+
+
+@dataclass(frozen=True)
+class BrowseSession:
+    """A user session: an ordered list of interactions."""
+
+    interactions: tuple[BrowseInteraction, ...]
+
+    def __iter__(self) -> Iterator[BrowseInteraction]:
+        return iter(self.interactions)
+
+    def __len__(self) -> int:
+        return len(self.interactions)
+
+    @property
+    def total_tiles(self) -> int:
+        """Total tile queries the session issues -- its cost driver."""
+        return sum(step.num_tiles for step in self.interactions)
+
+
+def _pick_partition(rng: np.random.Generator, width: int, height: int) -> tuple[int, int]:
+    """A (rows, cols) partition dividing the region's cell span."""
+
+    def divisors(n: int) -> list[int]:
+        return [d for d in range(2, min(n, 32) + 1) if n % d == 0]
+
+    col_options = divisors(width) or [1]
+    row_options = divisors(height) or [1]
+    return int(rng.choice(row_options)), int(rng.choice(col_options))
+
+
+def _zoom_into(
+    rng: np.random.Generator, region: TileQuery, rows: int, cols: int
+) -> TileQuery:
+    """Pick one tile of the previous raster as the next region, expanding
+    it if it would be too small to re-tile."""
+    r = int(rng.integers(0, rows))
+    c = int(rng.integers(0, cols))
+    tile_w = region.width // cols
+    tile_h = region.height // rows
+    qx_lo = region.qx_lo + c * tile_w
+    qy_lo = region.qy_lo + r * tile_h
+    return TileQuery(qx_lo, qx_lo + tile_w, qy_lo, qy_lo + tile_h)
+
+
+def generate_sessions(
+    grid: Grid,
+    *,
+    num_sessions: int = 10,
+    max_depth: int = 4,
+    seed: int = 0,
+) -> list[BrowseSession]:
+    """Generate reproducible zoom sessions over ``grid``.
+
+    Each session starts from the full data space and zooms up to
+    ``max_depth`` times; each step re-tiles its region with a divisor
+    partition and requests a relation drawn from a UI-like mix.
+    """
+    if num_sessions < 1 or max_depth < 1:
+        raise ValueError("num_sessions and max_depth must be positive")
+    rng = np.random.default_rng(seed)
+    relations = [r for r, _ in _RELATION_MIX]
+    weights = np.array([w for _, w in _RELATION_MIX])
+    weights = weights / weights.sum()
+
+    sessions = []
+    for _ in range(num_sessions):
+        region = TileQuery(0, grid.n1, 0, grid.n2)
+        steps: list[BrowseInteraction] = []
+        for _ in range(int(rng.integers(2, max_depth + 1))):
+            rows, cols = _pick_partition(rng, region.width, region.height)
+            relation = str(rng.choice(relations, p=weights))
+            steps.append(
+                BrowseInteraction(region=region, rows=rows, cols=cols, relation=relation)
+            )
+            if rows == 1 and cols == 1:
+                break  # cannot zoom further
+            region = _zoom_into(rng, region, rows, cols)
+            if region.width < 2 and region.height < 2:
+                break
+        sessions.append(BrowseSession(interactions=tuple(steps)))
+    return sessions

@@ -1,0 +1,85 @@
+"""The paper's browsing query sets (Section 6.1.2).
+
+Each query set ``Q_n`` is one browsing query over the complete 360x180
+space, gridded into ``n x n`` tiles: ``Q_n`` holds
+``(360/n) * (180/n)`` individual range queries.  The paper uses
+``n in {20, 18, 15, 12, 10, 9, 6, 5, 4, 3, 2}`` -- every value divides
+both 360 and 180, so the tilings are complete.
+
+:func:`browsing_tiles` is the GeoBrowsing-shaped generalisation: tile an
+arbitrary aligned region into a rows x columns array (Figure 1(b)'s
+"California as 22 x 24 tiles" interaction).
+"""
+
+from __future__ import annotations
+
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+__all__ = [
+    "PAPER_QUERY_SET_SIZES",
+    "query_set",
+    "paper_query_sets",
+    "browsing_tiles",
+]
+
+#: Tile sizes of the paper's eleven query sets, largest first.
+PAPER_QUERY_SET_SIZES: tuple[int, ...] = (20, 18, 15, 12, 10, 9, 6, 5, 4, 3, 2)
+
+
+def query_set(grid: Grid, tile_size: int) -> list[TileQuery]:
+    """The query set ``Q_n``: all ``tile_size x tile_size`` tiles of the
+    complete grid, in row-major order.
+
+    ``tile_size`` must divide both grid dimensions.
+    """
+    if tile_size < 1:
+        raise ValueError("tile_size must be positive")
+    if grid.n1 % tile_size or grid.n2 % tile_size:
+        raise ValueError(
+            f"tile size {tile_size} does not divide the {grid.n1}x{grid.n2} grid"
+        )
+    return [
+        TileQuery(tx * tile_size, (tx + 1) * tile_size, ty * tile_size, (ty + 1) * tile_size)
+        for tx in range(grid.n1 // tile_size)
+        for ty in range(grid.n2 // tile_size)
+    ]
+
+
+def paper_query_sets(
+    grid: Grid, sizes: tuple[int, ...] = PAPER_QUERY_SET_SIZES
+) -> dict[int, list[TileQuery]]:
+    """All of the paper's query sets, keyed by tile size ``n``."""
+    return {n: query_set(grid, n) for n in sizes}
+
+
+def browsing_tiles(region: TileQuery, rows: int, cols: int) -> list[list[TileQuery]]:
+    """Tile an aligned region into a ``rows x cols`` array of queries.
+
+    Returns a row-major nested list (``result[r][c]``, row 0 at the bottom
+    of the region) so a browsing client can map it straight onto its
+    raster.  The region's cell span must be divisible by the requested
+    partitioning -- GeoBrowsing's UI constrains tile counts the same way
+    for grid-resolution answers.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be positive")
+    if region.width % cols or region.height % rows:
+        raise ValueError(
+            f"region {region.width}x{region.height} cells cannot be split "
+            f"into {cols}x{rows} equal aligned tiles"
+        )
+    tile_w = region.width // cols
+    tile_h = region.height // rows
+    return [
+        [
+            TileQuery(
+                region.qx_lo + c * tile_w,
+                region.qx_lo + (c + 1) * tile_w,
+                region.qy_lo + r * tile_h,
+                region.qy_lo + (r + 1) * tile_h,
+            )
+            for c in range(cols)
+        ]
+        for r in range(rows)
+    ]

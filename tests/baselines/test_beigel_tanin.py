@@ -1,0 +1,42 @@
+"""Tests for the Beigel-Tanin Level-1 wrapper."""
+
+import pytest
+
+from repro.baselines.beigel_tanin import BeigelTaninIntersect
+from repro.euler.histogram import EulerHistogram
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+
+from tests.conftest import random_dataset, random_query
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 10.0, 0.0, 8.0), 10, 8)
+
+
+def test_exact_on_random_data(grid, rng):
+    data = random_dataset(rng, grid, 250, degenerate_fraction=0.2)
+    bt = BeigelTaninIntersect(data, grid)
+    exact = ExactEvaluator(data, grid)
+    for _ in range(50):
+        q = random_query(rng, grid)
+        assert bt.intersect_count(q) == exact.estimate(q).n_intersect
+
+
+def test_from_histogram_shares_structure(grid, rng):
+    data = random_dataset(rng, grid, 100)
+    hist = EulerHistogram.from_dataset(data, grid)
+    bt = BeigelTaninIntersect.from_histogram(hist)
+    assert bt.histogram is hist
+    q = random_query(rng, grid)
+    assert bt.intersect_count(q) == hist.intersect_count(q)
+
+
+def test_metadata(grid, rng):
+    data = random_dataset(rng, grid, 42)
+    bt = BeigelTaninIntersect(data, grid)
+    assert bt.name == "Beigel-Tanin"
+    assert bt.num_objects == 42
+    assert bt.num_buckets == 19 * 15

@@ -1,0 +1,80 @@
+"""Tests for the naive cell-count baseline, including the Figure 6
+indistinguishability demonstration."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cell_count import CellCountHistogram
+from repro.datasets.base import RectDataset
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+from tests.conftest import random_dataset, random_query
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 8.0, 0.0, 6.0), 8, 6)
+
+
+def test_figure_6_indistinguishable_histograms(grid):
+    """One 2x2-cell object vs four per-cell objects: identical cell-count
+    histograms (the failure that motivates the Euler histogram)."""
+    big = RectDataset.from_rects([Rect(1.0, 3.0, 1.0, 3.0)], grid.extent)
+    small = RectDataset.from_rects(
+        [
+            Rect(1.2, 1.8, 1.2, 1.8),
+            Rect(2.2, 2.8, 1.2, 1.8),
+            Rect(1.2, 1.8, 2.2, 2.8),
+            Rect(2.2, 2.8, 2.2, 2.8),
+        ],
+        grid.extent,
+    )
+    h_big = CellCountHistogram(big, grid)
+    h_small = CellCountHistogram(small, grid)
+    np.testing.assert_array_equal(h_big.cells(), h_small.cells())
+
+    # ...and consequently the multi-cell query count is wrong for one of
+    # them: the big object is counted 4 times.
+    q = TileQuery(1, 3, 1, 3)
+    assert h_big.intersect_count(q) == 4
+    assert ExactEvaluator(big, grid).estimate(q).n_intersect == 1
+    assert h_small.intersect_count(q) == 4  # correct for the small case
+
+
+def test_exact_for_single_cell_queries(grid, rng):
+    data = random_dataset(rng, grid, 150)
+    hist = CellCountHistogram(data, grid)
+    exact = ExactEvaluator(data, grid)
+    for i in range(grid.n1):
+        for j in range(grid.n2):
+            q = TileQuery(i, i + 1, j, j + 1)
+            assert hist.intersect_count(q) == exact.estimate(q).n_intersect
+
+
+def test_upper_bound_property(grid, rng):
+    """Multi-counting only ever inflates: the estimate dominates truth."""
+    data = random_dataset(rng, grid, 150)
+    hist = CellCountHistogram(data, grid)
+    exact = ExactEvaluator(data, grid)
+    for _ in range(40):
+        q = random_query(rng, grid)
+        assert hist.intersect_count(q) >= exact.estimate(q).n_intersect
+
+
+def test_empty_dataset(grid):
+    hist = CellCountHistogram(RectDataset.empty(grid.extent), grid)
+    assert hist.intersect_count(TileQuery(0, 8, 0, 6)) == 0
+    assert hist.num_objects == 0
+
+
+def test_metadata(grid, rng):
+    data = random_dataset(rng, grid, 10)
+    hist = CellCountHistogram(data, grid)
+    assert hist.name == "CellCount"
+    assert hist.num_buckets == 48
+    assert hist.grid is grid
+    with pytest.raises(ValueError):
+        hist.cells()[0, 0] = 1

@@ -1,0 +1,70 @@
+"""Tests for the Cumulative Density (CD) Level-1 baseline."""
+
+import pytest
+
+from repro.baselines.cumulative_density import CumulativeDensity
+from repro.datasets.base import RectDataset
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+from tests.conftest import random_dataset, random_query
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 10.0, 0.0, 8.0), 10, 8)
+
+
+def test_exact_on_random_data(grid, rng):
+    data = random_dataset(rng, grid, 300, degenerate_fraction=0.2, aligned_fraction=0.3)
+    cd = CumulativeDensity(data, grid)
+    exact = ExactEvaluator(data, grid)
+    for _ in range(60):
+        q = random_query(rng, grid)
+        truth = exact.estimate(q)
+        assert cd.intersect_count(q) == truth.n_intersect
+        assert cd.disjoint_count(q) == truth.n_d
+
+
+def test_corner_cases(grid):
+    rects = [
+        Rect(0.0, 10.0, 0.0, 8.0),   # fills everything
+        Rect(0.2, 0.8, 0.2, 0.8),    # bottom-left corner cell
+        Rect(9.2, 9.8, 7.2, 7.8),    # top-right corner cell
+        Rect(0.5, 9.5, 3.5, 4.5),    # horizontal band
+    ]
+    data = RectDataset.from_rects(rects, Rect(0.0, 10.0, 0.0, 8.0))
+    cd = CumulativeDensity(data, grid)
+    assert cd.intersect_count(TileQuery(0, 10, 0, 8)) == 4
+    assert cd.intersect_count(TileQuery(4, 6, 0, 2)) == 1   # filler only
+    assert cd.intersect_count(TileQuery(0, 1, 0, 1)) == 2
+    assert cd.intersect_count(TileQuery(4, 6, 3, 5)) == 2   # filler + band
+
+
+def test_empty_dataset(grid):
+    cd = CumulativeDensity(RectDataset.empty(Rect(0.0, 10.0, 0.0, 8.0)), grid)
+    assert cd.intersect_count(TileQuery(0, 10, 0, 8)) == 0
+    assert cd.disjoint_count(TileQuery(0, 1, 0, 1)) == 0
+
+
+def test_metadata(grid, rng):
+    data = random_dataset(rng, grid, 5)
+    cd = CumulativeDensity(data, grid)
+    assert cd.name == "CumulativeDensity"
+    assert cd.num_objects == 5
+    assert cd.num_buckets == 4 * 80
+    assert cd.grid is grid
+
+
+def test_agrees_with_euler_intersect(grid, rng):
+    """Two structurally different exact Level-1 algorithms must agree."""
+    from repro.euler.histogram import EulerHistogram
+
+    data = random_dataset(rng, grid, 200)
+    cd = CumulativeDensity(data, grid)
+    euler = EulerHistogram.from_dataset(data, grid)
+    for _ in range(40):
+        q = random_query(rng, grid)
+        assert cd.intersect_count(q) == euler.intersect_count(q)

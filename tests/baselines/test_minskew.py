@@ -1,0 +1,122 @@
+"""Tests for the Minskew baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.minskew import MinskewHistogram
+from repro.datasets.base import RectDataset
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+from repro.metrics.errors import average_relative_error
+from repro.workloads.tiles import query_set
+
+from tests.conftest import random_dataset
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 24.0, 0.0, 12.0), 24, 12)
+
+
+def _clustered_dataset(grid, rng, n=600):
+    """Half the objects in a dense corner cluster, half uniform."""
+    half = n // 2
+    cx = np.concatenate([rng.uniform(1, 5, half), rng.uniform(0, 23, n - half)])
+    cy = np.concatenate([rng.uniform(1, 4, half), rng.uniform(0, 11, n - half)])
+    w = rng.uniform(0.1, 0.8, n)
+    h = rng.uniform(0.1, 0.8, n)
+    return RectDataset(
+        np.maximum(cx - w / 2, 0.0),
+        np.minimum(cx + w / 2, 24.0),
+        np.maximum(cy - h / 2, 0.0),
+        np.minimum(cy + h / 2, 12.0),
+        grid.extent,
+        "clustered",
+    )
+
+
+class TestPartitioning:
+    def test_buckets_partition_the_grid(self, grid, rng):
+        data = _clustered_dataset(grid, rng)
+        histogram = MinskewHistogram(data, grid, num_buckets=12)
+        covered = np.zeros((grid.n1, grid.n2), dtype=int)
+        for bucket in histogram.buckets:
+            covered[bucket.cx_lo : bucket.cx_hi, bucket.cy_lo : bucket.cy_hi] += 1
+        np.testing.assert_array_equal(covered, np.ones_like(covered))
+
+    def test_bucket_counts_sum_to_objects(self, grid, rng):
+        data = _clustered_dataset(grid, rng)
+        histogram = MinskewHistogram(data, grid, num_buckets=10)
+        assert sum(b.count for b in histogram.buckets) == len(data)
+
+    def test_splits_track_the_skew(self, grid, rng):
+        """The partitioning isolates the dense cluster: some bucket
+        concentrated in the cluster corner carries far more mass per cell
+        than the global average."""
+        data = _clustered_dataset(grid, rng)
+        histogram = MinskewHistogram(data, grid, num_buckets=12)
+        global_density = len(data) / grid.num_cells
+        peak = max(b.count / b.num_cells for b in histogram.buckets)
+        assert peak > 3 * global_density
+
+    def test_stops_when_uniform(self, grid):
+        # One object per cell: zero skew, no split helps.
+        rects = [
+            Rect(i + 0.3, i + 0.6, j + 0.3, j + 0.6)
+            for i in range(24)
+            for j in range(12)
+        ]
+        data = RectDataset.from_rects(rects, Rect(0.0, 24.0, 0.0, 12.0))
+        histogram = MinskewHistogram(data, grid, num_buckets=40)
+        assert histogram.num_buckets == 1
+
+    def test_respects_bucket_budget(self, grid, rng):
+        data = _clustered_dataset(grid, rng)
+        histogram = MinskewHistogram(data, grid, num_buckets=7)
+        assert histogram.num_buckets <= 7
+
+    def test_validation(self, grid, rng):
+        data = _clustered_dataset(grid, rng)
+        with pytest.raises(ValueError):
+            MinskewHistogram(data, grid, num_buckets=0)
+
+
+class TestEstimation:
+    def test_whole_space_estimate_is_total(self, grid, rng):
+        data = _clustered_dataset(grid, rng)
+        histogram = MinskewHistogram(data, grid, num_buckets=10)
+        estimate = histogram.intersect_count(TileQuery(0, 24, 0, 12))
+        # Expansion can push slightly above |S|; it must be close.
+        assert estimate >= len(data) * 0.95
+
+    def test_reasonable_accuracy_on_clustered_data(self, grid, rng):
+        data = _clustered_dataset(grid, rng)
+        histogram = MinskewHistogram(data, grid, num_buckets=24)
+        exact = ExactEvaluator(data, grid)
+        queries = query_set(grid, 4)
+        truth = np.array([exact.estimate(q).n_intersect for q in queries])
+        estimates = np.array([histogram.intersect_count(q) for q in queries])
+        assert average_relative_error(truth, estimates) < 0.5
+
+    def test_more_buckets_do_not_hurt_much(self, grid, rng):
+        data = _clustered_dataset(grid, rng)
+        exact = ExactEvaluator(data, grid)
+        queries = query_set(grid, 4)
+        truth = np.array([exact.estimate(q).n_intersect for q in queries])
+        errors = []
+        for budget in (1, 8, 32):
+            histogram = MinskewHistogram(data, grid, num_buckets=budget)
+            estimates = np.array([histogram.intersect_count(q) for q in queries])
+            errors.append(average_relative_error(truth, estimates))
+        assert errors[-1] <= errors[0] * 1.1
+
+    def test_empty_dataset(self, grid):
+        data = RectDataset.empty(Rect(0.0, 24.0, 0.0, 12.0))
+        histogram = MinskewHistogram(data, grid, num_buckets=5)
+        assert histogram.intersect_count(TileQuery(0, 24, 0, 12)) == 0.0
+
+    def test_name(self, grid, rng):
+        data = _clustered_dataset(grid, rng)
+        assert MinskewHistogram(data, grid, num_buckets=6).name.startswith("Minskew(B=")

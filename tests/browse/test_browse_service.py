@@ -1,0 +1,99 @@
+"""Tests for the GeoBrowsing service facade."""
+
+import numpy as np
+import pytest
+
+from repro.browse.service import GeoBrowsingService, RELATION_FIELDS
+from repro.euler.histogram import EulerHistogram
+from repro.euler.simple import SEulerApprox
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+from tests.conftest import random_dataset
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 12.0, 0.0, 8.0), 12, 8)
+
+
+@pytest.fixture
+def data(grid, rng):
+    return random_dataset(rng, grid, 300, max_size_cells=3.0)
+
+
+@pytest.fixture
+def service(grid, data):
+    return GeoBrowsingService(SEulerApprox(EulerHistogram.from_dataset(data, grid)), grid)
+
+
+class TestBrowse:
+    def test_raster_shape(self, service):
+        result = service.browse(TileQuery(0, 12, 0, 8), rows=4, cols=6, relation="overlap")
+        assert result.counts.shape == (4, 6)
+        assert result.rows == 4 and result.cols == 6
+        assert len(result.tiles) == 4 and len(result.tiles[0]) == 6
+
+    def test_world_rect_region(self, service):
+        result = service.browse(Rect(0.0, 12.0, 0.0, 8.0), rows=2, cols=3)
+        assert result.counts.shape == (2, 3)
+
+    def test_misaligned_region_rejected(self, service):
+        with pytest.raises(ValueError, match="not aligned"):
+            service.browse(Rect(0.5, 12.0, 0.0, 8.0), rows=2, cols=3)
+
+    def test_unknown_relation_rejected(self, service):
+        with pytest.raises(ValueError, match="unknown relation"):
+            service.browse(TileQuery(0, 12, 0, 8), rows=2, cols=3, relation="touching")
+
+    def test_counts_match_estimator(self, grid, data):
+        exact = ExactEvaluator(data, grid)
+        service = GeoBrowsingService(exact, grid)
+        result = service.browse(TileQuery(0, 12, 0, 8), rows=2, cols=2, relation="contains")
+        for r in range(2):
+            for c in range(2):
+                tile = result.tiles[r][c]
+                assert result.counts[r, c] == exact.estimate(tile).n_cs
+
+    def test_intersect_relation(self, grid, data):
+        service = GeoBrowsingService(ExactEvaluator(data, grid), grid)
+        result = service.browse(TileQuery(0, 12, 0, 8), rows=1, cols=1, relation="intersect")
+        assert result.counts[0, 0] == ExactEvaluator(data, grid).estimate(
+            TileQuery(0, 12, 0, 8)
+        ).n_intersect
+
+    def test_disjoint_plus_intersect_is_total(self, grid, data):
+        service = GeoBrowsingService(ExactEvaluator(data, grid), grid)
+        region = TileQuery(0, 12, 0, 8)
+        disjoint = service.browse(region, 1, 1, relation="disjoint").counts[0, 0]
+        intersect = service.browse(region, 1, 1, relation="intersect").counts[0, 0]
+        assert disjoint + intersect == len(data)
+
+    def test_all_relations_exposed(self):
+        assert set(RELATION_FIELDS) == {"contains", "contained", "overlap", "disjoint", "intersect"}
+
+
+class TestBrowseResult:
+    def test_total(self, service):
+        result = service.browse(TileQuery(0, 12, 0, 8), rows=2, cols=2, relation="disjoint")
+        assert result.total == pytest.approx(float(result.counts.sum()))
+
+    def test_render_ascii_shape(self, service):
+        result = service.browse(TileQuery(0, 12, 0, 8), rows=4, cols=3)
+        rendering = result.render_ascii()
+        lines = rendering.splitlines()
+        assert len(lines) == 4
+        assert all(len(line.split()) == 3 for line in lines)
+
+    def test_render_ascii_top_row_first(self, grid, data):
+        service = GeoBrowsingService(ExactEvaluator(data, grid), grid)
+        result = service.browse(TileQuery(0, 12, 0, 8), rows=2, cols=1, relation="intersect")
+        lines = result.render_ascii().splitlines()
+        assert int(lines[0].strip()) == int(round(result.counts[1, 0]))
+        assert int(lines[1].strip()) == int(round(result.counts[0, 0]))
+
+    def test_estimator_name(self, service):
+        assert service.estimator_name == "S-EulerApprox"
+        assert service.grid.n1 == 12

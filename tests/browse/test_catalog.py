@@ -1,0 +1,104 @@
+"""Tests for attribute-filtered browsing."""
+
+import numpy as np
+import pytest
+
+from repro.browse.catalog import AttributeCatalog, SummedEstimator
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+from tests.conftest import random_dataset, random_query
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 12.0, 0.0, 8.0), 12, 8)
+
+
+@pytest.fixture
+def data(grid, rng):
+    return random_dataset(rng, grid, 240, max_size_cells=3.0)
+
+
+@pytest.fixture
+def labels(data, rng):
+    return rng.choice(["map", "photo", "gazetteer"], size=len(data))
+
+
+@pytest.fixture
+def catalog(grid, data, labels):
+    # Exact backend so filter arithmetic can be checked exactly.
+    return AttributeCatalog(
+        data, grid, labels, factory=lambda d, g: ExactEvaluator(d, g)
+    )
+
+
+class TestPartitioning:
+    def test_categories_discovered(self, catalog):
+        assert set(catalog.categories) == {"map", "photo", "gazetteer"}
+
+    def test_sizes_sum_to_dataset(self, catalog, data):
+        assert sum(catalog.category_size(c) for c in catalog.categories) == len(data)
+
+    def test_label_shape_validated(self, grid, data):
+        with pytest.raises(ValueError, match="one category per object"):
+            AttributeCatalog(data, grid, ["a", "b"])
+
+
+class TestFiltering:
+    def test_all_categories_equal_unfiltered(self, catalog, grid, data, rng):
+        full = ExactEvaluator(data, grid)
+        for _ in range(15):
+            q = random_query(rng, grid)
+            assert catalog.estimate(q) == full.estimate(q)
+
+    def test_single_category_matches_subset(self, catalog, grid, data, labels, rng):
+        subset = data.select(labels == "map")
+        reference = ExactEvaluator(subset, grid)
+        for _ in range(15):
+            q = random_query(rng, grid)
+            assert catalog.estimate(q, ["map"]) == reference.estimate(q)
+
+    def test_pair_filter_is_additive(self, catalog, rng, grid):
+        q = random_query(rng, grid)
+        pair = catalog.estimate(q, ["map", "photo"])
+        singles = catalog.estimate(q, ["map"]) + catalog.estimate(q, ["photo"])
+        assert pair == singles
+
+    def test_unknown_category(self, catalog):
+        with pytest.raises(KeyError, match="unknown category"):
+            catalog.estimate(TileQuery(0, 1, 0, 1), ["atlas"])
+
+    def test_empty_filter_rejected(self, catalog):
+        with pytest.raises(ValueError, match="at least one"):
+            catalog.estimator([])
+
+
+class TestService:
+    def test_scoped_service(self, catalog, data, labels):
+        service = catalog.service(["gazetteer"])
+        result = service.browse(TileQuery(0, 12, 0, 8), rows=2, cols=3, relation="intersect")
+        expected = int(np.count_nonzero(labels == "gazetteer"))
+        # Every gazetteer record intersects at least one tile of a full
+        # partitioning; sum over tiles >= category size.
+        assert result.total >= expected
+        assert "gazetteer" in service.estimator_name
+
+    def test_service_name_all(self, catalog):
+        assert catalog.service().estimator_name == "Catalog[all]"
+
+
+class TestSummedEstimator:
+    def test_requires_estimators(self):
+        with pytest.raises(ValueError):
+            SummedEstimator([], "x")
+
+    def test_integer_labels(self, grid, data, rng):
+        years = rng.integers(1990, 1994, size=len(data))
+        catalog = AttributeCatalog(data, grid, years)
+        assert set(catalog.categories) == set(range(1990, 1994)) & set(catalog.categories) | set(catalog.categories)
+        q = TileQuery(0, 12, 0, 8)
+        total = catalog.estimate(q)
+        assert total.total == pytest.approx(len(data))

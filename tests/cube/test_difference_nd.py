@@ -1,0 +1,94 @@
+"""Tests for the d-dimensional difference-array accumulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cube.difference import DifferenceArray2D
+from repro.cube.difference_nd import DifferenceArrayND
+
+
+class TestBasics:
+    def test_1d(self):
+        acc = DifferenceArrayND((5,))
+        acc.add_box([1], [3])
+        np.testing.assert_array_equal(acc.materialize(), [0, 1, 1, 1, 0])
+
+    def test_3d_single_box(self):
+        acc = DifferenceArrayND((3, 3, 3))
+        acc.add_box([0, 1, 2], [1, 2, 2])
+        dense = acc.materialize()
+        expected = np.zeros((3, 3, 3), dtype=np.int64)
+        expected[0:2, 1:3, 2:3] = 1
+        np.testing.assert_array_equal(dense, expected)
+
+    def test_weights(self):
+        acc = DifferenceArrayND((2, 2))
+        acc.add_boxes(np.array([[0, 0], [0, 0]]), np.array([[1, 1], [0, 0]]), np.array([2, 3]))
+        dense = acc.materialize()
+        assert dense[0, 0] == 5
+        assert dense[1, 1] == 2
+
+    def test_empty_batch(self):
+        acc = DifferenceArrayND((4, 4))
+        acc.add_boxes(np.zeros((0, 2), dtype=np.int64), np.zeros((0, 2), dtype=np.int64))
+        assert acc.materialize().sum() == 0
+
+    def test_validation(self):
+        acc = DifferenceArrayND((3, 3))
+        with pytest.raises(ValueError):
+            DifferenceArrayND(())
+        with pytest.raises(ValueError):
+            DifferenceArrayND((0, 3))
+        with pytest.raises(IndexError):
+            acc.add_box([0, 0], [3, 0])
+        with pytest.raises(ValueError):
+            acc.add_box([2, 0], [1, 0])
+        with pytest.raises(ValueError):
+            acc.add_boxes(np.zeros((2, 3), dtype=np.int64), np.zeros((2, 3), dtype=np.int64))
+        with pytest.raises(ValueError):
+            acc.add_boxes(
+                np.zeros((2, 2), dtype=np.int64),
+                np.zeros((2, 2), dtype=np.int64),
+                weights=np.zeros(3),
+            )
+
+
+@st.composite
+def nd_boxes(draw):
+    ndim = draw(st.integers(1, 4))
+    shape = tuple(draw(st.integers(1, 5)) for _ in range(ndim))
+    num = draw(st.integers(0, 15))
+    boxes = []
+    for _ in range(num):
+        lo = [draw(st.integers(0, s - 1)) for s in shape]
+        hi = [draw(st.integers(lo[k], shape[k] - 1)) for k in range(ndim)]
+        boxes.append((lo, hi))
+    return shape, boxes
+
+
+@settings(max_examples=120)
+@given(nd_boxes())
+def test_matches_naive(case):
+    shape, boxes = case
+    acc = DifferenceArrayND(shape)
+    naive = np.zeros(shape, dtype=np.int64)
+    for lo, hi in boxes:
+        acc.add_box(lo, hi)
+        naive[tuple(slice(a, b + 1) for a, b in zip(lo, hi))] += 1
+    np.testing.assert_array_equal(acc.materialize(), naive)
+
+
+@settings(max_examples=60)
+@given(nd_boxes())
+def test_2d_agrees_with_specialised(case):
+    shape, boxes = case
+    if len(shape) != 2:
+        return
+    nd = DifferenceArrayND(shape)
+    d2 = DifferenceArray2D(shape)
+    for lo, hi in boxes:
+        nd.add_box(lo, hi)
+        d2.add_box(lo[0], hi[0], lo[1], hi[1])
+    np.testing.assert_array_equal(nd.materialize(), d2.materialize())

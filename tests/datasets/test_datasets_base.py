@@ -1,0 +1,115 @@
+"""Tests for the RectDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import RectDataset
+from repro.geometry.rect import Rect
+
+EXTENT = Rect(0.0, 10.0, 0.0, 10.0)
+
+
+def _simple_dataset():
+    return RectDataset.from_rects(
+        [Rect(1.0, 3.0, 1.0, 2.0), Rect(4.0, 4.0, 5.0, 5.0), Rect(0.0, 10.0, 0.0, 10.0)],
+        EXTENT,
+        name="simple",
+    )
+
+
+class TestConstruction:
+    def test_from_rects_roundtrip(self):
+        data = _simple_dataset()
+        assert len(data) == 3
+        assert data[0] == Rect(1.0, 3.0, 1.0, 2.0)
+        assert list(data)[1] == Rect(4.0, 4.0, 5.0, 5.0)
+
+    def test_empty(self):
+        data = RectDataset.empty(EXTENT)
+        assert len(data) == 0
+        assert list(data) == []
+
+    def test_rejects_inverted_mbr(self):
+        with pytest.raises(ValueError, match="lo <= hi"):
+            RectDataset(
+                np.array([3.0]), np.array([1.0]), np.array([0.0]), np.array([1.0]), EXTENT
+            )
+
+    def test_rejects_out_of_extent(self):
+        with pytest.raises(ValueError, match="outside the extent"):
+            RectDataset(
+                np.array([-1.0]), np.array([1.0]), np.array([0.0]), np.array([1.0]), EXTENT
+            )
+
+    def test_rejects_ragged_columns(self):
+        with pytest.raises(ValueError, match="same length"):
+            RectDataset(
+                np.array([0.0, 1.0]), np.array([1.0]), np.array([0.0]), np.array([1.0]), EXTENT
+            )
+
+    def test_columns_are_immutable(self):
+        data = _simple_dataset()
+        with pytest.raises(ValueError):
+            data.x_lo[0] = 5.0
+
+
+class TestDerived:
+    def test_widths_heights_areas(self):
+        data = _simple_dataset()
+        np.testing.assert_allclose(data.widths, [2.0, 0.0, 10.0])
+        np.testing.assert_allclose(data.heights, [1.0, 0.0, 10.0])
+        np.testing.assert_allclose(data.areas, [2.0, 0.0, 100.0])
+
+    def test_areas_in_cells(self):
+        data = _simple_dataset()
+        np.testing.assert_allclose(data.areas_in_cells(2.0, 1.0), [1.0, 0.0, 50.0])
+
+    def test_areas_in_cells_validates(self):
+        with pytest.raises(ValueError):
+            _simple_dataset().areas_in_cells(0.0, 1.0)
+
+    def test_describe(self):
+        stats = _simple_dataset().describe()
+        assert stats["count"] == 3
+        assert stats["degenerate_fraction"] == pytest.approx(1 / 3)
+        assert stats["area_max"] == 100.0
+
+    def test_describe_empty(self):
+        assert RectDataset.empty(EXTENT).describe() == {"name": "empty", "count": 0}
+
+
+class TestTransform:
+    def test_select_by_mask(self):
+        data = _simple_dataset()
+        small = data.select(data.areas < 50.0, name="small")
+        assert len(small) == 2
+        assert small.name == "small"
+
+    def test_select_keeps_name_by_default(self):
+        data = _simple_dataset()
+        assert data.select(np.array([True, False, False])).name == "simple"
+
+    def test_concatenated(self):
+        a = _simple_dataset()
+        b = RectDataset.from_rects([Rect(5.0, 6.0, 5.0, 6.0)], EXTENT)
+        merged = a.concatenated(b, name="merged")
+        assert len(merged) == 4
+        assert merged.name == "merged"
+
+    def test_concatenated_requires_same_extent(self):
+        a = _simple_dataset()
+        b = RectDataset.empty(Rect(0.0, 5.0, 0.0, 5.0))
+        with pytest.raises(ValueError, match="extent"):
+            a.concatenated(b)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        data = _simple_dataset()
+        path = tmp_path / "data.npz"
+        data.save(path)
+        loaded = RectDataset.load(path)
+        assert loaded.name == "simple"
+        assert loaded.extent == EXTENT
+        np.testing.assert_array_equal(loaded.x_lo, data.x_lo)
+        np.testing.assert_array_equal(loaded.y_hi, data.y_hi)

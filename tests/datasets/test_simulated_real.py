@@ -1,0 +1,87 @@
+"""Tests for the adl_like / ca_road_like simulators: they must exhibit the
+statistical properties DESIGN.md claims drive the paper's error curves."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import by_name, DATASET_NAMES
+from repro.datasets.simulated_real import adl_like, ca_road_like
+
+
+class TestAdlLike:
+    def test_count_and_name(self):
+        data = adl_like(5000, seed=1)
+        assert len(data) == 5000
+        assert data.name == "adl"
+
+    def test_contains_point_records(self):
+        data = adl_like(10_000, seed=1)
+        degenerate = (data.widths == 0) & (data.heights == 0)
+        assert 0.4 < np.mean(degenerate) < 0.7
+
+    def test_mixed_sizes_with_large_tail(self):
+        data = adl_like(20_000, seed=2)
+        areas = data.areas
+        assert np.mean(areas < 1.0) > 0.7          # mostly sub-cell
+        assert np.any(areas > 10_000.0)            # country/world maps
+        assert np.mean(areas > 100.0) > 5e-3       # significant large share
+
+    def test_inside_extent(self):
+        data = adl_like(5000, seed=3)
+        assert data.x_lo.min() >= 0.0 and data.x_hi.max() <= 360.0
+        assert data.y_lo.min() >= 0.0 and data.y_hi.max() <= 180.0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            adl_like(100, point_fraction=0.8, small_fraction=0.5)
+
+    def test_deterministic(self):
+        a, b = adl_like(500, seed=4), adl_like(500, seed=4)
+        np.testing.assert_array_equal(a.x_lo, b.x_lo)
+
+
+class TestCaRoadLike:
+    def test_count_and_name(self):
+        data = ca_road_like(5000, seed=1)
+        assert len(data) == 5000
+        assert data.name == "ca_road"
+
+    def test_objects_are_tiny(self):
+        """The property behind 'barely noticeable error': essentially all
+        objects are far smaller than a grid cell."""
+        data = ca_road_like(20_000, seed=2)
+        assert np.mean(data.widths < 0.25) > 0.95
+        assert np.mean(data.heights < 0.25) > 0.95
+        assert data.areas.max() < 1.0
+
+    def test_linear_clustering(self):
+        """Consecutive segments chain along corridors: the dataset is far
+        from uniform at coarse granularity."""
+        data = ca_road_like(20_000, seed=3)
+        cx = np.clip(((data.x_lo + data.x_hi) / 2 / 36).astype(int), 0, 9)
+        cy = np.clip(((data.y_lo + data.y_hi) / 2 / 36).astype(int), 0, 4)
+        counts = np.bincount(cx * 5 + cy, minlength=50)
+        assert counts.max() > 4 * max(counts.mean(), 1.0)
+
+    def test_corridor_validation(self):
+        with pytest.raises(ValueError):
+            ca_road_like(100, num_corridors=0)
+
+    def test_deterministic(self):
+        a, b = ca_road_like(500, seed=4), ca_road_like(500, seed=4)
+        np.testing.assert_array_equal(a.x_lo, b.x_lo)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(DATASET_NAMES) == {"sp_skew", "sz_skew", "adl", "ca_road"}
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_by_name(self, name):
+        data = by_name(name, 1000, seed=0)
+        assert len(data) == 1000
+        assert data.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            by_name("nope", 10)

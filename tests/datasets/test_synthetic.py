@@ -1,0 +1,79 @@
+"""Tests for the sp_skew / sz_skew generators against Section 6.1.1."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import WORLD_EXTENT, sp_skew, sz_skew
+
+
+class TestSpSkew:
+    def test_fixed_object_size(self):
+        data = sp_skew(2000, seed=1)
+        np.testing.assert_allclose(data.widths, 3.6)
+        np.testing.assert_allclose(data.heights, 1.8)
+
+    def test_inside_extent(self):
+        data = sp_skew(2000, seed=1)
+        assert data.x_lo.min() >= 0.0 and data.x_hi.max() <= 360.0
+        assert data.y_lo.min() >= 0.0 and data.y_hi.max() <= 180.0
+
+    def test_spatial_skew(self):
+        """Cell occupancy must be far from uniform: the max-occupancy cell
+        should hold many times the mean."""
+        data = sp_skew(20_000, seed=2)
+        cx = ((data.x_lo + data.x_hi) / 2).astype(int) // 36
+        cy = ((data.y_lo + data.y_hi) / 2).astype(int) // 36
+        counts = np.bincount(cx * 5 + np.minimum(cy, 4), minlength=50)
+        assert counts.max() > 5 * counts.mean()
+
+    def test_deterministic(self):
+        a, b = sp_skew(500, seed=9), sp_skew(500, seed=9)
+        np.testing.assert_array_equal(a.x_lo, b.x_lo)
+
+    def test_different_seeds_differ(self):
+        a, b = sp_skew(500, seed=1), sp_skew(500, seed=2)
+        assert not np.array_equal(a.x_lo, b.x_lo)
+
+    def test_name_and_count(self):
+        data = sp_skew(123, seed=0)
+        assert data.name == "sp_skew"
+        assert len(data) == 123
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            sp_skew(-1)
+
+
+class TestSzSkew:
+    def test_objects_are_squares(self):
+        data = sz_skew(3000, seed=1)
+        np.testing.assert_allclose(data.widths, data.heights)
+
+    def test_side_length_bounds(self):
+        data = sz_skew(3000, seed=1)
+        assert data.widths.min() >= 1.0
+        assert data.widths.max() <= 180.0
+
+    def test_zipf_side_distribution(self):
+        """Mostly small squares with a genuine large tail (Figure 12(b))."""
+        data = sz_skew(30_000, seed=3)
+        assert np.mean(data.widths < 2.0) > 0.4
+        assert np.any(data.widths > 90.0)
+
+    def test_significant_large_object_population(self):
+        data = sz_skew(30_000, seed=3)
+        # "contains a significant number of large objects": more than one
+        # in a thousand spans over 10x10 cells.
+        assert np.mean(data.areas > 100.0) > 1e-3
+
+    def test_inside_extent(self):
+        data = sz_skew(3000, seed=1)
+        assert data.x_lo.min() >= 0.0 and data.x_hi.max() <= 360.0
+        assert data.y_lo.min() >= 0.0 and data.y_hi.max() <= 180.0
+
+    def test_extent_is_world(self):
+        assert sz_skew(10, seed=0).extent == WORLD_EXTENT
+
+    def test_deterministic(self):
+        a, b = sz_skew(500, seed=5), sz_skew(500, seed=5)
+        np.testing.assert_array_equal(a.widths, b.widths)

@@ -1,0 +1,72 @@
+"""Tests for the bounded Zipf samplers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.zipf import bounded_zipf, bounded_zipf_continuous
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestDiscrete:
+    def test_support(self, rng):
+        values = bounded_zipf(rng, 5000, lo=1, hi=180)
+        assert values.min() >= 1
+        assert values.max() <= 180
+
+    def test_heavy_head(self, rng):
+        values = bounded_zipf(rng, 20_000, lo=1, hi=180, exponent=1.5)
+        # About half the mass sits at the smallest value for exponent 1.5.
+        assert np.mean(values == 1) > 0.3
+
+    def test_tail_is_populated(self, rng):
+        values = bounded_zipf(rng, 50_000, lo=1, hi=180, exponent=1.5)
+        assert np.any(values > 90)
+
+    def test_monotone_frequencies(self, rng):
+        values = bounded_zipf(rng, 100_000, lo=1, hi=10, exponent=1.2)
+        counts = np.bincount(values, minlength=11)[1:]
+        # Frequencies decrease overall head-to-tail.
+        assert counts[0] > counts[4] > counts[9]
+
+    def test_exponent_controls_skew(self, rng):
+        flat = bounded_zipf(np.random.default_rng(1), 50_000, lo=1, hi=50, exponent=0.5)
+        steep = bounded_zipf(np.random.default_rng(1), 50_000, lo=1, hi=50, exponent=2.5)
+        assert flat.mean() > steep.mean()
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            bounded_zipf(rng, -1)
+        with pytest.raises(ValueError):
+            bounded_zipf(rng, 10, lo=0)
+        with pytest.raises(ValueError):
+            bounded_zipf(rng, 10, lo=5, hi=4)
+        with pytest.raises(ValueError):
+            bounded_zipf(rng, 10, exponent=0.0)
+
+    def test_deterministic_with_seed(self):
+        a = bounded_zipf(np.random.default_rng(3), 100)
+        b = bounded_zipf(np.random.default_rng(3), 100)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestContinuous:
+    def test_bounds_respected(self, rng):
+        values = bounded_zipf_continuous(rng, 10_000, lo=1.0, hi=180.0)
+        assert values.min() >= 1.0
+        assert values.max() <= 180.0
+
+    def test_non_integral_values(self, rng):
+        values = bounded_zipf_continuous(rng, 1000, lo=1.0, hi=50.0)
+        # Draws clipped onto the bounds are exactly integral by design;
+        # away from the bounds, values are jittered off the integers.
+        interior = values[(values > 1.0) & (values < 50.0)]
+        assert len(interior) > 100
+        assert np.mean(interior == np.round(interior)) < 0.05
+
+    def test_invalid_support(self, rng):
+        with pytest.raises(ValueError):
+            bounded_zipf_continuous(rng, 10, lo=5.0, hi=5.0)

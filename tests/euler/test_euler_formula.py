@@ -1,0 +1,113 @@
+"""Tests for Euler's formula and Corollaries 4.1/4.2 on grid regions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+from scipy import ndimage
+
+from repro.euler.euler_formula import (
+    euler_characteristic,
+    interior_counts,
+    region_euler_sum,
+)
+
+
+class TestPaperExamples:
+    def test_figure_5b_full_3x3_grid(self):
+        # The 3x3 grid region: 4 interior vertices, 12 interior edges,
+        # 9 interior faces -> V - E + F = 1 (Corollary 4.1).
+        mask = np.ones((3, 3), dtype=bool)
+        assert interior_counts(mask) == (4, 12, 9)
+        assert euler_characteristic(mask) == 1
+
+    def test_figure_5c_grid_with_hole(self):
+        # Remove the center cell: 0 interior vertices, 8 interior edges,
+        # 8 interior faces -> V - E + F = 0 (Corollary 4.2 with k=2).
+        mask = np.ones((3, 3), dtype=bool)
+        mask[1, 1] = False
+        assert interior_counts(mask) == (0, 8, 8)
+        assert euler_characteristic(mask) == 0
+
+    def test_single_cell(self):
+        assert euler_characteristic(np.ones((1, 1), dtype=bool)) == 1
+
+    def test_two_disjoint_components(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[0, 0] = True
+        mask[3:5, 3:5] = True
+        assert euler_characteristic(mask) == 2
+
+    def test_empty_region(self):
+        assert euler_characteristic(np.zeros((4, 4), dtype=bool)) == 0
+
+    def test_two_holes(self):
+        # A 5x5 frame region with two separate holes -> 2 - k = 1 - 2 = -1.
+        mask = np.ones((5, 5), dtype=bool)
+        mask[1, 1] = False
+        mask[3, 3] = False
+        assert euler_characteristic(mask) == -1
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            interior_counts(np.ones(5, dtype=bool))
+
+
+def _components_minus_holes(mask: np.ndarray) -> int:
+    """Independent topology oracle via scipy labelling.
+
+    Components are 4-connected cell regions; holes are 4-connected
+    background regions not touching the array border (background must be
+    8-connected... for polyomino regions, holes of a 4-connected region
+    are the 4-connected background components fully enclosed; using
+    8-connectivity for the background is the topologically correct dual).
+    """
+    components, _ = ndimage.label(mask, structure=np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]]))
+    num_components = components.max()
+    background, num_bg = ndimage.label(~mask, structure=np.ones((3, 3), dtype=int))
+    border_labels = set(np.unique(background[0, :])) | set(np.unique(background[-1, :]))
+    border_labels |= set(np.unique(background[:, 0])) | set(np.unique(background[:, -1]))
+    border_labels.discard(0)
+    holes = num_bg - len(border_labels)
+    return int(num_components - holes)
+
+
+@settings(max_examples=200)
+@given(hnp.arrays(bool, (6, 6), elements=st.booleans()))
+def test_characteristic_equals_components_minus_holes(mask):
+    """Corollary 4.2, generalised: V_i - E_i + F_i = components - holes."""
+    assert euler_characteristic(mask) == _components_minus_holes(mask)
+
+
+class TestRegionEulerSum:
+    def test_single_object_footprint_sums_to_characteristic(self):
+        from repro.datasets.base import RectDataset
+        from repro.euler.histogram import EulerHistogram
+        from repro.geometry.rect import Rect
+        from repro.grid.grid import Grid
+
+        grid = Grid(Rect(0.0, 6.0, 0.0, 6.0), 6, 6)
+        # One object covering cells [1,4) x [1,4).
+        data = RectDataset.from_rects([Rect(1.2, 3.8, 1.2, 3.8)], grid.extent)
+        hist = EulerHistogram.from_dataset(data, grid)
+
+        # Region = whole space: the object footprint is one hole-free
+        # region -> sum 1.
+        full = np.ones((6, 6), dtype=bool)
+        assert region_euler_sum(hist.buckets(), full) == 1
+
+        # Region with a hole over the object's middle: intersection is an
+        # annulus -> 0 (the loophole effect).
+        holed = np.ones((6, 6), dtype=bool)
+        holed[2, 2] = False
+        assert region_euler_sum(hist.buckets(), holed) == 0
+
+        # Region meeting the object in two pieces -> 2 (crossover effect).
+        split = np.ones((6, 6), dtype=bool)
+        split[2, :] = False
+        assert region_euler_sum(hist.buckets(), split) == 2
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            region_euler_sum(np.zeros((5, 5)), np.ones((4, 4), dtype=bool))

@@ -1,0 +1,96 @@
+"""Tests for the exterior histogram H_e -- Section 5.3's omitted analysis.
+
+``n_ie`` truth for these tests: the number of objects whose exterior
+intersects the query's interior = all objects except those whose closure
+covers the query = ``|S| - N_cd_closed`` where ``N_cd_closed`` counts
+objects whose (snapped, closed) footprint covers the open query.  Under
+the shrinking convention that is ``N_d + N_o + N_cs`` plus the containers
+whose interiors cover the query -- for the snapped semantics used here,
+``n_ie = |S| - N_cd`` (a contained-in-object query is exactly one whose
+interior the object's interior covers).
+"""
+
+import pytest
+
+from repro.datasets.base import RectDataset
+from repro.euler.exterior import ExteriorHistogram
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+from tests.conftest import random_dataset
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 10.0, 0.0, 8.0), 10, 8)
+
+
+def _n_ie_truth(data, grid, query):
+    counts = ExactEvaluator(data, grid).estimate(query)
+    return len(data) - counts.n_cd
+
+
+class TestUnitCellExactness:
+    def test_exact_on_every_unit_cell(self, grid, rng):
+        """The paper's claim: H_e answers n_ie exactly when the query is
+        one unit cell."""
+        data = random_dataset(rng, grid, 200, degenerate_fraction=0.2, aligned_fraction=0.3)
+        exterior = ExteriorHistogram(data, grid)
+        for cx in range(grid.n1):
+            for cy in range(grid.n2):
+                q = TileQuery(cx, cx + 1, cy, cy + 1)
+                assert exterior.n_ie_unit_cell(cx, cy) == _n_ie_truth(data, grid, q), (cx, cy)
+
+    def test_empty_dataset(self, grid):
+        exterior = ExteriorHistogram(RectDataset.empty(grid.extent), grid)
+        assert exterior.n_ie_unit_cell(0, 0) == 0
+
+
+class TestLargerQueriesBreak:
+    def test_interior_object_causes_loophole(self, grid):
+        """An object strictly inside the query leaves a hole in the
+        exterior footprint within the query: it contributes 0 instead of
+        1, so H_e underestimates n_ie -- the loophole effect again."""
+        data = RectDataset.from_rects([Rect(3.2, 4.8, 3.2, 4.8)], grid.extent)
+        exterior = ExteriorHistogram(data, grid)
+        q = TileQuery(2, 6, 2, 6)
+        assert _n_ie_truth(data, grid, q) == 1
+        assert exterior.inside_sum(q) == 0  # loophole
+
+    def test_crossing_object_double_counts(self, grid):
+        """An object crossing the query splits the query-interior
+        exterior into two pieces: +2 instead of +1."""
+        data = RectDataset.from_rects([Rect(0.5, 9.5, 3.2, 4.8)], grid.extent)
+        exterior = ExteriorHistogram(data, grid)
+        q = TileQuery(2, 6, 0, 8)
+        assert _n_ie_truth(data, grid, q) == 1
+        assert exterior.inside_sum(q) == 2  # two exterior pieces
+
+    def test_container_handled_correctly_though(self, grid):
+        """Ironically, the case H (the interior histogram) cannot see --
+        an object containing the query -- is fine for H_e: the exterior
+        misses the query interior entirely and contributes 0 = truth."""
+        data = RectDataset.from_rects([Rect(0.5, 9.5, 0.5, 7.5)], grid.extent)
+        exterior = ExteriorHistogram(data, grid)
+        q = TileQuery(3, 6, 3, 5)
+        assert _n_ie_truth(data, grid, q) == 0
+        assert exterior.inside_sum(q) == 0
+
+
+class TestStructure:
+    def test_disjoint_and_overlap_count_once(self, grid):
+        rects = [
+            Rect(0.2, 0.8, 0.2, 0.8),   # disjoint from the query
+            Rect(1.5, 2.5, 1.5, 2.5),   # overlaps the query's corner
+        ]
+        data = RectDataset.from_rects(rects, grid.extent)
+        exterior = ExteriorHistogram(data, grid)
+        q = TileQuery(2, 5, 2, 5)
+        assert exterior.inside_sum(q) == _n_ie_truth(data, grid, q) == 2
+
+    def test_out_of_grid_query_rejected(self, grid, rng):
+        data = random_dataset(rng, grid, 10)
+        with pytest.raises(ValueError):
+            ExteriorHistogram(data, grid).inside_sum(TileQuery(0, 11, 0, 8))

@@ -1,0 +1,164 @@
+"""Tests for EulerApprox and the Region A/B containment estimate."""
+
+import pytest
+
+from repro.datasets.base import RectDataset
+from repro.euler.full import EulerApprox, QueryEdge
+from repro.euler.histogram import EulerHistogram
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+from tests.conftest import brute_force_counts, random_dataset, random_query
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 10.0, 0.0, 8.0), 10, 8)
+
+
+def _estimator(grid, rects, edge=QueryEdge.LEFT):
+    data = RectDataset.from_rects(rects, grid.extent)
+    return EulerApprox(EulerHistogram.from_dataset(data, grid), edge), data
+
+
+CENTER_QUERY = TileQuery(4, 6, 3, 5)
+
+
+class TestContainerRecovery:
+    @pytest.mark.parametrize("edge", list(QueryEdge))
+    def test_single_container_recovered(self, grid, edge):
+        """An object containing the query wraps Region A once and is
+        counted exactly once by N_i(A) + N_cs(B) - n'_ei -- for every
+        split edge."""
+        estimator, data = _estimator(grid, [Rect(1.0, 9.0, 1.0, 7.0)], edge)
+        truth = brute_force_counts(data, grid, CENTER_QUERY)
+        assert truth.n_cd == 1
+        counts = estimator.estimate(CENTER_QUERY)
+        assert counts.n_cd == 1
+        assert counts.n_cs == 0
+        assert counts.n_o == 0
+
+    def test_stacked_containers(self, grid):
+        rects = [
+            Rect(1.0, 9.0, 1.0, 7.0),
+            Rect(2.0, 8.0, 2.0, 6.0),
+            Rect(3.0, 7.0, 2.5, 5.5),
+        ]
+        estimator, data = _estimator(grid, rects)
+        counts = estimator.estimate(CENTER_QUERY)
+        assert counts.n_cd == brute_force_counts(data, grid, CENTER_QUERY).n_cd == 3
+
+    def test_container_mixed_with_small_objects(self, grid, rng):
+        small = random_dataset(rng, grid, 100, max_size_cells=0.9, aligned_fraction=0.0)
+        # Drop O2 candidates: sub-cell objects straddling the query's left
+        # edge inside the band would legitimately perturb N_cd by -1 each
+        # (the documented approximation error); this test isolates the
+        # container-recovery path.
+        q = CENTER_QUERY
+        o2 = (
+            (small.x_lo < q.qx_lo)
+            & (small.x_hi > q.qx_lo)
+            & (small.y_hi > q.qy_lo)
+            & (small.y_lo < q.qy_hi)
+        )
+        small = small.select(~o2)
+        container = RectDataset.from_rects([Rect(0.5, 9.5, 0.5, 7.5)], grid.extent)
+        data = small.concatenated(container)
+        estimator = EulerApprox(EulerHistogram.from_dataset(data, grid))
+        truth = brute_force_counts(data, grid, CENTER_QUERY)
+        counts = estimator.estimate(CENTER_QUERY)
+        assert counts.n_cd == truth.n_cd == 1
+        assert counts.n_cs == truth.n_cs
+        assert counts.n_o == truth.n_o
+
+
+class TestErrorModes:
+    def test_o2_object_missed(self, grid):
+        """An object overlapping only the split edge, confined to the band
+        (O2), is invisible to both N_i(A) and N_cs(B): N_cd comes out -1
+        and N_cs +1."""
+        estimator, data = _estimator(grid, [Rect(2.5, 4.5, 3.2, 4.8)])  # pokes left
+        truth = brute_force_counts(data, grid, CENTER_QUERY)
+        assert truth.n_o == 1
+        counts = estimator.estimate(CENTER_QUERY)
+        assert counts.n_cd == -1
+        assert counts.n_cs == 1
+        assert counts.n_o == truth.n_o  # N_o itself is unaffected
+
+    def test_o1_object_double_counted(self, grid):
+        """An object containing the split edge but not the query (O1)
+        meets Region A twice: N_cd comes out +1."""
+        estimator, data = _estimator(grid, [Rect(3.0, 5.0, 1.0, 7.0)])
+        truth = brute_force_counts(data, grid, CENTER_QUERY)
+        assert truth.n_cd == 0 and truth.n_o == 1
+        counts = estimator.estimate(CENTER_QUERY)
+        assert counts.n_cd == 1
+        assert counts.n_cs == -1
+
+    def test_opposite_edge_poker_is_fine(self, grid):
+        """An object poking out the edge OPPOSITE the split is handled
+        exactly (it reaches Region A)."""
+        estimator, data = _estimator(grid, [Rect(5.5, 7.5, 3.2, 4.8)])  # pokes right
+        truth = brute_force_counts(data, grid, CENTER_QUERY)
+        counts = estimator.estimate(CENTER_QUERY)
+        assert counts == truth
+
+    def test_left_vertical_crosser_cancels(self, grid):
+        """A tall object left of the query crossing the band vertically
+        double counts in A but also in B's outside sum; the errors cancel
+        and N_cd stays 0."""
+        estimator, data = _estimator(grid, [Rect(1.2, 1.8, 0.5, 7.5)])
+        truth = brute_force_counts(data, grid, CENTER_QUERY)
+        assert truth.n_d == 1
+        counts = estimator.estimate(CENTER_QUERY)
+        assert counts == truth
+
+
+class TestBandGeometry:
+    def test_query_touching_split_boundary(self, grid):
+        # Query touching the left data-space boundary: Region B is empty.
+        estimator, data = _estimator(grid, [Rect(2.0, 4.0, 1.0, 7.0)])
+        q = TileQuery(0, 3, 3, 5)
+        counts = estimator.estimate(q)
+        truth = brute_force_counts(data, grid, q)
+        assert counts.total == len(data)
+        assert counts.n_o == truth.n_o
+
+    def test_full_space_query(self, grid, rng):
+        data = random_dataset(rng, grid, 60)
+        estimator = EulerApprox(EulerHistogram.from_dataset(data, grid))
+        q = TileQuery(0, 10, 0, 8)
+        counts = estimator.estimate(q)
+        # Everything is contained in the full-space query.
+        assert counts.n_cs == len(data)
+        assert counts.n_cd == 0 and counts.n_d == 0 and counts.n_o == 0
+
+    def test_estimates_sum_to_dataset_size(self, grid, rng):
+        data = random_dataset(rng, grid, 120)
+        for edge in QueryEdge:
+            estimator = EulerApprox(EulerHistogram.from_dataset(data, grid), edge)
+            for _ in range(15):
+                counts = estimator.estimate(random_query(rng, grid))
+                assert counts.total == pytest.approx(len(data))
+
+    def test_n_d_and_n_o_match_s_euler(self, grid, rng):
+        """EulerApprox and S-EulerApprox share the N_d / N_o equations."""
+        from repro.euler.simple import SEulerApprox
+
+        data = random_dataset(rng, grid, 120)
+        hist = EulerHistogram.from_dataset(data, grid)
+        full = EulerApprox(hist)
+        simple = SEulerApprox(hist)
+        for _ in range(20):
+            q = random_query(rng, grid)
+            a, b = full.estimate(q), simple.estimate(q)
+            assert a.n_d == b.n_d
+            assert a.n_o == b.n_o
+
+
+class TestProtocol:
+    def test_name_and_edge(self, grid):
+        estimator, _ = _estimator(grid, [], QueryEdge.TOP)
+        assert estimator.name == "EulerApprox"
+        assert estimator.edge is QueryEdge.TOP

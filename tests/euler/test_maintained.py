@@ -1,0 +1,131 @@
+"""Tests for the maintained (updatable) Euler histogram."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import RectDataset
+from repro.euler.full import EulerApprox
+from repro.euler.histogram import EulerHistogram
+from repro.euler.maintained import MaintainedEulerHistogram, _axis_factor
+from repro.euler.simple import SEulerApprox
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+from tests.conftest import random_dataset, random_query
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 10.0, 0.0, 8.0), 10, 8)
+
+
+class TestAxisFactor:
+    def test_zero_for_even_overlap(self):
+        assert _axis_factor(0, 5, 2, 3) == 0  # overlap [2,3], length 2
+
+    def test_sign_of_first_coordinate(self):
+        assert _axis_factor(0, 6, 2, 4) == 1   # [2,4] starts even
+        assert _axis_factor(1, 5, 3, 5) == -1  # [3,5] starts odd
+
+    def test_empty_overlap(self):
+        assert _axis_factor(0, 2, 5, 8) == 0
+
+    def test_matches_direct_sum(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            s_lo, s_hi = sorted(rng.integers(0, 12, size=2))
+            b_lo, b_hi = sorted(rng.integers(0, 12, size=2))
+            signs = np.array([1 if a % 2 == 0 else -1 for a in range(13)])
+            lo, hi = max(s_lo, b_lo), min(s_hi, b_hi)
+            direct = int(signs[lo : hi + 1].sum()) if hi >= lo else 0
+            assert _axis_factor(s_lo, s_hi, b_lo, b_hi) == direct
+
+
+class TestMaintenance:
+    def test_matches_rebuilt_after_inserts(self, grid, rng):
+        base = random_dataset(rng, grid, 80)
+        extra = random_dataset(rng, grid, 25)
+        maintained = MaintainedEulerHistogram(grid, base, merge_threshold=10_000)
+        for rect in extra:
+            maintained.insert(rect)
+        assert maintained.pending_updates == 25
+
+        full = EulerHistogram.from_dataset(base.concatenated(extra), grid)
+        for _ in range(30):
+            q = random_query(rng, grid)
+            assert maintained.intersect_count(q) == full.intersect_count(q)
+            assert maintained.outside_sum(q) == full.outside_sum(q)
+            assert maintained.contained_count(q) == full.contained_count(q)
+
+    def test_delete_reverses_insert(self, grid, rng):
+        base = random_dataset(rng, grid, 60)
+        maintained = MaintainedEulerHistogram(grid, base, merge_threshold=10_000)
+        reference = EulerHistogram.from_dataset(base, grid)
+
+        obj = Rect(1.3, 6.7, 2.1, 5.9)
+        maintained.insert(obj)
+        maintained.delete(obj)
+        assert maintained.num_objects == 60
+        for _ in range(20):
+            q = random_query(rng, grid)
+            assert maintained.intersect_count(q) == reference.intersect_count(q)
+            assert maintained.outside_sum(q) == reference.outside_sum(q)
+
+    def test_auto_merge_at_threshold(self, grid, rng):
+        maintained = MaintainedEulerHistogram(grid, merge_threshold=5)
+        for i in range(5):
+            maintained.insert(Rect(0.5 + i, 1.2 + i, 0.5, 1.2))
+        assert maintained.pending_updates == 0  # merged automatically
+        assert maintained.num_objects == 5
+
+    def test_queries_correct_across_merges(self, grid, rng):
+        maintained = MaintainedEulerHistogram(grid, merge_threshold=7)
+        inserted = []
+        for i in range(23):
+            rect = Rect(
+                float(rng.uniform(0, 8)),
+                float(rng.uniform(8, 10)),
+                float(rng.uniform(0, 6)),
+                float(rng.uniform(6, 8)),
+            )
+            maintained.insert(rect)
+            inserted.append(rect)
+        reference = EulerHistogram.from_dataset(
+            RectDataset.from_rects(inserted, grid.extent), grid
+        )
+        for _ in range(20):
+            q = random_query(rng, grid)
+            assert maintained.intersect_count(q) == reference.intersect_count(q)
+            assert maintained.outside_sum(q) == reference.outside_sum(q)
+
+    def test_snapshot_is_plain_histogram(self, grid, rng):
+        maintained = MaintainedEulerHistogram(grid, random_dataset(rng, grid, 30))
+        maintained.insert(Rect(1.0, 2.0, 1.0, 2.0))
+        snapshot = maintained.snapshot()
+        assert isinstance(snapshot, EulerHistogram)
+        assert snapshot.num_objects == 31
+        assert maintained.pending_updates == 0
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            MaintainedEulerHistogram(grid, merge_threshold=0)
+
+
+class TestEstimatorCompatibility:
+    def test_estimators_work_on_maintained_histogram(self, grid, rng):
+        """S-EulerApprox and EulerApprox duck-type over the maintained
+        histogram and answer as if it were freshly rebuilt."""
+        base = random_dataset(rng, grid, 70)
+        extra = random_dataset(rng, grid, 20)
+        maintained = MaintainedEulerHistogram(grid, base, merge_threshold=10_000)
+        for rect in extra:
+            maintained.insert(rect)
+        rebuilt = EulerHistogram.from_dataset(base.concatenated(extra), grid)
+
+        for estimator_cls in (SEulerApprox, EulerApprox):
+            live = estimator_cls(maintained)
+            reference = estimator_cls(rebuilt)
+            for _ in range(15):
+                q = random_query(rng, grid)
+                assert live.estimate(q) == reference.estimate(q)

@@ -1,0 +1,85 @@
+"""Stateful (model-based) property test of the maintained histogram.
+
+Hypothesis drives random interleavings of inserts, deletes, merges and
+queries against :class:`MaintainedEulerHistogram`, checking every query
+against a trivially correct model (a plain list of live rectangles fed to
+a freshly built histogram).  This covers interaction orders the scripted
+tests cannot: delete-before-merge, query-merge-query, delete of a
+pre-merge insert after the merge, etc.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.datasets.base import RectDataset
+from repro.euler.histogram import EulerHistogram
+from repro.euler.maintained import MaintainedEulerHistogram
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+GRID = Grid(Rect(0.0, 8.0, 0.0, 6.0), 8, 6)
+
+coords_x = st.integers(0, 31).map(lambda k: k / 4.0)
+coords_y = st.integers(0, 23).map(lambda k: k / 4.0)
+
+
+@st.composite
+def rects(draw):
+    x_lo = draw(coords_x)
+    x_hi = draw(st.integers(int(x_lo * 4), 32).map(lambda k: k / 4.0))
+    y_lo = draw(coords_y)
+    y_hi = draw(st.integers(int(y_lo * 4), 24).map(lambda k: k / 4.0))
+    return Rect(x_lo, x_hi, y_lo, y_hi)
+
+
+@st.composite
+def queries(draw):
+    x = sorted(draw(st.lists(st.integers(0, 8), min_size=2, max_size=2, unique=True)))
+    y = sorted(draw(st.lists(st.integers(0, 6), min_size=2, max_size=2, unique=True)))
+    return TileQuery(x[0], x[1], y[0], y[1])
+
+
+class MaintainedHistogramMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.maintained = MaintainedEulerHistogram(GRID, merge_threshold=6)
+        self.live: list[Rect] = []
+
+    @rule(rect=rects())
+    def insert(self, rect):
+        self.maintained.insert(rect)
+        self.live.append(rect)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def delete(self, data):
+        index = data.draw(st.integers(0, len(self.live) - 1))
+        rect = self.live.pop(index)
+        self.maintained.delete(rect)
+
+    @rule()
+    def merge(self):
+        self.maintained.merge()
+
+    @rule(query=queries())
+    def query_matches_model(self, query):
+        model = EulerHistogram.from_dataset(
+            RectDataset.from_rects(self.live, GRID.extent), GRID
+        )
+        assert self.maintained.intersect_count(query) == model.intersect_count(query)
+        assert self.maintained.outside_sum(query) == model.outside_sum(query)
+        assert self.maintained.contained_count(query) == model.contained_count(query)
+
+    @invariant()
+    def object_count_matches(self):
+        assert self.maintained.num_objects == len(self.live)
+        assert self.maintained.total_sum == len(self.live)
+
+
+MaintainedHistogramMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestMaintainedHistogramStateful = MaintainedHistogramMachine.TestCase

@@ -1,0 +1,147 @@
+"""Tests for M-EulerApprox (Section 5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import RectDataset
+from repro.euler.full import EulerApprox
+from repro.euler.histogram import EulerHistogram
+from repro.euler.multi import MEulerApprox, area_partition, validate_thresholds
+from repro.euler.simple import SEulerApprox
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+from tests.conftest import brute_force_counts, random_dataset, random_query
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 12.0, 0.0, 8.0), 12, 8)
+
+
+class TestThresholds:
+    def test_valid(self):
+        assert validate_thresholds([1, 9, 100]) == (1.0, 9.0, 100.0)
+
+    def test_must_start_at_unit_cell(self):
+        with pytest.raises(ValueError, match="unit cell"):
+            validate_thresholds([2, 9])
+
+    def test_must_increase(self):
+        with pytest.raises(ValueError, match="increasing"):
+            validate_thresholds([1, 9, 9])
+
+    def test_non_empty(self):
+        with pytest.raises(ValueError):
+            validate_thresholds([])
+
+
+class TestPartition:
+    def test_partition_bands(self, grid, rng):
+        data = random_dataset(rng, grid, 300, degenerate_fraction=0.2)
+        groups = area_partition(data, grid, [1, 4, 16])
+        assert sum(len(g) for g in groups) == len(data)
+        areas = data.areas_in_cells(grid.cell_width, grid.cell_height)
+        assert len(groups[0]) == int(np.count_nonzero(areas < 4))
+        assert len(groups[1]) == int(np.count_nonzero((areas >= 4) & (areas < 16)))
+        assert len(groups[2]) == int(np.count_nonzero(areas >= 16))
+
+    def test_partition_is_disjoint_union(self, grid, rng):
+        data = random_dataset(rng, grid, 100)
+        groups = area_partition(data, grid, [1, 2, 8, 32])
+        merged = sorted(
+            (r.x_lo, r.x_hi, r.y_lo, r.y_hi) for g in groups for r in g
+        )
+        original = sorted((r.x_lo, r.x_hi, r.y_lo, r.y_hi) for r in data)
+        assert merged == original
+
+    def test_group_names(self, grid, rng):
+        data = random_dataset(rng, grid, 10, name="mydata")
+        groups = area_partition(data, grid, [1, 4])
+        assert groups[0].name == "mydata[H_0]"
+        assert groups[1].name == "mydata[H_1]"
+
+
+class TestEstimation:
+    def test_m1_equals_euler_approx(self, grid, rng):
+        """With a single histogram every query takes the EulerApprox path,
+        so M-EulerApprox(m=1) must agree with EulerApprox exactly."""
+        data = random_dataset(rng, grid, 150)
+        multi = MEulerApprox(data, grid, [1])
+        single = EulerApprox(EulerHistogram.from_dataset(data, grid))
+        for _ in range(25):
+            q = random_query(rng, grid)
+            assert multi.estimate(q) == single.estimate(q)
+
+    def test_n_d_and_n_o_match_s_euler(self, grid, rng):
+        """Group-wise N_d / N_o sums telescope to the single-histogram
+        values: M-Euler's overlap estimate is schedule-invariant."""
+        data = random_dataset(rng, grid, 150)
+        multi = MEulerApprox(data, grid, [1, 4, 25])
+        simple = SEulerApprox(EulerHistogram.from_dataset(data, grid))
+        for _ in range(25):
+            q = random_query(rng, grid)
+            a, b = multi.estimate(q), simple.estimate(q)
+            assert a.n_d == pytest.approx(b.n_d)
+            assert a.n_o == pytest.approx(b.n_o)
+
+    def test_exact_when_bands_separate_objects_from_queries(self, grid):
+        """Small objects plus one giant container, thresholds separating
+        them: each group takes its safe path and the answer is exact."""
+        rects = [
+            Rect(1.2, 1.8, 1.2, 1.8),
+            Rect(5.3, 5.9, 3.1, 3.7),
+            Rect(6.4, 6.9, 4.2, 4.8),
+            Rect(0.5, 11.5, 0.5, 7.5),  # area 77 cells
+        ]
+        data = RectDataset.from_rects(rects, grid.extent)
+        multi = MEulerApprox(data, grid, [1, 36])
+        q = TileQuery(5, 8, 3, 6)  # area 9: below 36, above the small band
+        truth = brute_force_counts(data, grid, q)
+        assert multi.estimate(q) == truth
+
+    def test_sums_to_dataset_size(self, grid, rng):
+        data = random_dataset(rng, grid, 130)
+        multi = MEulerApprox(data, grid, [1, 4, 16, 64])
+        for _ in range(25):
+            counts = multi.estimate(random_query(rng, grid))
+            assert counts.total == pytest.approx(len(data))
+
+    def test_empty_groups_are_skipped(self, grid):
+        # All objects tiny: the upper bands are empty and must not
+        # perturb the result.
+        rects = [Rect(1.2, 1.6, 1.2, 1.6), Rect(3.1, 3.5, 2.2, 2.6)]
+        data = RectDataset.from_rects(rects, grid.extent)
+        multi = MEulerApprox(data, grid, [1, 9, 49])
+        q = TileQuery(0, 4, 0, 4)
+        assert multi.estimate(q) == brute_force_counts(data, grid, q)
+
+    def test_more_histograms_never_hurt_on_adversarial_mix(self, grid, rng):
+        """The paper's Figure 18 claim in miniature: on a size-mixed
+        dataset the worst N_cs error is non-increasing as thresholds are
+        refined (for nested schedules)."""
+        small = random_dataset(rng, grid, 150, max_size_cells=1.0, aligned_fraction=0.0)
+        big = random_dataset(rng, grid, 60, max_size_cells=None, aligned_fraction=0.0)
+        data = small.concatenated(big, name="mix")
+
+        queries = [random_query(rng, grid) for _ in range(40)]
+        worst = []
+        for thresholds in ([1], [1, 16], [1, 4, 16], [1, 4, 16, 36]):
+            multi = MEulerApprox(data, grid, thresholds)
+            err = 0.0
+            for q in queries:
+                truth = brute_force_counts(data, grid, q)
+                err += abs(multi.estimate(q).n_cs - truth.n_cs)
+            worst.append(err)
+        assert worst[-1] <= worst[0]
+
+    def test_properties(self, grid, rng):
+        data = random_dataset(rng, grid, 50)
+        multi = MEulerApprox(data, grid, [1, 9])
+        assert multi.num_histograms == 2
+        assert multi.name == "M-EulerApprox(m=2)"
+        assert multi.area_thresholds == (1.0, 9.0)
+        assert multi.num_objects == 50
+        assert multi.nbytes > 0
+        assert len(multi.histograms) == 2

@@ -1,0 +1,104 @@
+"""Tests for the multi-resolution histogram pyramid."""
+
+import pytest
+
+from repro.browse.service import GeoBrowsingService
+from repro.euler.pyramid import HistogramPyramid
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+from tests.conftest import random_dataset
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 64.0, 0.0, 32.0), 64, 32)
+
+
+@pytest.fixture
+def pyramid(grid, rng):
+    data = random_dataset(rng, grid, 200, max_size_cells=4.0)
+    return HistogramPyramid(data, grid, min_cells=4)
+
+
+class TestConstruction:
+    def test_levels_halve(self, pyramid):
+        # 64x32 -> 32x16 -> 16x8 -> 8x4.
+        assert pyramid.num_levels == 4
+        assert (pyramid.grid(0).n1, pyramid.grid(0).n2) == (64, 32)
+        assert (pyramid.grid(3).n1, pyramid.grid(3).n2) == (8, 4)
+
+    def test_every_level_covers_all_objects(self, pyramid):
+        for level in range(pyramid.num_levels):
+            estimator = pyramid.estimator(level)
+            grid = pyramid.grid(level)
+            counts = estimator.estimate(TileQuery(0, grid.n1, 0, grid.n2))
+            assert counts.total == pyramid.num_objects
+
+    def test_odd_cell_counts(self, rng):
+        grid = Grid(Rect(0.0, 9.0, 0.0, 5.0), 9, 5)
+        data = random_dataset(rng, grid, 40)
+        pyramid = HistogramPyramid(data, grid, min_cells=2)
+        assert (pyramid.grid(1).n1, pyramid.grid(1).n2) == (5, 3)
+
+    def test_level_bounds_checked(self, pyramid):
+        with pytest.raises(IndexError):
+            pyramid.grid(99)
+        with pytest.raises(IndexError):
+            pyramid.estimator(-1)
+
+    def test_nbytes_geometric(self, pyramid):
+        # The pyramid costs less than 2x the finest level.
+        finest = pyramid.estimator(0).histogram.nbytes
+        assert finest < pyramid.nbytes < 2 * finest
+
+    def test_validation(self, grid, rng):
+        data = random_dataset(rng, grid, 10)
+        with pytest.raises(ValueError):
+            HistogramPyramid(data, grid, min_cells=0)
+
+
+class TestLevelSelection:
+    def test_coarse_request_served_coarse(self, pyramid):
+        # Whole space split 4x8: the 8x4 level suffices (8 cols, 4 rows).
+        level = pyramid.level_for(Rect(0.0, 64.0, 0.0, 32.0), rows=4, cols=8)
+        assert level == pyramid.num_levels - 1
+
+    def test_fine_request_served_fine(self, pyramid):
+        level = pyramid.level_for(Rect(0.0, 64.0, 0.0, 32.0), rows=32, cols=64)
+        assert level == 0
+
+    def test_misaligned_at_coarse_falls_through(self, pyramid):
+        # Region aligned only with the finest grid.
+        level = pyramid.level_for(Rect(1.0, 5.0, 1.0, 3.0), rows=2, cols=4)
+        assert level == 0
+
+    def test_unservable_request_raises(self, pyramid):
+        with pytest.raises(ValueError, match="no pyramid level"):
+            pyramid.level_for(Rect(0.5, 1.75, 0.0, 1.0), rows=1, cols=5)
+        with pytest.raises(ValueError):
+            pyramid.level_for(Rect(0.0, 64.0, 0.0, 32.0), rows=0, cols=1)
+
+    def test_browse_through_selected_level(self, pyramid, grid, rng):
+        region = Rect(0.0, 64.0, 0.0, 32.0)
+        level, estimator, level_grid = pyramid.browse_estimator(region, rows=4, cols=8)
+        service = GeoBrowsingService(estimator, level_grid)
+        result = service.browse(region, rows=4, cols=8, relation="intersect")
+        assert result.counts.shape == (4, 8)
+        assert result.counts.sum() > 0
+
+
+class TestAccuracyPerLevel:
+    def test_each_level_matches_its_grid_truth(self, grid, rng):
+        data = random_dataset(rng, grid, 150, max_size_cells=0.9, aligned_fraction=0.0)
+        pyramid = HistogramPyramid(data, grid, min_cells=4)
+        for level in range(pyramid.num_levels):
+            level_grid = pyramid.grid(level)
+            exact = ExactEvaluator(data, level_grid)
+            estimator = pyramid.estimator(level)
+            q = TileQuery(0, level_grid.n1 // 2, 0, level_grid.n2 // 2)
+            # Sub-cell objects at level 0 may span cells at coarse levels,
+            # but S-Euler's intersect/disjoint stay exact at every level.
+            assert estimator.estimate(q).n_d == exact.estimate(q).n_d

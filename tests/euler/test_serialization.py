@@ -1,0 +1,53 @@
+"""Tests for Euler histogram persistence."""
+
+import numpy as np
+import pytest
+
+from repro.euler.histogram import EulerHistogram
+from repro.euler.simple import SEulerApprox
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+
+from tests.conftest import random_dataset, random_query
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(-10.0, 30.0, 5.0, 25.0), 8, 10)
+
+
+def test_save_load_roundtrip(grid, rng, tmp_path):
+    data = random_dataset(rng, grid, 120)
+    original = EulerHistogram.from_dataset(data, grid)
+    path = tmp_path / "hist.npz"
+    original.save(path)
+
+    loaded = EulerHistogram.load(path)
+    assert loaded.num_objects == original.num_objects
+    assert loaded.grid == grid
+    np.testing.assert_array_equal(loaded.buckets(), original.buckets())
+
+
+def test_loaded_histogram_answers_queries(grid, rng, tmp_path):
+    data = random_dataset(rng, grid, 90)
+    original = EulerHistogram.from_dataset(data, grid)
+    path = tmp_path / "hist.npz"
+    original.save(path)
+    loaded = EulerHistogram.load(path)
+
+    live = SEulerApprox(original)
+    revived = SEulerApprox(loaded)
+    for _ in range(25):
+        q = random_query(rng, grid)
+        assert revived.estimate(q) == live.estimate(q)
+
+
+def test_empty_histogram_roundtrip(grid, tmp_path):
+    from repro.datasets.base import RectDataset
+
+    original = EulerHistogram.from_dataset(RectDataset.empty(grid.extent), grid)
+    path = tmp_path / "empty.npz"
+    original.save(path)
+    loaded = EulerHistogram.load(path)
+    assert loaded.num_objects == 0
+    assert loaded.total_sum == 0

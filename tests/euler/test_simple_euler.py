@@ -1,0 +1,99 @@
+"""Tests for S-EulerApprox (Section 5.2)."""
+
+import pytest
+
+from repro.datasets.base import RectDataset
+from repro.euler.histogram import EulerHistogram
+from repro.euler.simple import SEulerApprox
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+from tests.conftest import brute_force_counts, random_dataset, random_query
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 10.0, 0.0, 8.0), 10, 8)
+
+
+def _estimator(grid, rects):
+    data = RectDataset.from_rects(rects, grid.extent)
+    return SEulerApprox(EulerHistogram.from_dataset(data, grid)), data
+
+
+class TestExactCases:
+    def test_exact_for_subcell_objects(self, grid, rng):
+        """No object can contain or cross any query when every object fits
+        inside one cell: S-EulerApprox is exact."""
+        data = random_dataset(
+            rng, grid, 200, max_size_cells=0.9, aligned_fraction=0.0, name="tiny"
+        )
+        estimator = SEulerApprox(EulerHistogram.from_dataset(data, grid))
+        for _ in range(25):
+            q = random_query(rng, grid)
+            assert estimator.estimate(q) == brute_force_counts(data, grid, q)
+
+    def test_single_contained_object(self, grid):
+        estimator, _ = _estimator(grid, [Rect(2.3, 3.7, 2.3, 3.7)])
+        counts = estimator.estimate(TileQuery(2, 4, 2, 4))
+        assert (counts.n_d, counts.n_cs, counts.n_cd, counts.n_o) == (0, 1, 0, 0)
+
+    def test_single_disjoint_object(self, grid):
+        estimator, _ = _estimator(grid, [Rect(7.2, 7.8, 6.2, 6.8)])
+        counts = estimator.estimate(TileQuery(0, 4, 0, 4))
+        assert (counts.n_d, counts.n_cs, counts.n_cd, counts.n_o) == (1, 0, 0, 0)
+
+    def test_single_overlapping_object(self, grid):
+        estimator, _ = _estimator(grid, [Rect(3.5, 5.5, 3.5, 5.5)])
+        counts = estimator.estimate(TileQuery(0, 4, 0, 4))
+        assert (counts.n_d, counts.n_cs, counts.n_cd, counts.n_o) == (0, 0, 0, 1)
+
+    def test_n_d_always_exact(self, grid, rng):
+        data = random_dataset(rng, grid, 150)
+        estimator = SEulerApprox(EulerHistogram.from_dataset(data, grid))
+        for _ in range(25):
+            q = random_query(rng, grid)
+            assert estimator.estimate(q).n_d == brute_force_counts(data, grid, q).n_d
+
+
+class TestFailureModes:
+    def test_container_misattributed_to_contains(self, grid):
+        """The documented N_cd = 0 failure: an object containing the query
+        shows up in N_cs instead (loophole effect drops it from n_ei)."""
+        estimator, data = _estimator(grid, [Rect(1.0, 9.0, 1.0, 7.0)])
+        q = TileQuery(3, 6, 3, 5)
+        truth = brute_force_counts(data, grid, q)
+        assert truth.n_cd == 1 and truth.n_cs == 0
+        counts = estimator.estimate(q)
+        assert counts.n_cd == 0
+        assert counts.n_cs == 1  # the container leaks into contains
+        assert counts.n_o == truth.n_o == 0
+
+    def test_crossover_inflates_overlap(self, grid):
+        """A crossover object (Figure 9(b)) double counts in n_ei, pushing
+        N_cs down by one and N_o up by one."""
+        estimator, data = _estimator(grid, [Rect(0.5, 9.5, 3.2, 3.8)])
+        q = TileQuery(3, 6, 0, 8)
+        truth = brute_force_counts(data, grid, q)
+        assert truth.n_o == 1
+        counts = estimator.estimate(q)
+        assert counts.n_o == 2
+        assert counts.n_cs == -1
+
+    def test_estimates_always_sum_to_dataset_size(self, grid, rng):
+        data = random_dataset(rng, grid, 120)
+        estimator = SEulerApprox(EulerHistogram.from_dataset(data, grid))
+        for _ in range(25):
+            counts = estimator.estimate(random_query(rng, grid))
+            assert counts.total == len(data)
+
+
+class TestProtocol:
+    def test_name(self, grid):
+        estimator, _ = _estimator(grid, [])
+        assert estimator.name == "S-EulerApprox"
+
+    def test_histogram_accessor(self, grid):
+        estimator, _ = _estimator(grid, [])
+        assert estimator.histogram.num_objects == 0

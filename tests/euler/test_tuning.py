@@ -1,0 +1,77 @@
+"""Tests for the pragmatic M-EulerApprox threshold tuner (Section 6.4)."""
+
+import pytest
+
+from repro.euler.tuning import tune_area_thresholds
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.workloads.tiles import query_set
+
+from tests.conftest import random_dataset
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 24.0, 0.0, 12.0), 24, 12)
+
+
+@pytest.fixture
+def mixed_dataset(grid, rng):
+    small = random_dataset(rng, grid, 400, max_size_cells=1.0, aligned_fraction=0.0)
+    big = random_dataset(rng, grid, 150, aligned_fraction=0.0)
+    return small.concatenated(big, name="mixed")
+
+
+@pytest.fixture
+def query_sets(grid):
+    return [query_set(grid, n) for n in (12, 6, 4, 3, 2)]
+
+
+def test_tuner_returns_valid_schedule(grid, mixed_dataset, query_sets):
+    oracle = ExactEvaluator(mixed_dataset, grid).estimate
+    result = tune_area_thresholds(
+        mixed_dataset, grid, oracle, query_sets, error_limit=0.02, max_histograms=5
+    )
+    assert result.thresholds[0] == 1.0
+    assert all(a < b for a, b in zip(result.thresholds, result.thresholds[1:]))
+    assert 2 <= result.num_histograms <= 5
+    assert result.estimator.num_histograms == result.num_histograms
+    assert len(result.history) >= 1
+
+
+def test_tuner_improves_over_start(grid, mixed_dataset, query_sets):
+    """The loop keeps the best configuration: the final worst-case error
+    never exceeds the 2-histogram starting point's."""
+    oracle = ExactEvaluator(mixed_dataset, grid).estimate
+    result = tune_area_thresholds(
+        mixed_dataset, grid, oracle, query_sets, error_limit=0.0, max_histograms=5
+    )
+    start_error = result.history[0][1]
+    best_error = min(err for _, err in result.history)
+    final_m = result.num_histograms
+    # The returned estimator corresponds to the minimum seen.
+    assert any(m == final_m and err == best_error for m, err in result.history)
+    assert best_error <= start_error
+
+
+def test_tuner_stops_as_soon_as_limit_is_met(grid, rng, query_sets):
+    tiny = random_dataset(rng, grid, 300, max_size_cells=0.9, aligned_fraction=0.0)
+    oracle = ExactEvaluator(tiny, grid).estimate
+    result = tune_area_thresholds(tiny, grid, oracle, query_sets, error_limit=0.05)
+    # The first configuration meeting the limit ends the loop.
+    below = [i for i, (_, err) in enumerate(result.history) if err <= 0.05]
+    if below:
+        assert below[0] == len(result.history) - 1
+        assert result.history[-1][1] <= 0.05
+    assert result.num_histograms <= 5
+
+
+def test_tuner_validates_inputs(grid, mixed_dataset, query_sets):
+    oracle = ExactEvaluator(mixed_dataset, grid).estimate
+    with pytest.raises(ValueError, match="2 histograms"):
+        tune_area_thresholds(
+            mixed_dataset, grid, oracle, query_sets, max_histograms=1
+        )
+    with pytest.raises(ValueError, match="query set"):
+        tune_area_thresholds(mixed_dataset, grid, oracle, [])

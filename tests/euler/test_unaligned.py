@@ -1,0 +1,138 @@
+"""Tests for the unaligned-query envelope and interpolation layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact.continuous import ContinuousExactEvaluator
+from repro.exact.evaluator import ExactEvaluator
+from repro.euler.unaligned import UnalignedEstimator, _aligned_boxes
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+from tests.conftest import random_dataset, random_query
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 12.0, 0.0, 8.0), 12, 8)
+
+
+@pytest.fixture
+def data(grid, rng):
+    return random_dataset(rng, grid, 200, degenerate_fraction=0.0, aligned_fraction=0.0)
+
+
+@pytest.fixture
+def unaligned(grid, data):
+    # Exact aligned backend: envelopes become sound brackets.
+    return UnalignedEstimator(ExactEvaluator(data, grid), grid, len(data))
+
+
+class TestAlignedBoxes:
+    def test_inner_and_outer(self, grid):
+        inner, outer = _aligned_boxes(grid, Rect(1.2, 4.8, 2.1, 5.9))
+        assert inner == TileQuery(2, 4, 3, 5)
+        assert outer == TileQuery(1, 5, 2, 6)
+
+    def test_aligned_query_collapses(self, grid):
+        inner, outer = _aligned_boxes(grid, Rect(2.0, 5.0, 1.0, 6.0))
+        assert inner == outer == TileQuery(2, 5, 1, 6)
+
+    def test_subcell_query_has_no_inner(self, grid):
+        inner, outer = _aligned_boxes(grid, Rect(3.2, 3.8, 4.1, 4.9))
+        assert inner is None
+        assert outer == TileQuery(3, 4, 4, 5)
+
+    def test_outside_query_rejected(self, grid):
+        with pytest.raises(ValueError, match="outside the data space"):
+            _aligned_boxes(grid, Rect(-1.0, 3.0, 0.0, 2.0))
+
+
+class TestEnvelope:
+    def test_brackets_hold_on_random_queries(self, grid, data, unaligned, rng):
+        truth = ContinuousExactEvaluator(data)
+        for _ in range(50):
+            x = np.sort(rng.uniform(0, 12, size=2))
+            y = np.sort(rng.uniform(0, 8, size=2))
+            if x[1] - x[0] < 0.05 or y[1] - y[0] < 0.05:
+                continue
+            query = Rect(float(x[0]), float(x[1]), float(y[0]), float(y[1]))
+            exact = truth.estimate(query)
+            env = unaligned.envelope(query)
+            assert env.intersect_lo <= exact.n_intersect <= env.intersect_hi
+            assert env.contains_lo <= exact.n_cs <= env.contains_hi
+            assert env.contained_lo <= exact.n_cd <= env.contained_hi
+
+    def test_envelope_tight_on_aligned_queries(self, grid, unaligned, rng):
+        for _ in range(10):
+            q = random_query(rng, grid)
+            env = unaligned.envelope(q.to_world(grid))
+            assert env.intersect_lo == env.intersect_hi
+            assert env.contains_lo == env.contains_hi
+            assert env.contained_lo == env.contained_hi
+
+
+class TestInterpolation:
+    def test_exact_on_aligned_queries(self, grid, data, unaligned, rng):
+        lattice = ExactEvaluator(data, grid)
+        for _ in range(15):
+            q = random_query(rng, grid)
+            assert unaligned.estimate(q.to_world(grid)) == lattice.estimate(q)
+
+    def test_estimate_within_envelope(self, grid, unaligned, rng):
+        for _ in range(30):
+            x = np.sort(rng.uniform(0, 12, size=2))
+            y = np.sort(rng.uniform(0, 8, size=2))
+            if x[1] - x[0] < 0.05 or y[1] - y[0] < 0.05:
+                continue
+            query = Rect(float(x[0]), float(x[1]), float(y[0]), float(y[1]))
+            counts = unaligned.estimate(query)
+            env = unaligned.envelope(query)
+            assert env.contains_lo - 1e-9 <= counts.n_cs <= env.contains_hi + 1e-9
+            assert env.contained_lo - 1e-9 <= counts.n_cd <= env.contained_hi + 1e-9
+            assert counts.total == pytest.approx(unaligned._num_objects)
+
+    def test_reasonable_accuracy_on_small_objects(self, grid, rng):
+        """With sub-cell objects the interpolation should land close to
+        the continuous truth (objects straddling the frame are rare)."""
+        data = random_dataset(
+            rng, grid, 400, max_size_cells=0.6, degenerate_fraction=0.0, aligned_fraction=0.0
+        )
+        unaligned = UnalignedEstimator(ExactEvaluator(data, grid), grid, len(data))
+        truth = ContinuousExactEvaluator(data)
+        total_err = 0.0
+        total = 0.0
+        for _ in range(40):
+            x = np.sort(rng.uniform(0, 12, size=2))
+            y = np.sort(rng.uniform(0, 8, size=2))
+            if x[1] - x[0] < 1.0 or y[1] - y[0] < 1.0:
+                continue
+            query = Rect(float(x[0]), float(x[1]), float(y[0]), float(y[1]))
+            exact = truth.estimate(query)
+            counts = unaligned.estimate(query)
+            total_err += abs(exact.n_intersect - counts.n_intersect)
+            total += exact.n_intersect
+        assert total > 0
+        assert total_err / total < 0.25
+
+    def test_rejects_degenerate_query(self, unaligned):
+        with pytest.raises(ValueError, match="positive area"):
+            unaligned.estimate(Rect(1.0, 1.0, 0.0, 3.0))
+
+    def test_name(self, unaligned):
+        assert unaligned.name == "Unaligned[Exact]"
+
+
+class TestScaledGrid:
+    def test_works_with_non_unit_cells(self, rng):
+        grid = Grid(Rect(-100.0, 100.0, 0.0, 50.0), 20, 10)  # 10x5 cells
+        data = random_dataset(rng, grid, 150, degenerate_fraction=0.0)
+        unaligned = UnalignedEstimator(ExactEvaluator(data, grid), grid, len(data))
+        truth = ContinuousExactEvaluator(data)
+        query = Rect(-47.0, 33.0, 7.0, 41.0)
+        exact = truth.estimate(query)
+        env = unaligned.envelope(query)
+        assert env.intersect_lo <= exact.n_intersect <= env.intersect_hi

@@ -1,0 +1,76 @@
+"""Tests for the continuous (unaligned) exact evaluator."""
+
+import pytest
+
+from repro.datasets.base import RectDataset
+from repro.exact.continuous import ContinuousExactEvaluator
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.geometry.relations import Level2Relation, classify_level2_shrunk
+from repro.grid.grid import Grid
+
+from tests.conftest import random_dataset, random_query
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 12.0, 0.0, 8.0), 12, 8)
+
+
+def _brute(dataset, query):
+    tally = {rel: 0 for rel in Level2Relation}
+    for obj in dataset:
+        tally[classify_level2_shrunk(obj, query)] += 1
+    return tally
+
+
+def test_matches_scalar_classifier(grid, rng):
+    data = random_dataset(rng, grid, 150, degenerate_fraction=0.0)
+    evaluator = ContinuousExactEvaluator(data)
+    for _ in range(30):
+        x = sorted(rng.uniform(0, 12, size=2))
+        y = sorted(rng.uniform(0, 8, size=2))
+        if x[1] - x[0] < 1e-6 or y[1] - y[0] < 1e-6:
+            continue
+        query = Rect(x[0], x[1], y[0], y[1])
+        tally = _brute(data, query)
+        counts = evaluator.estimate(query)
+        assert counts.n_d == tally[Level2Relation.DISJOINT]
+        assert counts.n_cs == tally[Level2Relation.CONTAINS]
+        assert counts.n_cd == tally[Level2Relation.CONTAINED]
+        assert counts.n_o == tally[Level2Relation.OVERLAP]
+
+
+def test_agrees_with_lattice_evaluator_on_aligned_queries(grid, rng):
+    # Interior-aligned objects only (the convention-resolved degenerate
+    # cases are excluded by construction of the snapped evaluator).
+    data = random_dataset(rng, grid, 200, degenerate_fraction=0.0, aligned_fraction=0.0)
+    continuous = ContinuousExactEvaluator(data)
+    lattice = ExactEvaluator(data, grid)
+    for _ in range(30):
+        q = random_query(rng, grid)
+        assert continuous.estimate(q.to_world(grid)) == lattice.estimate(q)
+
+
+def test_degenerate_objects_closed_query_convention(grid):
+    data = RectDataset.from_rects(
+        [Rect.point(3.0, 3.0), Rect(2.0, 2.0, 1.0, 5.0)], grid.extent
+    )
+    evaluator = ContinuousExactEvaluator(data)
+    # Point on the query corner intersects (closed query); the vertical
+    # segment lies on the boundary -> intersects too.
+    counts = evaluator.estimate(Rect(2.0, 3.0, 1.0, 3.0))
+    assert counts.n_intersect == 2
+
+
+def test_rejects_degenerate_query(grid):
+    data = RectDataset.empty(grid.extent)
+    with pytest.raises(ValueError, match="positive area"):
+        ContinuousExactEvaluator(data).estimate(Rect(1.0, 1.0, 0.0, 5.0))
+
+
+def test_counts_partition(grid, rng):
+    data = random_dataset(rng, grid, 100)
+    evaluator = ContinuousExactEvaluator(data)
+    counts = evaluator.estimate(Rect(1.3, 7.9, 0.4, 6.1))
+    assert counts.total == len(data)

@@ -1,0 +1,82 @@
+"""Tests for the vectorised exact evaluator against the scalar oracle."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import RectDataset
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+from tests.conftest import brute_force_counts, random_dataset, random_query
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 12.0, 0.0, 8.0), 12, 8)
+
+
+def test_matches_scalar_oracle_on_random_data(grid, rng):
+    data = random_dataset(rng, grid, 250, degenerate_fraction=0.25, aligned_fraction=0.3)
+    evaluator = ExactEvaluator(data, grid)
+    for _ in range(50):
+        q = random_query(rng, grid)
+        assert evaluator.estimate(q) == brute_force_counts(data, grid, q)
+
+
+def test_matches_on_scaled_grid(rng):
+    # Non-unit cells: 2.5 x 1.25 world units per cell.
+    grid = Grid(Rect(0.0, 25.0, 0.0, 10.0), 10, 8)
+    data = random_dataset(rng, grid, 200)
+    evaluator = ExactEvaluator(data, grid)
+    for _ in range(30):
+        q = random_query(rng, grid)
+        assert evaluator.estimate(q) == brute_force_counts(data, grid, q)
+
+
+def test_counts_are_integral_and_non_negative(grid, rng):
+    data = random_dataset(rng, grid, 100)
+    evaluator = ExactEvaluator(data, grid)
+    for _ in range(20):
+        counts = evaluator.estimate(random_query(rng, grid))
+        for value in (counts.n_d, counts.n_cs, counts.n_cd, counts.n_o):
+            assert value >= 0
+            assert value == int(value)
+        assert counts.total == len(data)
+
+
+def test_masks_partition_objects(grid, rng):
+    data = random_dataset(rng, grid, 150)
+    evaluator = ExactEvaluator(data, grid)
+    q = random_query(rng, grid)
+    intersects, within, covers = evaluator.masks(q)
+    assert not np.any(within & covers)
+    assert np.all(intersects[within])
+    assert np.all(intersects[covers])
+
+
+def test_full_space_query(grid, rng):
+    data = random_dataset(rng, grid, 80)
+    evaluator = ExactEvaluator(data, grid)
+    counts = evaluator.estimate(TileQuery(0, 12, 0, 8))
+    assert counts.n_cs == len(data)
+    assert counts.n_d == counts.n_cd == counts.n_o == 0
+
+
+def test_empty_dataset(grid):
+    evaluator = ExactEvaluator(RectDataset.empty(Rect(0.0, 12.0, 0.0, 8.0)), grid)
+    counts = evaluator.estimate(TileQuery(0, 1, 0, 1))
+    assert counts.total == 0
+
+
+def test_out_of_grid_query_rejected(grid, rng):
+    data = random_dataset(rng, grid, 10)
+    evaluator = ExactEvaluator(data, grid)
+    with pytest.raises(ValueError):
+        evaluator.estimate(TileQuery(0, 13, 0, 8))
+
+
+def test_name(grid):
+    evaluator = ExactEvaluator(RectDataset.empty(Rect(0.0, 12.0, 0.0, 8.0)), grid)
+    assert evaluator.name == "Exact"

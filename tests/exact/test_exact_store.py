@@ -1,0 +1,93 @@
+"""Tests for the Theorem 3.1 exact stores."""
+
+import numpy as np
+import pytest
+
+from repro.exact.evaluator import ExactEvaluator
+from repro.exact.storage import exact_contains_bucket_count
+from repro.exact.store import ExactContainsStore1D, ExactLevel2Store2D
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+
+from tests.conftest import random_dataset, random_query
+
+
+class TestStore1D:
+    N = 8
+
+    def _brute(self, lo, hi, q_lo, q_hi):
+        """Scalar 1-d oracle on the open-object/closed-query semantics."""
+        contains = sum(1 for a, b in zip(lo, hi) if q_lo <= a and b <= q_hi)
+        contained = sum(1 for a, b in zip(lo, hi) if a < q_lo and q_hi < b)
+        intersect = sum(1 for a, b in zip(lo, hi) if a < q_hi and b > q_lo)
+        return contains, contained, intersect
+
+    def test_against_brute_force(self, rng):
+        # Non-aligned endpoints: the snapped store answers at resolution,
+        # so compare against the snapped intervals.
+        raw_lo = rng.uniform(0, self.N, size=200)
+        raw_hi = np.minimum(raw_lo + rng.uniform(0, 4, size=200), self.N)
+        store = ExactContainsStore1D(raw_lo, raw_hi, self.N)
+        lo = np.floor(raw_lo)
+        hi = np.ceil(raw_hi)
+        hi = np.maximum(hi, lo + 1)  # degenerate-on-line convention
+        lo = np.minimum(lo, self.N - 1)
+        hi = np.minimum(np.maximum(hi, lo + 1), self.N)
+        for q_lo in range(self.N):
+            for q_hi in range(q_lo + 1, self.N + 1):
+                cs, cd, it = self._brute(lo, hi, q_lo, q_hi)
+                assert store.contains(q_lo, q_hi) == cs
+                assert store.contained(q_lo, q_hi) == cd
+                assert store.intersect(q_lo, q_hi) == it
+
+    def test_bucket_count_matches_theorem(self):
+        store = ExactContainsStore1D(np.array([0.5]), np.array([1.5]), 7)
+        assert store.effective_bucket_count == 7 * 8 // 2
+        assert store.effective_bucket_count == exact_contains_bucket_count([7])
+
+    def test_boundary_query_has_no_containers(self):
+        store = ExactContainsStore1D(np.array([0.2]), np.array([7.8]), 8)
+        assert store.contained(0, 4) == 0
+        assert store.contained(4, 8) == 0
+        assert store.contained(1, 7) == 1
+
+    def test_invalid_query(self):
+        store = ExactContainsStore1D(np.array([1.5]), np.array([2.5]), 8)
+        with pytest.raises(ValueError):
+            store.contains(3, 3)
+        with pytest.raises(ValueError):
+            store.intersect(-1, 2)
+
+    def test_num_objects(self):
+        store = ExactContainsStore1D(np.array([0.5, 1.5]), np.array([1.0, 3.0]), 8)
+        assert store.num_objects == 2
+
+
+class TestStore2D:
+    def test_matches_exact_evaluator(self, rng):
+        grid = Grid(Rect(0.0, 10.0, 0.0, 6.0), 10, 6)
+        data = random_dataset(rng, grid, 200, degenerate_fraction=0.2, aligned_fraction=0.3)
+        store = ExactLevel2Store2D(data, grid)
+        evaluator = ExactEvaluator(data, grid)
+        for _ in range(60):
+            q = random_query(rng, grid)
+            assert store.estimate(q) == evaluator.estimate(q)
+
+    def test_bucket_count_matches_theorem(self, rng):
+        grid = Grid(Rect(0.0, 6.0, 0.0, 4.0), 6, 4)
+        data = random_dataset(rng, grid, 10)
+        store = ExactLevel2Store2D(data, grid)
+        assert store.effective_bucket_count == (6 * 7 // 2) * (4 * 5 // 2)
+        assert store.effective_bucket_count == exact_contains_bucket_count([6, 4])
+
+    def test_refuses_large_grids(self, rng):
+        """The Theorem 3.1 blow-up is enforced, not just documented."""
+        grid = Grid.world_1deg()
+        data = random_dataset(rng, grid, 10)
+        with pytest.raises(ValueError, match="Theorem 3.1"):
+            ExactLevel2Store2D(data, grid)
+
+    def test_num_objects(self, rng):
+        grid = Grid(Rect(0.0, 5.0, 0.0, 5.0), 5, 5)
+        data = random_dataset(rng, grid, 33)
+        assert ExactLevel2Store2D(data, grid).num_objects == 33

@@ -1,0 +1,92 @@
+"""Tests for the O(M) whole-tiling exact evaluator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.base import RectDataset
+from repro.exact.evaluator import ExactEvaluator
+from repro.exact.tiling import exact_tiling_counts
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+
+from tests.conftest import random_dataset
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 12.0, 0.0, 8.0), 12, 8)
+
+
+def _assert_matches_evaluator(data, grid, tile_w, tile_h):
+    tiling = exact_tiling_counts(data, grid, tile_w, tile_h)
+    evaluator = ExactEvaluator(data, grid)
+    for tx in range(tiling.shape[0]):
+        for ty in range(tiling.shape[1]):
+            assert tiling.counts_at(tx, ty) == evaluator.estimate(tiling.query_at(tx, ty)), (
+                tx,
+                ty,
+            )
+
+
+@pytest.mark.parametrize("tile_w,tile_h", [(1, 1), (2, 2), (3, 4), (4, 2), (6, 8), (12, 8)])
+def test_matches_per_query_evaluator(grid, rng, tile_w, tile_h):
+    data = random_dataset(rng, grid, 300, degenerate_fraction=0.2, aligned_fraction=0.3)
+    _assert_matches_evaluator(data, grid, tile_w, tile_h)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), tile=st.sampled_from([1, 2, 4]))
+def test_matches_evaluator_property(seed, tile):
+    grid = Grid(Rect(0.0, 8.0, 0.0, 4.0), 8, 4)
+    rng = np.random.default_rng(seed)
+    data = random_dataset(rng, grid, 60, degenerate_fraction=0.3, aligned_fraction=0.4)
+    _assert_matches_evaluator(data, grid, tile, tile)
+
+
+def test_per_tile_totals(grid, rng):
+    data = random_dataset(rng, grid, 200)
+    tiling = exact_tiling_counts(data, grid, 4, 4)
+    totals = tiling.n_d + tiling.n_cs + tiling.n_cd + tiling.n_o
+    np.testing.assert_array_equal(totals, np.full(tiling.shape, len(data)))
+
+
+def test_contained_objects_counted_once_across_tiles(grid, rng):
+    """Disjoint tiles: every object is within at most one tile, so the
+    global n_cs sum equals the number of single-tile objects."""
+    data = random_dataset(rng, grid, 200, max_size_cells=2.0)
+    tiling = exact_tiling_counts(data, grid, 4, 4)
+    evaluator = ExactEvaluator(data, grid)
+    per_tile = sum(
+        evaluator.estimate(tiling.query_at(tx, ty)).n_cs
+        for tx in range(tiling.shape[0])
+        for ty in range(tiling.shape[1])
+    )
+    assert tiling.n_cs.sum() == per_tile
+
+
+def test_rejects_non_dividing_tiles(grid, rng):
+    data = random_dataset(rng, grid, 10)
+    with pytest.raises(ValueError, match="does not divide"):
+        exact_tiling_counts(data, grid, 5, 4)
+
+
+def test_rejects_bad_tile_size(grid, rng):
+    data = random_dataset(rng, grid, 10)
+    with pytest.raises(ValueError):
+        exact_tiling_counts(data, grid, 0, 4)
+
+
+def test_empty_dataset(grid):
+    data = RectDataset.empty(grid.extent)
+    tiling = exact_tiling_counts(data, grid, 4, 4)
+    assert tiling.n_d.sum() == 0
+    assert tiling.num_tiles == 6
+
+def test_shape_and_queries(grid, rng):
+    data = random_dataset(rng, grid, 20)
+    tiling = exact_tiling_counts(data, grid, 3, 2)
+    assert tiling.shape == (4, 4)
+    q = tiling.query_at(1, 2)
+    assert (q.qx_lo, q.qx_hi, q.qy_lo, q.qy_hi) == (3, 6, 4, 6)

@@ -1,0 +1,141 @@
+"""Tests for the Equation 3 reconstruction and the Theorem 3.1 argument.
+
+Two computational demonstrations of Section 3:
+
+1. a contains-oracle determines the *complete* type histogram
+   (Equation 3 runs and recovers every bucket), so exact contains
+   answers require the full O(N^2) information;
+2. an intersect-oracle does NOT: there exist different datasets with
+   identical Euler histograms (hence identical intersect answers for
+   every aligned query) but different contains answers -- Figure 8's
+   point, found here by exhaustive search.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import RectDataset
+from repro.euler.histogram import EulerHistogram
+from repro.exact.evaluator import ExactEvaluator
+from repro.exact.reconstruction import reconstruct_1d, reconstruct_2d
+from repro.exact.store import ExactContainsStore1D, ExactLevel2Store2D
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+
+class TestReconstruct1D:
+    N = 8
+
+    def test_recovers_type_histogram(self, rng):
+        lo = rng.uniform(0, self.N, size=150)
+        hi = np.minimum(lo + rng.uniform(0, 4, size=150), self.N)
+        store = ExactContainsStore1D(lo, hi, self.N)
+
+        recovered = reconstruct_1d(store.contains, self.N)
+
+        # Direct type histogram from the snapped intervals.
+        expected = np.zeros((self.N, self.N), dtype=np.int64)
+        from repro.geometry.snapping import snap_axis_arrays
+
+        a_lo, a_hi = snap_axis_arrays(lo, hi, self.N)
+        np.add.at(expected, (a_lo // 2, a_hi // 2), 1)
+        np.testing.assert_array_equal(recovered, expected)
+
+    def test_total_preserved(self, rng):
+        lo = rng.uniform(0, self.N, size=60)
+        hi = np.minimum(lo + rng.uniform(0, 2, size=60), self.N)
+        store = ExactContainsStore1D(lo, hi, self.N)
+        assert reconstruct_1d(store.contains, self.N).sum() == 60
+
+    def test_empty(self):
+        store = ExactContainsStore1D(np.zeros(0), np.zeros(0), 4)
+        assert reconstruct_1d(store.contains, 4).sum() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reconstruct_1d(lambda a, b: 0, 0)
+
+
+class TestReconstruct2D:
+    def test_recovers_footprint_histogram(self, rng):
+        grid = Grid(Rect(0.0, 5.0, 0.0, 4.0), 5, 4)
+        from tests.conftest import random_dataset
+
+        data = random_dataset(rng, grid, 80, degenerate_fraction=0.2)
+        store = ExactLevel2Store2D(data, grid)
+
+        def oracle(qx_lo, qx_hi, qy_lo, qy_hi):
+            return store.estimate(TileQuery(qx_lo, qx_hi, qy_lo, qy_hi)).n_cs
+
+        recovered = reconstruct_2d(oracle, 5, 4)
+        assert recovered.sum() == 80
+
+        # Cross-check against direct snapped footprints.
+        from repro.geometry.snapping import snap_rects
+
+        a_lo, a_hi, b_lo, b_hi = snap_rects(
+            data.x_lo, data.x_hi, data.y_lo, data.y_hi, 5, 4
+        )
+        expected = np.zeros((5, 5, 4, 4), dtype=np.int64)
+        np.add.at(expected, (a_lo // 2, a_hi // 2, b_lo // 2, b_hi // 2), 1)
+        np.testing.assert_array_equal(recovered, expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reconstruct_2d(lambda *a: 0, 0, 3)
+
+
+class TestIntersectOracleIsNotInvertible:
+    """Figure 8, computationally: different datasets, identical Euler
+    histograms (=> identical intersect answers for every aligned query),
+    different contains answers."""
+
+    def _find_collision(self):
+        grid = Grid(Rect(0.0, 3.0, 0.0, 3.0), 3, 3)
+        # All axis-aligned footprint types on a 3x3 grid, as open rects
+        # slightly shrunk inside their cell spans.
+        types = [
+            Rect(i1 + 0.25, j1 - 0.25, i2 + 0.25, j2 - 0.25)
+            for i1, j1 in itertools.combinations(range(4), 2)
+            for i2, j2 in itertools.combinations(range(4), 2)
+        ]
+        seen: dict[bytes, tuple] = {}
+        for pair in itertools.combinations_with_replacement(range(len(types)), 2):
+            data = RectDataset.from_rects([types[k] for k in pair], grid.extent)
+            hist = EulerHistogram.from_dataset(data, grid)
+            key = hist.buckets().tobytes()
+            if key in seen and seen[key] != pair:
+                return grid, [types[k] for k in seen[key]], [types[k] for k in pair]
+            seen.setdefault(key, pair)
+        return None
+
+    def test_collision_exists_and_contains_differs(self):
+        found = self._find_collision()
+        assert found is not None, "no Euler-histogram collision found"
+        grid, rects_a, rects_b = found
+        data_a = RectDataset.from_rects(rects_a, grid.extent)
+        data_b = RectDataset.from_rects(rects_b, grid.extent)
+
+        hist_a = EulerHistogram.from_dataset(data_a, grid)
+        hist_b = EulerHistogram.from_dataset(data_b, grid)
+        np.testing.assert_array_equal(hist_a.buckets(), hist_b.buckets())
+
+        eval_a = ExactEvaluator(data_a, grid)
+        eval_b = ExactEvaluator(data_b, grid)
+        all_queries = [
+            TileQuery(x1, x2, y1, y2)
+            for x1, x2 in itertools.combinations(range(4), 2)
+            for y1, y2 in itertools.combinations(range(4), 2)
+        ]
+        # Intersect answers agree everywhere (they must: same histogram).
+        for q in all_queries:
+            assert hist_a.intersect_count(q) == hist_b.intersect_count(q)
+            assert eval_a.estimate(q).n_intersect == eval_b.estimate(q).n_intersect
+        # ...but contains answers differ somewhere: the intersect oracle
+        # cannot determine contains, hence no Equation 3 for intersect.
+        assert any(
+            eval_a.estimate(q).n_cs != eval_b.estimate(q).n_cs for q in all_queries
+        )

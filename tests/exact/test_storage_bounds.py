@@ -1,0 +1,66 @@
+"""Tests for the Theorem 3.1 storage accounting."""
+
+import pytest
+
+from repro.exact.storage import (
+    euler_histogram_bucket_count,
+    exact_contains_bucket_count,
+    exact_contains_storage_bytes,
+    storage_comparison_row,
+)
+
+
+class TestBucketCounts:
+    def test_1d(self):
+        assert exact_contains_bucket_count([8]) == 36
+
+    def test_2d(self):
+        assert exact_contains_bucket_count([360, 180]) == (360 * 361 // 2) * (180 * 181 // 2)
+
+    def test_3d(self):
+        assert exact_contains_bucket_count([2, 3, 4]) == 3 * 6 * 10
+
+    def test_corner_types_factor(self):
+        base = exact_contains_bucket_count([5, 5])
+        assert exact_contains_bucket_count([5, 5], corner_types=True) == 16 * base
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            exact_contains_bucket_count([])
+        with pytest.raises(ValueError):
+            exact_contains_bucket_count([0, 5])
+
+
+class TestPaperExample:
+    def test_four_gb_figure(self):
+        """Section 3: the 360x180 grid at 1-degree resolution needs
+        ~4 GB -- 4 * (360*361)/2 * (180*181)/2 bytes."""
+        total = exact_contains_storage_bytes([360, 180], bytes_per_bucket=4)
+        assert total == 4 * (360 * 361 // 2) * (180 * 181 // 2)
+        assert 3.9e9 < total < 4.3e9
+
+    def test_bytes_validation(self):
+        with pytest.raises(ValueError):
+            exact_contains_storage_bytes([5], bytes_per_bucket=0)
+
+
+class TestEulerContrast:
+    def test_euler_is_linear_in_cells(self):
+        assert euler_histogram_bucket_count([360, 180]) == 719 * 359
+
+    def test_quadratic_vs_linear_growth(self):
+        """Doubling the resolution roughly 16-folds the exact store but
+        only 4-folds the Euler histogram (the O(N^2) vs O(N) contrast)."""
+        small = exact_contains_bucket_count([64, 64])
+        large = exact_contains_bucket_count([128, 128])
+        assert 15 < large / small < 17
+        e_small = euler_histogram_bucket_count([64, 64])
+        e_large = euler_histogram_bucket_count([128, 128])
+        assert 3.5 < e_large / e_small < 4.5
+
+    def test_comparison_row(self):
+        row = storage_comparison_row([360, 180])
+        assert row["grid"] == "360x180"
+        assert row["exact_buckets"] == exact_contains_bucket_count([360, 180])
+        assert row["euler_buckets"] == 719 * 359
+        assert row["ratio"] > 4000

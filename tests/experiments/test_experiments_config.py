@@ -1,0 +1,72 @@
+"""Tests for the experiment configuration and workbench."""
+
+import pytest
+
+from repro.experiments.config import (
+    MULTI_THRESHOLD_SCHEDULES,
+    PAPER_DATASET_SIZES,
+    ExperimentConfig,
+    Workbench,
+)
+
+
+@pytest.fixture
+def tiny_bench(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.002")
+    return Workbench(ExperimentConfig())
+
+
+class TestConfig:
+    def test_paper_sizes(self):
+        assert PAPER_DATASET_SIZES["adl"] == 2_335_840
+        assert PAPER_DATASET_SIZES["ca_road"] == 2_665_088
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert ExperimentConfig().scale == 0.5
+
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert ExperimentConfig().scale == 0.1
+
+    def test_invalid_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "zero")
+        with pytest.raises(ValueError):
+            ExperimentConfig()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            ExperimentConfig()
+
+    def test_dataset_size_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.0000001")
+        config = ExperimentConfig()
+        assert config.dataset_size("sp_skew") == 1000
+
+    def test_threshold_schedules_match_figure_18(self):
+        # 1x1, 3x3, 5x5, 10x10, 15x15 as areas.
+        assert MULTI_THRESHOLD_SCHEDULES[5] == (1.0, 9.0, 25.0, 100.0, 225.0)
+        assert MULTI_THRESHOLD_SCHEDULES[3] == (1.0, 9.0, 100.0)
+
+
+class TestWorkbench:
+    def test_datasets_are_memoised(self, tiny_bench):
+        assert tiny_bench.dataset("sp_skew") is tiny_bench.dataset("sp_skew")
+
+    def test_histograms_are_memoised(self, tiny_bench):
+        assert tiny_bench.histogram("sp_skew") is tiny_bench.histogram("sp_skew")
+
+    def test_truth_is_memoised(self, tiny_bench):
+        assert tiny_bench.truth("sp_skew", 20) is tiny_bench.truth("sp_skew", 20)
+
+    def test_estimators_share_histogram(self, tiny_bench):
+        s = tiny_bench.s_euler("sp_skew")
+        e = tiny_bench.euler("sp_skew")
+        assert s.histogram is e.histogram
+
+    def test_multi_euler_by_count(self, tiny_bench):
+        multi = tiny_bench.multi_euler("sz_skew", 3)
+        assert multi.num_histograms == 3
+        assert multi.area_thresholds == (1.0, 9.0, 100.0)
+
+    def test_dataset_scaling(self, tiny_bench):
+        assert len(tiny_bench.dataset("sp_skew")) == 2000

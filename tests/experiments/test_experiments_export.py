@@ -1,0 +1,64 @@
+"""Tests for the CSV export of experiment results."""
+
+import csv
+
+from repro.experiments.export import (
+    write_error_curves_csv,
+    write_scatter_csv,
+    write_timing_csv,
+)
+from repro.experiments.figures import ErrorCurves, ScatterResult, TimingResult
+
+
+def _read(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+def test_error_curves_csv(tmp_path):
+    result = ErrorCurves(
+        figure="Figure 14",
+        algorithm="S-EulerApprox",
+        tile_sizes=(10, 5),
+        curves={"adl": {"n_cs": {10: 0.5, 5: 1.25}}},
+    )
+    path = tmp_path / "curves.csv"
+    write_error_curves_csv(result, path)
+    rows = _read(path)
+    assert rows[0] == ["figure", "algorithm", "label", "relation", "tile_size", "are"]
+    assert rows[1] == ["Figure 14", "S-EulerApprox", "adl", "n_cs", "10", "0.5"]
+    assert len(rows) == 3
+
+
+def test_scatter_csv(tmp_path):
+    result = ScatterResult(
+        figure="Figure 13",
+        algorithm="S-EulerApprox",
+        tile_size=10,
+        points={"adl": {"n_o": [(1.0, 1.5), (2.0, 2.0)]}},
+        are={"adl": {"n_o": 0.1}},
+    )
+    path = tmp_path / "scatter.csv"
+    write_scatter_csv(result, path)
+    rows = _read(path)
+    assert len(rows) == 3
+    assert rows[2] == ["Figure 13", "S-EulerApprox", "adl", "n_o", "2.0", "2.0"]
+
+
+def test_timing_csv(tmp_path):
+    result = TimingResult(
+        figure="Figure 19",
+        seconds={"S-EulerApprox": {10: 0.004}},
+        num_queries={10: 648},
+    )
+    path = tmp_path / "timing.csv"
+    write_timing_csv(result, path)
+    rows = _read(path)
+    assert rows[1] == ["Figure 19", "S-EulerApprox", "10", "648", "0.004"]
+
+
+def test_creates_parent_directories(tmp_path):
+    result = TimingResult(figure="F", seconds={"a": {2: 1.0}}, num_queries={2: 4})
+    path = tmp_path / "nested" / "dir" / "timing.csv"
+    write_timing_csv(result, path)
+    assert path.exists()

@@ -1,0 +1,143 @@
+"""Smoke and structure tests for the per-figure generators at tiny scale."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, Workbench
+from repro.experiments.figures import (
+    fig13_s_euler_scatter,
+    fig14_s_euler_errors,
+    fig15_euler_scatter,
+    fig16_euler_errors,
+    fig17_multi2_errors,
+    fig18_multi_m_errors,
+    fig19_query_times,
+    storage_bound_table,
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    # Tiny but non-trivial: ~2k-5k objects per dataset, 3 query sizes.
+    config = ExperimentConfig(scale=0.002, seed=7, query_sizes=(20, 10, 5))
+    return Workbench(config)
+
+
+class TestFig13:
+    def test_structure(self, bench):
+        result = fig13_s_euler_scatter(bench)
+        assert set(result.points) == {"sp_skew", "sz_skew", "adl", "ca_road"}
+        assert set(result.points["adl"]) == {"n_o", "n_cs"}
+        assert result.tile_size == 10
+        # 648 tiles in Q_10.
+        assert len(result.points["adl"]["n_o"]) == 36 * 18
+
+    def test_paper_shape_n_o_accurate_everywhere(self, bench):
+        result = fig13_s_euler_scatter(bench)
+        for name in result.are:
+            assert result.are[name]["n_o"] < 0.10, name
+
+    def test_paper_shape_sz_skew_contains_blows_up(self, bench):
+        result = fig13_s_euler_scatter(bench)
+        assert result.are["sz_skew"]["n_cs"] > 1.0
+        assert result.are["sp_skew"]["n_cs"] < 0.02
+        assert result.are["ca_road"]["n_cs"] < 0.02
+
+
+class TestFig14:
+    def test_structure_and_shapes(self, bench):
+        result = fig14_s_euler_errors(bench)
+        assert result.tile_sizes == (20, 10, 5)
+        assert set(result.curves) == {"sp_skew", "sz_skew", "adl", "ca_road"}
+        # sz_skew: squares cannot cross squares -> N_o error ~0 everywhere.
+        for n in result.tile_sizes:
+            assert result.curves["sz_skew"]["n_o"][n] < 0.01
+        # sp_skew objects are 3.6x1.8: no crossover at tile sizes >= 4.
+        for n in result.tile_sizes:
+            assert result.curves["sp_skew"]["n_o"][n] < 0.01
+        # adl contains error grows as tiles shrink (Figure 14(b)).
+        adl_cs = result.curves["adl"]["n_cs"]
+        assert adl_cs[5] > adl_cs[20]
+
+
+class TestFig15And16:
+    def test_fig15_structure(self, bench):
+        result = fig15_euler_scatter(bench)
+        assert set(result.points) == {"adl", "sz_skew"}
+        assert set(result.points["adl"]) == {"n_cd", "n_cs"}
+
+    def test_fig16_improves_on_fig14(self, bench):
+        s_euler = fig14_s_euler_errors(bench)
+        euler = fig16_euler_errors(bench)
+        # EulerApprox's worst N_cs error is far below S-EulerApprox's on
+        # both large-object datasets (the Section 6.3 claim).
+        for name in ("adl", "sz_skew"):
+            worst_s = max(s_euler.curves[name]["n_cs"].values())
+            worst_e = max(euler.curves[name]["n_cs"].values())
+            assert worst_e < worst_s
+
+
+class TestFig17And18:
+    def test_fig17_improves_on_fig16(self, bench):
+        euler = fig16_euler_errors(bench)
+        multi = fig17_multi2_errors(bench)
+        for name in ("adl", "sz_skew"):
+            worst_e = max(euler.curves[name]["n_cs"].values())
+            worst_m = max(multi.curves[name]["n_cs"].values())
+            assert worst_m <= worst_e * 1.05
+
+    def test_fig18_more_histograms_help(self, bench):
+        result = fig18_multi_m_errors(bench)
+        assert set(result.curves) == {"m=3", "m=4", "m=5"}
+        worst3 = max(result.curves["m=3"]["n_cs"].values())
+        worst5 = max(result.curves["m=5"]["n_cs"].values())
+        assert worst5 <= worst3 * 1.05
+
+
+class TestFig19:
+    def test_structure(self, bench):
+        result = fig19_query_times(bench, repeats=1, multi_histogram_counts=(2, 3))
+        assert "S-EulerApprox" in result.seconds
+        assert "EulerApprox" in result.seconds
+        assert "M-EulerApprox(m=2)" in result.seconds
+        for label, times in result.seconds.items():
+            for n, seconds in times.items():
+                assert seconds >= 0.0
+        assert result.num_queries[20] == 18 * 9
+
+    def test_roughly_constant_per_query_time(self, bench):
+        """Query cost must not grow with query area: the per-query time of
+        the largest tiles is within an order of magnitude of the
+        smallest (wall-clock noise allowed)."""
+        result = fig19_query_times(bench, repeats=3, multi_histogram_counts=())
+        times = result.seconds["S-EulerApprox"]
+        per_query = {n: times[n] / result.num_queries[n] for n in times}
+        assert max(per_query.values()) < 20 * min(per_query.values())
+
+
+class TestFig12:
+    def test_profiles_structure(self, bench):
+        from repro.experiments.figures import fig12_dataset_profiles
+        from repro.experiments.report import render_dataset_profiles
+
+        profiles = fig12_dataset_profiles(bench)
+        assert set(profiles) == {"sp_skew", "sz_skew", "adl", "ca_road"}
+        for name, p in profiles.items():
+            assert p["count"] > 0
+            assert sum(p["width_hist"]) == p["count"]
+            assert 0.0 <= p["empty_block_fraction"] <= 1.0
+        # sp_skew: all widths exactly 3.6 -> one populated bin.
+        assert sum(1 for v in profiles["sp_skew"]["width_hist"] if v) == 1
+        # sz_skew widths decay across doubling bins (Figure 12(b)).
+        hist = profiles["sz_skew"]["width_hist"]
+        assert hist[2] > hist[5]
+
+        text = render_dataset_profiles(profiles)
+        assert "Figure 12" in text and "ca_road" in text
+
+
+class TestStorageTable:
+    def test_rows(self):
+        rows = storage_bound_table()
+        assert rows[-1]["grid"] == "360x180"
+        assert 3.9e9 < rows[-1]["exact_bytes"] < 4.3e9
+        assert all(r["ratio"] >= 1.0 for r in rows)

@@ -1,0 +1,43 @@
+"""End-to-end tests of the ``python -m repro.experiments`` entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.001")
+
+
+def test_storage_figure_runs(capsys):
+    assert main(["--figures", "storage"]) == 0
+    out = capsys.readouterr().out
+    assert "Theorem 3.1" in out
+    assert "360x180" in out
+
+
+def test_fig12_profiles_run(capsys):
+    assert main(["--figures", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 12" in out
+    assert "sz_skew" in out
+
+
+def test_fig13_runs(capsys):
+    assert main(["--figures", "13"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 13" in out
+    assert "S-EulerApprox" in out
+
+
+def test_header_reports_scale(capsys):
+    main(["--figures", "storage"])
+    out = capsys.readouterr().out
+    assert "scale=0.001" in out
+    assert "grid=360x180" in out
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["--figures", "99"])

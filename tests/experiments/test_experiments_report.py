@@ -1,0 +1,80 @@
+"""Tests for the text-table rendering of experiment results."""
+
+from repro.experiments.figures import (
+    ErrorCurves,
+    ScatterResult,
+    TimingResult,
+    storage_bound_table,
+)
+from repro.experiments.report import (
+    format_table,
+    render_error_curves,
+    render_scatter,
+    render_storage_table,
+    render_timing,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "long"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("long")
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_separator_row(self):
+        table = format_table(["x"], [[1]])
+        assert "-" in table.splitlines()[1]
+
+
+class TestRenderers:
+    def test_error_curves(self):
+        result = ErrorCurves(
+            figure="Figure 14",
+            algorithm="S-EulerApprox",
+            tile_sizes=(10, 5),
+            curves={"adl": {"n_cs": {10: 0.5, 5: 1.2}, "n_o": {10: 0.01, 5: 0.02}}},
+        )
+        text = render_error_curves(result)
+        assert "Figure 14" in text
+        assert "[N_cs]" in text and "[N_o]" in text
+        assert "50.00%" in text and "120.00%" in text
+        assert "Q_10" in text and "Q_5" in text
+
+    def test_error_curves_handles_inf(self):
+        result = ErrorCurves(
+            figure="F",
+            algorithm="A",
+            tile_sizes=(2,),
+            curves={"d": {"n_cs": {2: float("inf")}}},
+        )
+        assert "inf" in render_error_curves(result)
+
+    def test_scatter(self):
+        result = ScatterResult(
+            figure="Figure 13",
+            algorithm="S-EulerApprox",
+            tile_size=10,
+            points={"adl": {"n_cs": [(10.0, 12.0), (0.0, 0.0)]}},
+            are={"adl": {"n_cs": 0.2}},
+        )
+        text = render_scatter(result)
+        assert "Figure 13" in text
+        assert "10->12" in text
+        assert "20.00%" in text
+
+    def test_timing(self):
+        result = TimingResult(
+            figure="Figure 19",
+            seconds={"S-EulerApprox": {10: 0.002, 2: 0.05}},
+            num_queries={10: 648, 2: 16200},
+        )
+        text = render_timing(result)
+        assert "Q_2" in text and "Q_10" in text
+        assert "16200" in text
+
+    def test_storage_table(self):
+        text = render_storage_table(storage_bound_table())
+        assert "360x180" in text
+        assert "GB" in text

@@ -1,0 +1,58 @@
+"""Tests for the shared experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.exact.evaluator import ExactEvaluator
+from repro.exact.tiling import exact_tiling_counts
+from repro.experiments.runner import estimate_tiling, tiling_errors
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+
+from tests.conftest import random_dataset
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 12.0, 0.0, 8.0), 12, 8)
+
+
+def test_estimate_tiling_with_exact_estimator_matches_truth(grid, rng):
+    """Closing the loop: running the exact evaluator through the tiling
+    runner must reproduce the O(M) tiling counts bit for bit."""
+    data = random_dataset(rng, grid, 200)
+    truth = exact_tiling_counts(data, grid, 4, 4)
+    estimated = estimate_tiling(ExactEvaluator(data, grid), grid, 4)
+    np.testing.assert_array_equal(estimated.n_d, truth.n_d)
+    np.testing.assert_array_equal(estimated.n_cs, truth.n_cs)
+    np.testing.assert_array_equal(estimated.n_cd, truth.n_cd)
+    np.testing.assert_array_equal(estimated.n_o, truth.n_o)
+
+
+def test_tiling_errors_zero_for_exact(grid, rng):
+    data = random_dataset(rng, grid, 150)
+    truth = exact_tiling_counts(data, grid, 2, 2)
+    estimated = estimate_tiling(ExactEvaluator(data, grid), grid, 2)
+    errors = tiling_errors(truth, estimated)
+    assert errors == {"n_d": 0.0, "n_cs": 0.0, "n_cd": 0.0, "n_o": 0.0}
+
+
+def test_tiling_errors_shape_mismatch(grid, rng):
+    data = random_dataset(rng, grid, 50)
+    truth = exact_tiling_counts(data, grid, 2, 2)
+    estimated = estimate_tiling(ExactEvaluator(data, grid), grid, 4)
+    with pytest.raises(ValueError, match="different tilings"):
+        tiling_errors(truth, estimated)
+
+
+def test_estimate_tiling_rejects_non_divisor(grid, rng):
+    data = random_dataset(rng, grid, 10)
+    with pytest.raises(ValueError):
+        estimate_tiling(ExactEvaluator(data, grid), grid, 5)
+
+
+def test_estimate_tiling_shape(grid, rng):
+    data = random_dataset(rng, grid, 10)
+    estimated = estimate_tiling(ExactEvaluator(data, grid), grid, 4)
+    assert estimated.n_cs.shape == (3, 2)
+    assert estimated.tile_size == 4

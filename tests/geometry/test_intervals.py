@@ -1,0 +1,143 @@
+"""Unit and property tests for the open/closed interval algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.intervals import (
+    IntervalRelation,
+    interval_contained,
+    interval_contains,
+    interval_interiors_intersect,
+    interval_relation,
+)
+
+# The paper's Figure 4 example, the convention everything rests on.
+
+
+def test_open_object_overlaps_closed_query_at_shared_boundary():
+    # Object (1, 3) merely overlaps the query [1, 2]: the query's boundary
+    # point x=1 is outside the open object.
+    assert interval_interiors_intersect(1.0, 3.0, 1.0, 2.0)
+    assert not interval_contained(1.0, 3.0, 1.0, 2.0)
+    assert interval_relation(1.0, 3.0, 1.0, 2.0) is IntervalRelation.OVERLAP
+
+
+def test_strictly_covering_object_covers_query():
+    assert interval_contained(0.5, 3.0, 1.0, 2.0)
+    assert interval_relation(0.5, 3.0, 1.0, 2.0) is IntervalRelation.COVERS
+
+
+def test_object_touching_query_boundary_is_within():
+    # Open object (1, 3) inside closed query [1, 3].
+    assert interval_contains(1.0, 3.0, 1.0, 3.0)
+    assert interval_relation(1.0, 3.0, 1.0, 3.0) is IntervalRelation.WITHIN
+
+
+def test_boundary_touch_is_not_intersection():
+    # Object (2, 3) against query [1, 2]: interiors meet only at x=2,
+    # which neither open set contains.
+    assert not interval_interiors_intersect(2.0, 3.0, 1.0, 2.0)
+    assert interval_relation(2.0, 3.0, 1.0, 2.0) is IntervalRelation.DISJOINT
+
+
+def test_disjoint_far_apart():
+    assert interval_relation(5.0, 6.0, 1.0, 2.0) is IntervalRelation.DISJOINT
+
+
+class TestDegenerateObjects:
+    def test_point_inside_query_intersects(self):
+        assert interval_interiors_intersect(1.5, 1.5, 1.0, 2.0)
+
+    def test_point_on_query_boundary_intersects_closed_query(self):
+        assert interval_interiors_intersect(2.0, 2.0, 1.0, 2.0)
+        assert interval_interiors_intersect(1.0, 1.0, 1.0, 2.0)
+
+    def test_point_outside_query_disjoint(self):
+        assert not interval_interiors_intersect(3.0, 3.0, 1.0, 2.0)
+
+    def test_point_is_within_but_never_covers(self):
+        assert interval_contains(1.5, 1.5, 1.0, 2.0)
+        assert not interval_contained(1.5, 1.5, 1.0, 2.0)
+        assert interval_relation(1.5, 1.5, 1.0, 2.0) is IntervalRelation.WITHIN
+
+
+# ------------------------------------------------------------------ #
+# property tests
+# ------------------------------------------------------------------ #
+
+# Quarter-unit coordinates: exactly representable, so shifted comparisons
+# in the translation property stay exact.
+finite = st.integers(min_value=-400, max_value=400).map(lambda k: k / 4.0)
+
+
+@st.composite
+def object_and_query(draw):
+    lo = draw(finite)
+    hi = draw(st.integers(min_value=int(lo * 4), max_value=404).map(lambda k: k / 4.0))
+    qlo = draw(finite)
+    qhi = draw(
+        st.integers(min_value=int(qlo * 4) + 1, max_value=405).map(lambda k: k / 4.0)
+    )
+    return lo, hi, qlo, qhi
+
+
+@given(object_and_query())
+def test_relations_are_mutually_exclusive_and_exhaustive(parts):
+    lo, hi, qlo, qhi = parts
+    flags = [
+        not interval_interiors_intersect(lo, hi, qlo, qhi),
+        interval_interiors_intersect(lo, hi, qlo, qhi)
+        and interval_contains(lo, hi, qlo, qhi),
+        interval_interiors_intersect(lo, hi, qlo, qhi)
+        and interval_contained(lo, hi, qlo, qhi),
+    ]
+    # WITHIN and COVERS cannot hold together for a proper query interval.
+    assert not (flags[1] and flags[2])
+    relation = interval_relation(lo, hi, qlo, qhi)
+    assert isinstance(relation, IntervalRelation)
+
+
+@given(object_and_query())
+def test_within_implies_intersect(parts):
+    lo, hi, qlo, qhi = parts
+    if interval_contains(lo, hi, qlo, qhi):
+        assert interval_interiors_intersect(lo, hi, qlo, qhi)
+
+
+@given(object_and_query())
+def test_covers_implies_intersect(parts):
+    lo, hi, qlo, qhi = parts
+    if interval_contained(lo, hi, qlo, qhi):
+        assert interval_interiors_intersect(lo, hi, qlo, qhi)
+
+
+@given(object_and_query())
+def test_covering_object_is_strictly_larger(parts):
+    lo, hi, qlo, qhi = parts
+    if interval_contained(lo, hi, qlo, qhi):
+        assert hi - lo > qhi - qlo
+
+
+@given(object_and_query())
+def test_translation_invariance(parts):
+    lo, hi, qlo, qhi = parts
+    shift = 7.25
+    assert interval_relation(lo, hi, qlo, qhi) == interval_relation(
+        lo + shift, hi + shift, qlo + shift, qhi + shift
+    )
+
+
+@pytest.mark.parametrize(
+    "lo,hi,qlo,qhi,expected",
+    [
+        (0.0, 1.0, 2.0, 3.0, IntervalRelation.DISJOINT),
+        (2.5, 2.75, 2.0, 3.0, IntervalRelation.WITHIN),
+        (1.0, 4.0, 2.0, 3.0, IntervalRelation.COVERS),
+        (2.5, 3.5, 2.0, 3.0, IntervalRelation.OVERLAP),
+        (2.0, 3.0, 2.0, 3.0, IntervalRelation.WITHIN),
+        (2.0, 4.0, 2.0, 3.0, IntervalRelation.OVERLAP),  # shares left bound
+    ],
+)
+def test_relation_table(lo, hi, qlo, qhi, expected):
+    assert interval_relation(lo, hi, qlo, qhi) is expected

@@ -1,0 +1,108 @@
+"""Tests for polygon/polyline MBR extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets.base import RectDataset
+from repro.geometry.polygon import Polygon, Polyline, dataset_from_geometries
+from repro.geometry.rect import Rect
+
+SQUARE = Polygon(((0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)))
+TRIANGLE = Polygon(((0.0, 0.0), (4.0, 0.0), (0.0, 3.0)))
+
+
+class TestPolygon:
+    def test_mbr(self):
+        assert TRIANGLE.mbr() == Rect(0.0, 4.0, 0.0, 3.0)
+
+    def test_area_shoelace(self):
+        assert SQUARE.area == 16.0
+        assert TRIANGLE.area == 6.0
+
+    def test_signed_area_orientation(self):
+        ccw = SQUARE.signed_area()
+        cw = Polygon(tuple(reversed(SQUARE.points))).signed_area()
+        assert ccw == -cw == 16.0
+
+    def test_mbr_coverage(self):
+        assert SQUARE.mbr_coverage() == 1.0
+        assert TRIANGLE.mbr_coverage() == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Polygon(((0.0, 0.0), (1.0, 1.0)))
+        with pytest.raises(ValueError):
+            Polygon(((0.0, 0.0), (1.0,), (2.0, 2.0)))  # type: ignore[arg-type]
+        with pytest.raises(ValueError):
+            Polygon(((0.0, 0.0), (np.inf, 1.0), (2.0, 2.0)))
+
+
+class TestPolyline:
+    ROAD = Polyline(((0.0, 0.0), (3.0, 4.0), (3.0, 8.0)))
+
+    def test_length(self):
+        assert self.ROAD.length == pytest.approx(9.0)
+
+    def test_mbr(self):
+        assert self.ROAD.mbr() == Rect(0.0, 3.0, 0.0, 8.0)
+
+    def test_segment_mbrs(self):
+        mbrs = self.ROAD.segment_mbrs()
+        assert mbrs == [Rect(0.0, 3.0, 0.0, 4.0), Rect(3.0, 3.0, 4.0, 8.0)]
+        assert self.ROAD.num_segments == 2
+
+    def test_degenerate_segment_mbr(self):
+        vertical = Polyline(((1.0, 0.0), (1.0, 5.0)))
+        assert vertical.segment_mbrs()[0].is_degenerate
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Polyline(((0.0, 0.0),))
+
+
+class TestDatasetConversion:
+    EXTENT = Rect(0.0, 10.0, 0.0, 10.0)
+
+    def test_mixed_geometries(self):
+        road = Polyline(((0.0, 0.0), (2.0, 2.0), (4.0, 2.0)))
+        data = dataset_from_geometries([TRIANGLE, road], self.EXTENT, name="mixed")
+        assert len(data) == 3  # 1 polygon MBR + 2 segment MBRs
+        assert data.name == "mixed"
+
+    def test_unsplit_polylines(self):
+        road = Polyline(((0.0, 0.0), (2.0, 2.0), (4.0, 2.0)))
+        data = dataset_from_geometries([road], self.EXTENT, split_polylines=False)
+        assert len(data) == 1
+        assert data[0] == Rect(0.0, 4.0, 0.0, 2.0)
+
+    def test_roundtrip_through_histogram(self):
+        """Geometries -> MBR dataset -> histogram is a working pipeline."""
+        from repro.euler.histogram import EulerHistogram
+        from repro.grid.grid import Grid
+
+        data = dataset_from_geometries([SQUARE, TRIANGLE], self.EXTENT)
+        grid = Grid(self.EXTENT, 10, 10)
+        hist = EulerHistogram.from_dataset(data, grid)
+        assert hist.num_objects == 2
+
+
+coord = st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+@given(st.lists(st.tuples(coord, coord), min_size=3, max_size=12, unique=True))
+def test_polygon_mbr_covers_all_vertices(points):
+    polygon = Polygon(tuple(points))
+    mbr = polygon.mbr()
+    for x, y in points:
+        assert mbr.x_lo <= x <= mbr.x_hi
+        assert mbr.y_lo <= y <= mbr.y_hi
+
+
+@given(st.lists(st.tuples(coord, coord), min_size=2, max_size=12))
+def test_polyline_segment_mbrs_within_line_mbr(points):
+    line = Polyline(tuple(points))
+    outer = line.mbr()
+    for segment in line.segment_mbrs():
+        assert outer.covers_closed(segment)

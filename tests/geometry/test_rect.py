@@ -1,0 +1,112 @@
+"""Unit tests for the Rect value object."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Rect(1.0, 3.0, 2.0, 5.0)
+        assert r.width == 2.0
+        assert r.height == 3.0
+        assert r.area == 6.0
+        assert r.center == (2.0, 3.5)
+
+    def test_rejects_inverted_x(self):
+        with pytest.raises(ValueError, match="x_lo"):
+            Rect(3.0, 1.0, 0.0, 1.0)
+
+    def test_rejects_inverted_y(self):
+        with pytest.raises(ValueError, match="y_lo"):
+            Rect(0.0, 1.0, 3.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            Rect(math.nan, 1.0, 0.0, 1.0)
+
+    def test_from_center(self):
+        r = Rect.from_center(5.0, 5.0, 2.0, 4.0)
+        assert r == Rect(4.0, 6.0, 3.0, 7.0)
+
+    def test_from_center_rejects_negative_sides(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(0.0, 0.0, -1.0, 1.0)
+
+    def test_point(self):
+        p = Rect.point(2.0, 3.0)
+        assert p.is_degenerate
+        assert p.area == 0.0
+
+    def test_segment_is_degenerate(self):
+        assert Rect(0.0, 5.0, 2.0, 2.0).is_degenerate
+
+    def test_frozen(self):
+        r = Rect(0.0, 1.0, 0.0, 1.0)
+        with pytest.raises(AttributeError):
+            r.x_lo = 5.0  # type: ignore[misc]
+
+
+class TestOperations:
+    def test_translated(self):
+        assert Rect(0.0, 1.0, 0.0, 1.0).translated(2.0, 3.0) == Rect(2.0, 3.0, 3.0, 4.0)
+
+    def test_clipped(self):
+        a = Rect(0.0, 5.0, 0.0, 5.0)
+        b = Rect(3.0, 8.0, -2.0, 2.0)
+        assert a.clipped(b) == Rect(3.0, 5.0, 0.0, 2.0)
+
+    def test_clipped_disjoint_raises(self):
+        with pytest.raises(ValueError, match="does not intersect"):
+            Rect(0.0, 1.0, 0.0, 1.0).clipped(Rect(5.0, 6.0, 5.0, 6.0))
+
+    def test_intersects_closed_boundary_touch(self):
+        assert Rect(0.0, 1.0, 0.0, 1.0).intersects_closed(Rect(1.0, 2.0, 0.0, 1.0))
+
+    def test_covers_closed(self):
+        outer = Rect(0.0, 10.0, 0.0, 10.0)
+        assert outer.covers_closed(Rect(0.0, 10.0, 0.0, 10.0))
+        assert outer.covers_closed(Rect(2.0, 3.0, 2.0, 3.0))
+        assert not outer.covers_closed(Rect(2.0, 11.0, 2.0, 3.0))
+
+    def test_as_tuple_and_iter(self):
+        r = Rect(1.0, 2.0, 3.0, 4.0)
+        assert r.as_tuple() == (1.0, 2.0, 3.0, 4.0)
+        assert list(r) == [1.0, 2.0, 3.0, 4.0]
+
+
+# Half-unit coordinates keep every arithmetic step in the properties exact.
+coords = st.integers(min_value=-2000, max_value=2000).map(lambda k: k / 2.0)
+
+
+@st.composite
+def rects(draw):
+    x_lo = draw(coords)
+    x_hi = draw(st.integers(min_value=int(x_lo * 2), max_value=2002).map(lambda k: k / 2.0))
+    y_lo = draw(coords)
+    y_hi = draw(st.integers(min_value=int(y_lo * 2), max_value=2002).map(lambda k: k / 2.0))
+    return Rect(x_lo, x_hi, y_lo, y_hi)
+
+
+@given(rects(), rects())
+def test_clip_is_covered_by_both(a, b):
+    if a.intersects_closed(b):
+        clipped = a.clipped(b)
+        assert a.covers_closed(clipped)
+        assert b.covers_closed(clipped)
+
+
+@given(rects(), rects())
+def test_cover_implies_closed_intersection(a, b):
+    if a.covers_closed(b):
+        assert a.intersects_closed(b)
+        assert a.area >= b.area
+
+
+@given(rects())
+def test_translate_roundtrip(r):
+    assert r.translated(3.5, -2.0).translated(-3.5, 2.0) == r

@@ -1,0 +1,155 @@
+"""Tests for the 9-intersection / interior-exterior relation models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.geometry.relations import (
+    LEVEL2_TO_LEVEL1,
+    LEVEL3_TO_LEVEL2,
+    Level1Relation,
+    Level2Relation,
+    Level3Relation,
+    classify_level1,
+    classify_level2,
+    classify_level2_shrunk,
+    classify_level3,
+    interior_exterior_matrix,
+    nine_intersection_matrix,
+)
+
+Q = Rect(2.0, 6.0, 2.0, 6.0)
+
+
+# One representative rectangle pair per Level-3 relation against Q.
+LEVEL3_CASES = {
+    Level3Relation.DISJOINT: Rect(8.0, 9.0, 8.0, 9.0),
+    Level3Relation.MEET: Rect(6.0, 8.0, 2.0, 6.0),
+    Level3Relation.OVERLAP: Rect(4.0, 8.0, 4.0, 8.0),
+    Level3Relation.EQUAL: Rect(2.0, 6.0, 2.0, 6.0),
+    Level3Relation.INSIDE: Rect(3.0, 5.0, 3.0, 5.0),
+    Level3Relation.COVERED_BY: Rect(2.0, 5.0, 3.0, 5.0),
+    Level3Relation.CONTAINS: Rect(1.0, 7.0, 1.0, 7.0),
+    Level3Relation.COVERS: Rect(2.0, 7.0, 1.0, 7.0),
+}
+
+
+@pytest.mark.parametrize("expected,p", LEVEL3_CASES.items(), ids=[r.value for r in LEVEL3_CASES])
+def test_level3_classification(expected, p):
+    assert classify_level3(p, Q) is expected
+
+
+@pytest.mark.parametrize("expected,p", LEVEL3_CASES.items(), ids=[r.value for r in LEVEL3_CASES])
+def test_level3_coarsens_to_level2(expected, p):
+    # Figure 3's vertical arrows.
+    assert classify_level2(p, Q) is LEVEL3_TO_LEVEL2[expected]
+
+
+@pytest.mark.parametrize("expected,p", LEVEL3_CASES.items(), ids=[r.value for r in LEVEL3_CASES])
+def test_level2_coarsens_to_level1(expected, p):
+    level2 = classify_level2(p, Q)
+    assert classify_level1(p, Q) is LEVEL2_TO_LEVEL1[level2]
+
+
+@pytest.mark.parametrize("expected,p", LEVEL3_CASES.items(), ids=[r.value for r in LEVEL3_CASES])
+def test_dropping_boundaries_reduces_9im_to_interior_exterior(expected, p):
+    # Equation 2: the interior-exterior matrix is the 9-intersection matrix
+    # with the boundary row/column removed.
+    assert nine_intersection_matrix(p, Q).drop_boundaries() == interior_exterior_matrix(p, Q)
+
+
+def test_exteriors_always_intersect():
+    for p in LEVEL3_CASES.values():
+        assert interior_exterior_matrix(p, Q).entries[1][1] is True
+
+
+def test_degenerate_rect_rejected_by_region_models():
+    point = Rect.point(3.0, 3.0)
+    with pytest.raises(ValueError):
+        classify_level3(point, Q)
+    with pytest.raises(ValueError):
+        nine_intersection_matrix(point, Q)
+    with pytest.raises(ValueError):
+        interior_exterior_matrix(point, Q)
+    # The shrunk classifier must accept them: point records are data.
+    assert classify_level2_shrunk(point, Q) is Level2Relation.CONTAINS
+
+
+class TestShrunkConvention:
+    """The open-object/closed-query semantics of Section 4.2."""
+
+    def test_equals_becomes_contains(self):
+        # A boundary-aligned object shrinks, so "equals" collapses into
+        # the query containing the object.
+        assert classify_level2(Q, Q) is Level2Relation.EQUALS
+        assert classify_level2_shrunk(Q, Q) is Level2Relation.CONTAINS
+
+    def test_meet_becomes_disjoint(self):
+        p = Rect(6.0, 8.0, 2.0, 6.0)
+        assert classify_level2_shrunk(p, Q) is Level2Relation.DISJOINT
+
+    def test_covers_becomes_overlap(self):
+        # Object sharing the query's left edge does not strictly cover the
+        # closed query -> overlap (the paper's Figure 4 point).
+        p = Rect(2.0, 7.0, 1.0, 7.0)
+        assert classify_level2(p, Q) is Level2Relation.CONTAINED
+        assert classify_level2_shrunk(p, Q) is Level2Relation.OVERLAP
+
+    def test_covered_by_becomes_contains(self):
+        p = Rect(2.0, 5.0, 3.0, 5.0)
+        assert classify_level2_shrunk(p, Q) is Level2Relation.CONTAINS
+
+    def test_strict_container_still_contained(self):
+        p = Rect(1.0, 7.0, 1.0, 7.0)
+        assert classify_level2_shrunk(p, Q) is Level2Relation.CONTAINED
+
+
+coords = st.integers(min_value=0, max_value=12)
+
+
+@st.composite
+def proper_rects(draw):
+    x = sorted(draw(st.lists(coords, min_size=2, max_size=2, unique=True)))
+    y = sorted(draw(st.lists(coords, min_size=2, max_size=2, unique=True)))
+    return Rect(float(x[0]), float(x[1]), float(y[0]), float(y[1]))
+
+
+@given(proper_rects(), proper_rects())
+def test_refinement_chain_holds_for_random_pairs(p, q):
+    level3 = classify_level3(p, q)
+    level2 = classify_level2(p, q)
+    level1 = classify_level1(p, q)
+    assert LEVEL3_TO_LEVEL2[level3] is level2
+    assert LEVEL2_TO_LEVEL1[level2] is level1
+
+
+@given(proper_rects(), proper_rects())
+def test_level3_symmetry(p, q):
+    """contains/inside and covers/coveredBy are converses; the symmetric
+    relations are their own converse."""
+    converse = {
+        Level3Relation.CONTAINS: Level3Relation.INSIDE,
+        Level3Relation.INSIDE: Level3Relation.CONTAINS,
+        Level3Relation.COVERS: Level3Relation.COVERED_BY,
+        Level3Relation.COVERED_BY: Level3Relation.COVERS,
+        Level3Relation.DISJOINT: Level3Relation.DISJOINT,
+        Level3Relation.MEET: Level3Relation.MEET,
+        Level3Relation.OVERLAP: Level3Relation.OVERLAP,
+        Level3Relation.EQUAL: Level3Relation.EQUAL,
+    }
+    assert classify_level3(q, p) is converse[classify_level3(p, q)]
+
+
+@given(proper_rects(), proper_rects())
+def test_shrunk_never_returns_equals(p, q):
+    assert classify_level2_shrunk(p, q) is not Level2Relation.EQUALS
+
+
+@given(proper_rects(), proper_rects())
+def test_shrunk_contains_and_contained_are_exclusive(p, q):
+    rel = classify_level2_shrunk(p, q)
+    if rel is Level2Relation.CONTAINED:
+        assert p.area > q.area
+    if rel is Level2Relation.CONTAINS:
+        assert p.area <= q.area

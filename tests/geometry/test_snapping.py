@@ -1,0 +1,168 @@
+"""Snapping tests, including the losslessness theorem of the module
+docstring: lattice predicates == continuous open/closed predicates for
+grid-aligned queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.intervals import (
+    interval_contained,
+    interval_contains,
+    interval_interiors_intersect,
+)
+from repro.geometry.snapping import (
+    LatticeSpan,
+    snap_axis,
+    snap_axis_arrays,
+    snap_rect,
+    snap_rects,
+)
+
+N = 10  # cells per axis in these tests
+
+
+class TestSnapAxis:
+    def test_interior_interval(self):
+        # (1.5, 3.5): cells 1,2,3 and lines 2,3 -> lattice 2..6.
+        assert snap_axis(1.5, 3.5, N) == (2, 6)
+
+    def test_aligned_open_interval(self):
+        # (2, 5): cells 2,3,4 and lines 3,4 -> lattice 4..8; the aligned
+        # endpoints are NOT touched (open interval).
+        assert snap_axis(2.0, 5.0, N) == (4, 8)
+
+    def test_subcell_interval(self):
+        assert snap_axis(3.1, 3.9, N) == (6, 6)
+
+    def test_interval_crossing_one_line(self):
+        # (2.5, 3.5): cells 2,3 and line 3 -> lattice 4..6.
+        assert snap_axis(2.5, 3.5, N) == (4, 6)
+
+    def test_degenerate_inside_cell(self):
+        assert snap_axis(4.25, 4.25, N) == (8, 8)
+
+    def test_degenerate_on_grid_line_goes_to_lower_cell(self):
+        # Documented convention: a point exactly on x=4 belongs to cell 4.
+        assert snap_axis(4.0, 4.0, N) == (8, 8)
+
+    def test_degenerate_at_data_space_end_clipped(self):
+        assert snap_axis(float(N), float(N), N) == (2 * N - 2, 2 * N - 2)
+
+    def test_full_axis(self):
+        assert snap_axis(0.0, float(N), N) == (0, 2 * N - 2)
+
+    def test_clipping_outside_coordinates(self):
+        assert snap_axis(-0.5, 2.5, N) == (0, 4)
+
+    def test_fully_outside_raises(self):
+        with pytest.raises(ValueError, match="outside the data space"):
+            snap_axis(11.0, 12.0, N)
+        with pytest.raises(ValueError, match="outside the data space"):
+            snap_axis(-3.0, -1.0, N)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            snap_axis(0.0, 1.0, 0)
+
+
+class TestLatticeSpan:
+    def test_cell_properties(self):
+        span = LatticeSpan(2, 6, 0, 4)
+        assert (span.cell_lo_x, span.cell_hi_x) == (1, 3)
+        assert (span.cell_lo_y, span.cell_hi_y) == (0, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LatticeSpan(4, 2, 0, 0)
+
+    def test_snap_rect(self):
+        span = snap_rect(1.5, 3.5, 0.5, 1.5, N, N)
+        assert (span.a_lo, span.a_hi, span.b_lo, span.b_hi) == (2, 6, 0, 2)
+
+
+unit = st.floats(min_value=0.0, max_value=float(N), allow_nan=False)
+
+
+@st.composite
+def open_intervals(draw):
+    lo = draw(unit)
+    hi = draw(st.floats(min_value=lo, max_value=float(N), allow_nan=False))
+    return lo, hi
+
+
+@given(open_intervals())
+def test_vectorised_matches_scalar(interval):
+    lo, hi = interval
+    a_lo, a_hi = snap_axis_arrays(np.array([lo]), np.array([hi]), N)
+    assert (int(a_lo[0]), int(a_hi[0])) == snap_axis(lo, hi, N)
+
+
+@given(st.lists(open_intervals(), min_size=1, max_size=30))
+def test_snap_rects_matches_snap_rect(intervals):
+    xs = intervals
+    ys = list(reversed(intervals))
+    a_lo, a_hi, b_lo, b_hi = snap_rects(
+        np.array([x[0] for x in xs]),
+        np.array([x[1] for x in xs]),
+        np.array([y[0] for y in ys]),
+        np.array([y[1] for y in ys]),
+        N,
+        N,
+    )
+    for k, (x, y) in enumerate(zip(xs, ys)):
+        span = snap_rect(x[0], x[1], y[0], y[1], N, N)
+        assert (a_lo[k], a_hi[k], b_lo[k], b_hi[k]) == (
+            span.a_lo,
+            span.a_hi,
+            span.b_lo,
+            span.b_hi,
+        )
+
+
+@st.composite
+def aligned_queries(draw):
+    lo = draw(st.integers(min_value=0, max_value=N - 1))
+    hi = draw(st.integers(min_value=lo + 1, max_value=N))
+    return lo, hi
+
+
+@given(open_intervals(), aligned_queries())
+def test_lattice_predicates_match_continuous(interval, query):
+    """The losslessness claim: for aligned queries, the three lattice-span
+    predicates coincide with the continuous open-object/closed-query
+    interval predicates.
+
+    The only excluded case is a degenerate object sitting exactly on a
+    grid line, where the library's convention (point belongs to its lower
+    cell) intentionally resolves the continuous semantics' ambiguity.
+    """
+    lo, hi = interval
+    q_lo, q_hi = query
+    if lo == hi and lo == round(lo):
+        return  # the documented convention case, asserted in unit tests
+    a_lo, a_hi = snap_axis(lo, hi, N)
+
+    lattice_intersects = a_lo <= 2 * q_hi - 2 and a_hi >= 2 * q_lo
+    lattice_within = a_lo >= 2 * q_lo and a_hi <= 2 * q_hi - 2
+    lattice_covers = a_lo <= 2 * q_lo - 1 and a_hi >= 2 * q_hi - 1
+
+    assert lattice_intersects == interval_interiors_intersect(lo, hi, q_lo, q_hi)
+    assert lattice_within == interval_contains(lo, hi, q_lo, q_hi)
+    assert lattice_covers == interval_contained(lo, hi, q_lo, q_hi)
+
+
+@given(open_intervals())
+def test_snapped_footprint_covers_interval(interval):
+    """The snapped cell block always covers the original interval."""
+    lo, hi = interval
+    a_lo, a_hi = snap_axis(lo, hi, N)
+    cell_lo, cell_hi = a_lo // 2, a_hi // 2
+    assert cell_lo <= lo or lo == float(N)
+    assert cell_hi + 1 >= hi
+    # And it never over-reaches by more than a full cell on either side
+    # (the boundary value 1.0 is reachable for near-degenerate intervals
+    # hugging a cell's lower edge, where 1 - eps rounds to 1.0).
+    assert lo - cell_lo < 1.0 or (lo == hi == float(N))
+    assert (cell_hi + 1) - hi <= 1.0

@@ -1,0 +1,77 @@
+"""Unit tests for the Grid specification."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+
+
+@pytest.fixture
+def grid():
+    # Non-unit cells: extent [10,50]x[0,20], 20x10 cells of 2x2 world units.
+    return Grid(Rect(10.0, 50.0, 0.0, 20.0), 20, 10)
+
+
+class TestConstruction:
+    def test_world_1deg(self):
+        g = Grid.world_1deg()
+        assert (g.n1, g.n2) == (360, 180)
+        assert g.cell_width == g.cell_height == 1.0
+        assert g.num_cells == 64_800
+        assert g.lattice_shape == (719, 359)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            Grid(Rect(0.0, 1.0, 0.0, 1.0), 0, 5)
+
+    def test_rejects_zero_area_extent(self):
+        with pytest.raises(ValueError):
+            Grid(Rect(0.0, 0.0, 0.0, 1.0), 1, 1)
+
+    def test_cell_dimensions(self, grid):
+        assert grid.cell_width == 2.0
+        assert grid.cell_height == 2.0
+        assert grid.cell_area == 4.0
+
+
+class TestConversion:
+    def test_world_to_cell_units(self, grid):
+        assert grid.to_cell_units_x(10.0) == 0.0
+        assert grid.to_cell_units_x(50.0) == 20.0
+        assert grid.to_cell_units_y(13.0) == 6.5
+
+    def test_roundtrip(self, grid):
+        xs = np.linspace(10.0, 50.0, 17)
+        back = grid.to_world_x(grid.to_cell_units_x(xs))
+        np.testing.assert_allclose(back, xs)
+
+    def test_rect_to_cell_units(self, grid):
+        assert grid.rect_to_cell_units(Rect(12.0, 16.0, 2.0, 4.0)) == (1.0, 3.0, 1.0, 2.0)
+
+    def test_vectorised_conversion(self, grid):
+        ys = np.array([0.0, 10.0, 20.0])
+        np.testing.assert_allclose(grid.to_cell_units_y(ys), [0.0, 5.0, 10.0])
+
+
+class TestAlignment:
+    def test_aligned(self, grid):
+        assert grid.is_aligned(Rect(12.0, 16.0, 2.0, 6.0))
+
+    def test_not_aligned(self, grid):
+        assert not grid.is_aligned(Rect(12.0, 15.0, 2.0, 6.0))
+
+    def test_tolerance(self, grid):
+        assert grid.is_aligned(Rect(12.0 + 1e-12, 16.0, 2.0, 6.0))
+
+    def test_cell_rect(self, grid):
+        assert grid.cell_rect(0, 0) == Rect(10.0, 12.0, 0.0, 2.0)
+        assert grid.cell_rect(19, 9) == Rect(48.0, 50.0, 18.0, 20.0)
+
+    def test_cell_rect_out_of_range(self, grid):
+        with pytest.raises(IndexError):
+            grid.cell_rect(20, 0)
+
+    def test_contains_rect(self, grid):
+        assert grid.contains_rect(Rect(10.0, 50.0, 0.0, 20.0))
+        assert not grid.contains_rect(Rect(9.0, 50.0, 0.0, 20.0))

@@ -1,0 +1,55 @@
+"""Tests for the d-dimensional grid and box query types."""
+
+import numpy as np
+import pytest
+
+from repro.grid.grid_nd import BoxQuery, GridND
+
+
+class TestGridND:
+    def test_unit_cells(self):
+        grid = GridND.unit_cells([4, 3, 2])
+        assert grid.ndim == 3
+        assert grid.num_cells == 24
+        assert grid.cell_sizes == (1.0, 1.0, 1.0)
+        assert grid.lattice_shape == (7, 5, 3)
+
+    def test_world_scaled(self):
+        grid = GridND(lows=(0.0, -90.0), highs=(360.0, 90.0), cells=(36, 18))
+        assert grid.cell_sizes == (10.0, 10.0)
+        np.testing.assert_allclose(grid.to_cell_units(1, np.array([-90.0, 0.0, 90.0])), [0, 9, 18])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridND(lows=(), highs=(), cells=())
+        with pytest.raises(ValueError):
+            GridND(lows=(0.0,), highs=(0.0,), cells=(1,))
+        with pytest.raises(ValueError):
+            GridND(lows=(0.0, 0.0), highs=(1.0,), cells=(1,))
+        with pytest.raises(ValueError):
+            GridND(lows=(0.0,), highs=(1.0,), cells=(0,))
+
+
+class TestBoxQuery:
+    def test_basic(self):
+        q = BoxQuery(lo=(0, 1, 2), hi=(2, 3, 4))
+        assert q.ndim == 3
+        assert q.volume == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoxQuery(lo=(), hi=())
+        with pytest.raises(ValueError):
+            BoxQuery(lo=(0, 0), hi=(1,))
+        with pytest.raises(ValueError):
+            BoxQuery(lo=(2,), hi=(2,))
+        with pytest.raises(ValueError):
+            BoxQuery(lo=(-1,), hi=(1,))
+
+    def test_validate_against(self):
+        grid = GridND.unit_cells([4, 4])
+        BoxQuery(lo=(0, 0), hi=(4, 4)).validate_against(grid)
+        with pytest.raises(ValueError, match="exceeds"):
+            BoxQuery(lo=(0, 0), hi=(5, 4)).validate_against(grid)
+        with pytest.raises(ValueError, match="3-d query"):
+            BoxQuery(lo=(0, 0, 0), hi=(1, 1, 1)).validate_against(grid)

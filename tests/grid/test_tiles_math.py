@@ -1,0 +1,59 @@
+"""Unit tests for TileQuery and aligned query conversion."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery, aligned_query_cells
+
+
+class TestTileQuery:
+    def test_basic(self):
+        q = TileQuery(2, 5, 1, 4)
+        assert q.width == 3
+        assert q.height == 3
+        assert q.area == 9
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TileQuery(2, 2, 0, 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TileQuery(-1, 2, 0, 1)
+
+    def test_validate_against(self, small_grid):
+        TileQuery(0, 12, 0, 8).validate_against(small_grid)
+        with pytest.raises(ValueError, match="exceeds grid"):
+            TileQuery(0, 13, 0, 8).validate_against(small_grid)
+
+    def test_to_world(self, small_grid):
+        q = TileQuery(1, 3, 2, 5)
+        assert q.to_world(small_grid) == Rect(1.0, 3.0, 2.0, 5.0)
+
+    def test_to_world_scaled(self):
+        grid = Grid(Rect(0.0, 100.0, 0.0, 50.0), 10, 5)  # 10x10 cells
+        assert TileQuery(1, 2, 0, 1).to_world(grid) == Rect(10.0, 20.0, 0.0, 10.0)
+
+
+class TestAlignedQueryCells:
+    def test_roundtrip(self, small_grid):
+        q = TileQuery(3, 7, 1, 6)
+        assert aligned_query_cells(small_grid, q.to_world(small_grid)) == q
+
+    def test_rejects_misaligned(self, small_grid):
+        with pytest.raises(ValueError, match="not aligned"):
+            aligned_query_cells(small_grid, Rect(0.5, 3.0, 0.0, 2.0))
+
+    def test_rejects_outside(self, small_grid):
+        with pytest.raises(ValueError, match="outside the data space"):
+            aligned_query_cells(small_grid, Rect(0.0, 13.0, 0.0, 2.0))
+
+    def test_accepts_float_noise_within_tolerance(self, small_grid):
+        q = aligned_query_cells(small_grid, Rect(1.0 + 1e-12, 3.0, 0.0, 2.0))
+        assert q == TileQuery(1, 3, 0, 2)
+
+    def test_scaled_grid(self):
+        grid = Grid(Rect(-180.0, 180.0, -90.0, 90.0), 36, 18)  # 10-degree cells
+        q = aligned_query_cells(grid, Rect(-180.0, -170.0, -90.0, -80.0))
+        assert q == TileQuery(0, 1, 0, 1)

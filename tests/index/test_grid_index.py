@@ -1,0 +1,107 @@
+"""Tests for the grid-bucket spatial index."""
+
+import numpy as np
+import pytest
+
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+from repro.index.grid_index import GridBucketIndex
+
+from tests.conftest import random_dataset, random_query
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 12.0, 0.0, 8.0), 12, 8)
+
+
+@pytest.fixture
+def data(grid, rng):
+    return random_dataset(rng, grid, 250, degenerate_fraction=0.2, aligned_fraction=0.3)
+
+
+RELATIONS = ("intersect", "contains", "contained", "overlap")
+
+
+class TestExactness:
+    @pytest.mark.parametrize("relation", RELATIONS)
+    def test_counts_match_exact_evaluator(self, grid, data, rng, relation):
+        index = GridBucketIndex(data, grid)
+        evaluator = ExactEvaluator(data, grid)
+        field = {
+            "intersect": "n_intersect",
+            "contains": "n_cs",
+            "contained": "n_cd",
+            "overlap": "n_o",
+        }[relation]
+        for _ in range(30):
+            q = random_query(rng, grid)
+            assert index.count(q, relation) == getattr(evaluator.estimate(q), field)
+
+    def test_ids_match_evaluator_masks(self, grid, data, rng):
+        index = GridBucketIndex(data, grid)
+        evaluator = ExactEvaluator(data, grid)
+        for _ in range(15):
+            q = random_query(rng, grid)
+            intersects, within, covers = evaluator.masks(q)
+            np.testing.assert_array_equal(
+                index.query(q, "intersect"), np.flatnonzero(intersects)
+            )
+            np.testing.assert_array_equal(index.query(q, "contains"), np.flatnonzero(within))
+            np.testing.assert_array_equal(index.query(q, "contained"), np.flatnonzero(covers))
+
+    def test_oversize_handling_is_transparent(self, grid, data, rng):
+        """Aggressive oversize threshold must not change answers."""
+        tight = GridBucketIndex(data, grid, max_span_cells=1)
+        loose = GridBucketIndex(data, grid, max_span_cells=1000)
+        assert tight.num_oversize > loose.num_oversize
+        for _ in range(20):
+            q = random_query(rng, grid)
+            for relation in RELATIONS:
+                np.testing.assert_array_equal(
+                    tight.query(q, relation), loose.query(q, relation)
+                )
+
+
+class TestStats:
+    def test_candidate_accounting(self, grid, data):
+        index = GridBucketIndex(data, grid)
+        q = TileQuery(0, 2, 0, 2)
+        index.query(q, "intersect")
+        assert index.stats.queries == 1
+        assert index.stats.candidates_examined >= index.stats.results_returned
+        assert index.stats.per_query_candidates[0] <= len(data)
+
+    def test_small_query_examines_few_candidates(self, grid, rng):
+        # Tiny objects, small tile: candidates << |S|.
+        data = random_dataset(rng, grid, 400, max_size_cells=0.5, aligned_fraction=0.0)
+        index = GridBucketIndex(data, grid)
+        index.query(TileQuery(3, 4, 3, 4), "intersect")
+        assert index.stats.candidates_examined < len(data) / 4
+
+
+class TestValidation:
+    def test_unknown_relation(self, grid, data):
+        index = GridBucketIndex(data, grid)
+        with pytest.raises(ValueError, match="unknown relation"):
+            index.query(TileQuery(0, 1, 0, 1), "touches")
+        with pytest.raises(ValueError, match="unknown relation"):
+            index.refine(np.array([0]), TileQuery(0, 1, 0, 1), "disjoint")
+
+    def test_bad_max_span(self, grid, data):
+        with pytest.raises(ValueError):
+            GridBucketIndex(data, grid, max_span_cells=0)
+
+    def test_out_of_grid_query(self, grid, data):
+        index = GridBucketIndex(data, grid)
+        with pytest.raises(ValueError):
+            index.query(TileQuery(0, 13, 0, 8))
+
+    def test_empty_dataset(self, grid):
+        from repro.datasets.base import RectDataset
+
+        index = GridBucketIndex(RectDataset.empty(grid.extent), grid)
+        assert index.count(TileQuery(0, 12, 0, 8)) == 0
+        assert index.nbytes >= 0

@@ -1,0 +1,124 @@
+"""Cross-validation: every exact path in the library must agree with every
+other, and the estimators must satisfy their structural invariants, on
+randomised inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.beigel_tanin import BeigelTaninIntersect
+from repro.baselines.cumulative_density import CumulativeDensity
+from repro.euler.full import EulerApprox, QueryEdge
+from repro.euler.histogram import EulerHistogram
+from repro.euler.multi import MEulerApprox
+from repro.euler.simple import SEulerApprox
+from repro.exact.evaluator import ExactEvaluator
+from repro.exact.store import ExactLevel2Store2D
+from repro.exact.tiling import exact_tiling_counts
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+
+from tests.conftest import brute_force_counts, random_dataset, random_query
+
+
+@st.composite
+def scenario(draw):
+    seed = draw(st.integers(0, 100_000))
+    n1 = draw(st.sampled_from([4, 6, 8]))
+    n2 = draw(st.sampled_from([4, 6]))
+    count = draw(st.integers(0, 80))
+    return seed, n1, n2, count
+
+
+@settings(max_examples=50, deadline=None)
+@given(scenario())
+def test_all_exact_paths_agree(params):
+    """Five independent implementations of exact counting -- the scalar
+    oracle, the vectorised evaluator, the 4-d store, the Euler histogram's
+    n_ii and the CD baseline -- must produce identical numbers."""
+    seed, n1, n2, count = params
+    grid = Grid(Rect(0.0, float(n1), 0.0, float(n2)), n1, n2)
+    rng = np.random.default_rng(seed)
+    data = random_dataset(rng, grid, count, degenerate_fraction=0.3, aligned_fraction=0.4)
+
+    evaluator = ExactEvaluator(data, grid)
+    store = ExactLevel2Store2D(data, grid)
+    hist = EulerHistogram.from_dataset(data, grid)
+    cd = CumulativeDensity(data, grid)
+    bt = BeigelTaninIntersect.from_histogram(hist)
+
+    for _ in range(5):
+        q = random_query(rng, grid)
+        oracle = brute_force_counts(data, grid, q)
+        assert evaluator.estimate(q) == oracle
+        assert store.estimate(q) == oracle
+        assert hist.intersect_count(q) == oracle.n_intersect
+        assert cd.intersect_count(q) == oracle.n_intersect
+        assert bt.intersect_count(q) == oracle.n_intersect
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario())
+def test_estimator_structural_invariants(params):
+    """For every estimator and random query: totals equal |S|, the
+    disjoint count is exact, and all three Euler variants share one
+    overlap estimate."""
+    seed, n1, n2, count = params
+    grid = Grid(Rect(0.0, float(n1), 0.0, float(n2)), n1, n2)
+    rng = np.random.default_rng(seed)
+    data = random_dataset(rng, grid, count, degenerate_fraction=0.2, aligned_fraction=0.3)
+
+    hist = EulerHistogram.from_dataset(data, grid)
+    estimators = [
+        SEulerApprox(hist),
+        EulerApprox(hist),
+        EulerApprox(hist, QueryEdge.TOP),
+        MEulerApprox(data, grid, [1.0, 4.0]),
+    ]
+    evaluator = ExactEvaluator(data, grid)
+
+    for _ in range(5):
+        q = random_query(rng, grid)
+        truth = evaluator.estimate(q)
+        overlaps = set()
+        for estimator in estimators:
+            counts = estimator.estimate(q)
+            assert counts.total == pytest.approx(len(data))
+            assert counts.n_d == truth.n_d  # N_d = |S| - n_ii is exact
+            overlaps.add(round(counts.n_o, 9))
+        assert len(overlaps) == 1  # shared N_o equation
+
+
+@settings(max_examples=30, deadline=None)
+@given(scenario(), st.sampled_from([1, 2]))
+def test_tiling_matches_evaluator_everywhere(params, tile):
+    seed, n1, n2, count = params
+    grid = Grid(Rect(0.0, float(n1), 0.0, float(n2)), n1, n2)
+    rng = np.random.default_rng(seed)
+    data = random_dataset(rng, grid, count, degenerate_fraction=0.3, aligned_fraction=0.4)
+    if n1 % tile or n2 % tile:
+        return
+    tiling = exact_tiling_counts(data, grid, tile, tile)
+    evaluator = ExactEvaluator(data, grid)
+    for tx in range(tiling.shape[0]):
+        for ty in range(tiling.shape[1]):
+            assert tiling.counts_at(tx, ty) == evaluator.estimate(tiling.query_at(tx, ty))
+
+
+@settings(max_examples=30, deadline=None)
+@given(scenario())
+def test_s_euler_exact_for_subcell_data(params):
+    """The headline guarantee: when every object fits inside one cell,
+    S-EulerApprox answers every aligned query exactly."""
+    seed, n1, n2, count = params
+    grid = Grid(Rect(0.0, float(n1), 0.0, float(n2)), n1, n2)
+    rng = np.random.default_rng(seed)
+    data = random_dataset(
+        rng, grid, count, max_size_cells=0.95, degenerate_fraction=0.3, aligned_fraction=0.0
+    )
+    estimator = SEulerApprox(EulerHistogram.from_dataset(data, grid))
+    evaluator = ExactEvaluator(data, grid)
+    for _ in range(5):
+        q = random_query(rng, grid)
+        assert estimator.estimate(q) == evaluator.estimate(q)

@@ -1,0 +1,41 @@
+"""Tests for per-query error quantiles."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.errors import error_quantiles
+
+
+def test_basic_quantiles():
+    exact = np.array([10.0, 10.0, 10.0, 10.0])
+    estimated = np.array([10.0, 11.0, 12.0, 20.0])
+    quantiles = error_quantiles(exact, estimated, quantiles=(0.0, 0.5, 1.0))
+    assert quantiles[0.0] == 0.0
+    assert quantiles[0.5] == pytest.approx(1.5)
+    assert quantiles[1.0] == 10.0
+
+
+def test_perfect_estimate():
+    values = np.arange(10.0)
+    quantiles = error_quantiles(values, values.copy())
+    assert all(v == 0.0 for v in quantiles.values())
+
+
+def test_empty_input():
+    quantiles = error_quantiles(np.zeros(0), np.zeros(0))
+    assert quantiles == {0.5: 0.0, 0.9: 0.0, 0.99: 0.0, 1.0: 0.0}
+
+
+def test_2d_input_flattened():
+    exact = np.zeros((3, 3))
+    estimated = np.full((3, 3), 2.0)
+    assert error_quantiles(exact, estimated)[1.0] == 2.0
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="at least one"):
+        error_quantiles(np.zeros(2), np.zeros(2), quantiles=())
+    with pytest.raises(ValueError, match="lie in"):
+        error_quantiles(np.zeros(2), np.zeros(2), quantiles=(1.5,))
+    with pytest.raises(ValueError):
+        error_quantiles(np.zeros(2), np.zeros(3))

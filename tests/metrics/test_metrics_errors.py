@@ -1,0 +1,91 @@
+"""Tests for the average-relative-error metric and scatter helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics.errors import average_relative_error, per_query_errors, scatter_points
+
+
+class TestAverageRelativeError:
+    def test_paper_definition(self):
+        # ARE = sum |r - e| / sum r  (Section 6.1.3).
+        exact = np.array([10.0, 20.0, 0.0])
+        est = np.array([12.0, 18.0, 1.0])
+        assert average_relative_error(exact, est) == pytest.approx(5.0 / 30.0)
+
+    def test_perfect_estimate(self):
+        values = np.array([5.0, 0.0, 3.0])
+        assert average_relative_error(values, values.copy()) == 0.0
+
+    def test_zero_truth_zero_error(self):
+        assert average_relative_error(np.zeros(4), np.zeros(4)) == 0.0
+
+    def test_zero_truth_nonzero_error_is_inf(self):
+        assert average_relative_error(np.zeros(3), np.array([0.0, 1.0, 0.0])) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            average_relative_error(np.zeros(3), np.zeros(4))
+
+    def test_2d_arrays_accepted(self):
+        exact = np.array([[4.0, 4.0], [4.0, 4.0]])
+        est = exact + 1.0
+        assert average_relative_error(exact, est) == pytest.approx(0.25)
+
+    def test_errors_weighted_by_mass_not_per_query(self):
+        # One huge accurate query dominates many tiny wrong ones -- that
+        # is exactly what the paper's metric intends.
+        exact = np.array([1000.0, 1.0, 1.0])
+        est = np.array([1000.0, 2.0, 0.0])
+        assert average_relative_error(exact, est) == pytest.approx(2.0 / 1002.0)
+
+
+positive_arrays = hnp.arrays(
+    np.float64, st.integers(1, 30), elements=st.floats(0, 1e6, allow_nan=False)
+)
+
+
+@given(positive_arrays, positive_arrays)
+def test_are_is_non_negative(a, b):
+    n = min(len(a), len(b))
+    assert average_relative_error(a[:n], b[:n]) >= 0.0
+
+
+@given(positive_arrays)
+def test_are_of_scaled_estimate(a):
+    # Estimating 2r for truth r gives ARE exactly 1 (when truth > 0).
+    if a.sum() > 0:
+        assert average_relative_error(a, 2 * a) == pytest.approx(1.0)
+
+
+class TestPerQueryErrors:
+    def test_values(self):
+        errors = per_query_errors(np.array([1.0, 5.0]), np.array([3.0, 4.0]))
+        np.testing.assert_allclose(errors, [2.0, 1.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            per_query_errors(np.zeros(2), np.zeros(3))
+
+
+class TestScatterPoints:
+    def test_pairs(self):
+        pts = scatter_points(np.array([1.0, 2.0]), np.array([1.5, 2.0]))
+        assert pts == [(1.0, 1.5), (2.0, 2.0)]
+
+    def test_drop_zero_truth(self):
+        pts = scatter_points(
+            np.array([0.0, 2.0, 0.0]), np.array([0.0, 2.5, 1.0]), drop_zero_truth=True
+        )
+        assert pts == [(2.0, 2.5), (0.0, 1.0)]
+
+    def test_flattens_2d(self):
+        pts = scatter_points(np.ones((2, 2)), np.ones((2, 2)))
+        assert len(pts) == 4
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            scatter_points(np.zeros(2), np.zeros(3))

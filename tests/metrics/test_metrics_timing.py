@@ -1,0 +1,45 @@
+"""Tests for the timing helpers."""
+
+import pytest
+
+from repro.grid.tiles_math import TileQuery
+from repro.metrics.timing import Timer, time_query_batch
+
+
+def test_timer_measures_elapsed():
+    with Timer() as t:
+        total = sum(range(10_000))
+    assert total == 49_995_000
+    assert t.elapsed > 0.0
+
+
+def test_timer_reusable():
+    t = Timer()
+    with t:
+        pass
+    first = t.elapsed
+    with t:
+        sum(range(100_000))
+    assert t.elapsed >= 0.0
+    assert t.elapsed != first or t.elapsed > 0
+
+
+def test_time_query_batch_counts_calls():
+    calls = []
+    queries = [TileQuery(0, 1, 0, 1)] * 7
+    elapsed = time_query_batch(lambda q: calls.append(q), queries, repeats=2)
+    assert elapsed >= 0.0
+    assert len(calls) == 14
+
+
+def test_time_query_batch_takes_best_of_repeats():
+    queries = [TileQuery(0, 1, 0, 1)] * 3
+    single = time_query_batch(lambda q: None, queries, repeats=1)
+    best = time_query_batch(lambda q: None, queries, repeats=5)
+    assert best >= 0.0
+    assert single >= 0.0
+
+
+def test_time_query_batch_validates_repeats():
+    with pytest.raises(ValueError):
+        time_query_batch(lambda q: None, [], repeats=0)

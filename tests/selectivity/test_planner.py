@@ -1,0 +1,100 @@
+"""Tests for the cost-based spatial query planner."""
+
+import numpy as np
+import pytest
+
+from repro.euler.histogram import EulerHistogram
+from repro.euler.simple import SEulerApprox
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+from repro.index.grid_index import GridBucketIndex
+from repro.selectivity.estimator import SelectivityEstimator
+from repro.selectivity.planner import CostModel, SpatialQueryPlanner, Strategy
+
+from tests.conftest import random_dataset, random_query
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 12.0, 0.0, 8.0), 12, 8)
+
+
+@pytest.fixture
+def data(grid, rng):
+    return random_dataset(rng, grid, 300, max_size_cells=2.0)
+
+
+@pytest.fixture
+def planner(grid, data):
+    index = GridBucketIndex(data, grid)
+    estimator = SEulerApprox(EulerHistogram.from_dataset(data, grid))
+    return SpatialQueryPlanner(index, SelectivityEstimator(estimator, len(data)))
+
+
+class TestPlanSelection:
+    def test_selective_query_uses_index(self, planner):
+        strategy, *_ = planner.plan(TileQuery(5, 6, 3, 4), "intersect")
+        assert strategy is Strategy.INDEX_SCAN
+
+    def test_broad_query_uses_scan(self, planner):
+        strategy, _, scan_cost, index_cost = planner.plan(TileQuery(0, 12, 0, 8), "intersect")
+        assert strategy is Strategy.FULL_SCAN
+        assert index_cost >= scan_cost
+
+    def test_unknown_relation_rejected(self, planner):
+        with pytest.raises(ValueError, match="retrieval relations"):
+            planner.plan(TileQuery(0, 1, 0, 1), "disjoint")
+
+    def test_cost_model_tunable(self, grid, data):
+        index = GridBucketIndex(data, grid)
+        selectivity = SelectivityEstimator(ExactEvaluator(data, grid), len(data))
+        expensive_index = SpatialQueryPlanner(
+            index, selectivity, CostModel(index_cost_per_candidate=1e9)
+        )
+        strategy, *_ = expensive_index.plan(TileQuery(5, 6, 3, 4), "intersect")
+        assert strategy is Strategy.FULL_SCAN
+
+
+class TestExecution:
+    @pytest.mark.parametrize("relation", ["intersect", "contains", "contained", "overlap"])
+    def test_both_paths_return_exact_ids(self, grid, data, planner, relation, rng):
+        evaluator = ExactEvaluator(data, grid)
+        for _ in range(10):
+            q = random_query(rng, grid)
+            ids, report = planner.execute(q, relation)
+            intersects, within, covers = evaluator.masks(q)
+            expected = {
+                "intersect": intersects,
+                "contains": within,
+                "contained": covers,
+                "overlap": intersects & ~within & ~covers,
+            }[relation]
+            np.testing.assert_array_equal(ids, np.flatnonzero(expected))
+            assert report.actual_results == int(expected.sum())
+
+    def test_index_path_examines_fewer_candidates(self, planner, data):
+        ids, report = planner.execute(TileQuery(5, 6, 3, 4), "intersect")
+        assert report.strategy is Strategy.INDEX_SCAN
+        assert report.actual_candidates < len(data)
+
+    def test_scan_path_examines_everything(self, planner, data):
+        ids, report = planner.execute(TileQuery(0, 12, 0, 8), "intersect")
+        assert report.strategy is Strategy.FULL_SCAN
+        assert report.actual_candidates == len(data)
+
+    def test_explain_output(self, planner):
+        _, report = planner.execute(TileQuery(5, 6, 3, 4), "overlap")
+        text = report.explain()
+        assert "overlap" in text
+        assert report.strategy.value in text
+        assert "actual results" in text
+
+
+class TestValidation:
+    def test_mismatched_dataset_sizes_rejected(self, grid, data):
+        index = GridBucketIndex(data, grid)
+        wrong = SelectivityEstimator(ExactEvaluator(data, grid), len(data) + 1)
+        with pytest.raises(ValueError, match="different datasets"):
+            SpatialQueryPlanner(index, wrong)

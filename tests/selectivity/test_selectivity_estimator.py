@@ -1,0 +1,84 @@
+"""Tests for the Level-2 selectivity estimator."""
+
+import pytest
+
+from repro.euler.histogram import EulerHistogram
+from repro.euler.simple import SEulerApprox
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+from repro.selectivity.estimator import RELATION_ACCESSORS, SelectivityEstimator
+
+from tests.conftest import random_dataset, random_query
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 12.0, 0.0, 8.0), 12, 8)
+
+
+@pytest.fixture
+def data(grid, rng):
+    return random_dataset(rng, grid, 200)
+
+
+def test_exact_backend_gives_exact_selectivities(grid, data, rng):
+    selectivity = SelectivityEstimator(ExactEvaluator(data, grid), len(data))
+    evaluator = ExactEvaluator(data, grid)
+    for _ in range(20):
+        q = random_query(rng, grid)
+        truth = evaluator.estimate(q)
+        for relation, accessor in RELATION_ACCESSORS.items():
+            estimate = selectivity.estimate(q, relation)
+            assert estimate.cardinality == accessor(truth)
+            assert estimate.selectivity == pytest.approx(accessor(truth) / len(data))
+
+
+def test_selectivities_are_clamped(grid, rng):
+    """S-EulerApprox can return negative raw contains counts; the
+    selectivity layer clamps while preserving the raw value."""
+    crossover = random_dataset(rng, grid, 0)
+    from repro.datasets.base import RectDataset
+
+    crossover = RectDataset.from_rects([Rect(0.5, 11.5, 3.2, 3.8)], grid.extent)
+    estimator = SEulerApprox(EulerHistogram.from_dataset(crossover, grid))
+    selectivity = SelectivityEstimator(estimator, 1)
+    estimate = selectivity.estimate(TileQuery(3, 6, 0, 8), "contains")
+    assert estimate.raw == -1.0
+    assert estimate.cardinality == 0.0
+    assert estimate.selectivity == 0.0
+
+
+def test_selectivity_in_unit_interval(grid, data, rng):
+    estimator = SEulerApprox(EulerHistogram.from_dataset(data, grid))
+    selectivity = SelectivityEstimator(estimator, len(data))
+    for _ in range(25):
+        q = random_query(rng, grid)
+        for relation in RELATION_ACCESSORS:
+            value = selectivity.selectivity(q, relation)
+            assert 0.0 <= value <= 1.0
+
+
+def test_unknown_relation(grid, data):
+    selectivity = SelectivityEstimator(ExactEvaluator(data, grid), len(data))
+    with pytest.raises(ValueError, match="unknown relation"):
+        selectivity.estimate(TileQuery(0, 1, 0, 1), "near")
+
+
+def test_empty_dataset_selectivity_is_zero(grid):
+    from repro.datasets.base import RectDataset
+
+    empty = RectDataset.empty(grid.extent)
+    selectivity = SelectivityEstimator(ExactEvaluator(empty, grid), 0)
+    assert selectivity.selectivity(TileQuery(0, 1, 0, 1), "intersect") == 0.0
+
+
+def test_name(grid, data):
+    selectivity = SelectivityEstimator(ExactEvaluator(data, grid), len(data))
+    assert selectivity.name == "Selectivity[Exact]"
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SelectivityEstimator(None, -1)  # type: ignore[arg-type]

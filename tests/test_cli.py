@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.base import RectDataset
+from repro.euler.histogram import EulerHistogram
+
+
+@pytest.fixture
+def data_path(tmp_path):
+    path = tmp_path / "data.npz"
+    assert main(["generate", "sp_skew", "2000", "-o", str(path), "--seed", "3"]) == 0
+    return path
+
+
+@pytest.fixture
+def hist_path(tmp_path, data_path):
+    path = tmp_path / "hist.npz"
+    assert main(["build", str(data_path), "-o", str(path), "--cells", "90", "45"]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_dataset(self, data_path):
+        data = RectDataset.load(data_path)
+        assert len(data) == 2000
+        assert data.name == "sp_skew"
+
+    def test_deterministic_seed(self, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        main(["generate", "sz_skew", "500", "-o", str(a), "--seed", "9"])
+        main(["generate", "sz_skew", "500", "-o", str(b), "--seed", "9"])
+        import numpy as np
+
+        np.testing.assert_array_equal(
+            RectDataset.load(a).x_lo, RectDataset.load(b).x_lo
+        )
+
+    def test_rejects_bad_count(self, tmp_path, capsys):
+        assert main(["generate", "adl", "0", "-o", str(tmp_path / "x.npz")]) == 2
+        assert "count must be positive" in capsys.readouterr().err
+
+    def test_rejects_unknown_dataset(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "nope", "10", "-o", str(tmp_path / "x.npz")])
+
+
+class TestDescribe:
+    def test_prints_stats(self, data_path, capsys):
+        assert main(["describe", str(data_path)]) == 0
+        out = capsys.readouterr().out
+        assert "count" in out and "2000" in out
+        assert "area_mean" in out
+
+
+class TestBuild:
+    def test_writes_histogram(self, hist_path):
+        histogram = EulerHistogram.load(hist_path)
+        assert histogram.num_objects == 2000
+        assert histogram.grid.n1 == 90
+        assert histogram.grid.n2 == 45
+
+    def test_reports_progress(self, tmp_path, data_path, capsys):
+        main(["build", str(data_path), "-o", str(tmp_path / "h.npz")])
+        assert "bucket histogram" in capsys.readouterr().out
+
+
+class TestBrowse:
+    def test_renders_raster(self, hist_path, capsys):
+        code = main(
+            [
+                "browse",
+                str(hist_path),
+                "--region", "0", "360", "0", "180",
+                "--rows", "3",
+                "--cols", "6",
+                "--relation", "overlap",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if not line.startswith("#")]
+        assert len(lines) == 3
+        assert "overlap counts" in out
+
+    def test_misaligned_region_fails_cleanly(self, hist_path, capsys):
+        code = main(
+            [
+                "browse",
+                str(hist_path),
+                "--region", "0.5", "360", "0", "180",
+                "--rows", "2",
+                "--cols", "2",
+            ]
+        )
+        assert code == 2
+        assert "not aligned" in capsys.readouterr().err
+
+    def test_contains_relation(self, hist_path, capsys):
+        code = main(
+            [
+                "browse",
+                str(hist_path),
+                "--region", "0", "360", "0", "180",
+                "--rows", "3",
+                "--cols", "2",
+                "--relation", "contains",
+            ]
+        )
+        assert code == 0
+        # The whole space split in 4: every object is contained somewhere,
+        # so the raster sums to the dataset size minus boundary-spanners.
+        out = capsys.readouterr().out
+        values = [int(v) for line in out.splitlines() if not line.startswith("#") for v in line.split()]
+        assert 0 < sum(values) <= 2000

@@ -1,0 +1,84 @@
+"""Public API integrity: everything advertised is importable and every
+subpackage's __all__ is consistent."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.geometry",
+    "repro.grid",
+    "repro.cube",
+    "repro.euler",
+    "repro.exact",
+    "repro.baselines",
+    "repro.index",
+    "repro.selectivity",
+    "repro.datasets",
+    "repro.workloads",
+    "repro.metrics",
+    "repro.browse",
+    "repro.experiments",
+]
+
+
+def test_top_level_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing name {name}"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), f"{module_name} has no __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing name {name}"
+
+
+def test_no_duplicate_top_level_names():
+    assert len(repro.__all__) == len(set(repro.__all__))
+
+
+def test_version_is_a_string():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") >= 1
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_public_classes_and_functions_have_docstrings(module_name):
+    """Deliverable (e): doc comments on every public item."""
+    module = importlib.import_module(module_name)
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+            # Public methods of public classes too.
+            if inspect.isclass(obj):
+                for meth_name, meth in inspect.getmembers(obj, inspect.isfunction):
+                    if meth_name.startswith("_"):
+                        continue
+                    assert meth.__doc__, (
+                        f"{module_name}.{name}.{meth_name} lacks a docstring"
+                    )
+
+
+def test_estimators_satisfy_protocol():
+    from repro.euler.base import Level2Estimator
+
+    instances = []
+    import numpy as np
+
+    grid = repro.Grid(repro.Rect(0.0, 4.0, 0.0, 4.0), 4, 4)
+    data = repro.RectDataset(
+        np.array([0.5]), np.array([1.5]), np.array([0.5]), np.array([1.5]), grid.extent
+    )
+    hist = repro.EulerHistogram.from_dataset(data, grid)
+    instances.append(repro.SEulerApprox(hist))
+    instances.append(repro.EulerApprox(hist))
+    instances.append(repro.MEulerApprox(data, grid, [1.0]))
+    instances.append(repro.ExactEvaluator(data, grid))
+    for instance in instances:
+        assert isinstance(instance, Level2Estimator)

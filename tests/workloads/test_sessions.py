@@ -1,0 +1,82 @@
+"""Tests for the browsing-session workload generator."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.workloads.sessions import BrowseInteraction, generate_sessions
+from repro.grid.tiles_math import TileQuery
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 360.0, 0.0, 180.0), 360, 180)
+
+
+def test_sessions_are_reproducible(grid):
+    a = generate_sessions(grid, num_sessions=5, seed=3)
+    b = generate_sessions(grid, num_sessions=5, seed=3)
+    assert a == b
+
+
+def test_different_seeds_differ(grid):
+    a = generate_sessions(grid, num_sessions=5, seed=1)
+    b = generate_sessions(grid, num_sessions=5, seed=2)
+    assert a != b
+
+
+def test_sessions_start_at_world_view(grid):
+    for session in generate_sessions(grid, num_sessions=8, seed=0):
+        first = session.interactions[0]
+        assert first.region == TileQuery(0, 360, 0, 180)
+
+
+def test_regions_nest_monotonically(grid):
+    """Each step's region is contained in the previous step's region."""
+    for session in generate_sessions(grid, num_sessions=10, seed=4):
+        prev = None
+        for step in session:
+            if prev is not None:
+                assert prev.qx_lo <= step.region.qx_lo
+                assert step.region.qx_hi <= prev.qx_hi
+                assert prev.qy_lo <= step.region.qy_lo
+                assert step.region.qy_hi <= prev.qy_hi
+            prev = step.region
+
+
+def test_partitions_divide_regions(grid):
+    for session in generate_sessions(grid, num_sessions=10, seed=5):
+        for step in session:
+            assert step.region.width % step.cols == 0
+            assert step.region.height % step.rows == 0
+            tiles = step.tile_queries()
+            assert len(tiles) == step.num_tiles
+            assert sum(t.area for t in tiles) == step.region.area
+
+
+def test_relations_are_browsable(grid):
+    from repro.browse.service import RELATION_FIELDS
+
+    for session in generate_sessions(grid, num_sessions=10, seed=6):
+        for step in session:
+            assert step.relation in RELATION_FIELDS
+
+
+def test_total_tiles(grid):
+    session = generate_sessions(grid, num_sessions=1, seed=7)[0]
+    assert session.total_tiles == sum(s.num_tiles for s in session)
+    assert len(session) >= 2
+
+
+def test_validation(grid):
+    with pytest.raises(ValueError):
+        generate_sessions(grid, num_sessions=0)
+    with pytest.raises(ValueError):
+        generate_sessions(grid, max_depth=0)
+
+
+def test_interaction_expansion():
+    step = BrowseInteraction(region=TileQuery(0, 4, 0, 4), rows=2, cols=2, relation="overlap")
+    tiles = step.tile_queries()
+    assert len(tiles) == 4
+    assert all(t.area == 4 for t in tiles)

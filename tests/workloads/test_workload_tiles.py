@@ -1,0 +1,77 @@
+"""Tests for the paper's query sets and browsing tilings."""
+
+import pytest
+
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+from repro.workloads.tiles import (
+    PAPER_QUERY_SET_SIZES,
+    browsing_tiles,
+    paper_query_sets,
+    query_set,
+)
+
+
+class TestQuerySet:
+    def test_paper_sizes_divide_the_world_grid(self, world_grid):
+        for n in PAPER_QUERY_SET_SIZES:
+            assert world_grid.n1 % n == 0
+            assert world_grid.n2 % n == 0
+
+    @pytest.mark.parametrize("n,expected", [(10, 648), (2, 16_200), (20, 162), (9, 800)])
+    def test_cardinality_matches_paper(self, world_grid, n, expected):
+        # Section 6.1.2: |Q_n| = 360/n * 180/n.
+        assert len(query_set(world_grid, n)) == expected
+
+    def test_tiles_partition_the_space(self, world_grid):
+        tiles = query_set(world_grid, 20)
+        covered = sum(t.area for t in tiles)
+        assert covered == world_grid.num_cells
+        # No overlaps: tile corners are unique.
+        corners = {(t.qx_lo, t.qy_lo) for t in tiles}
+        assert len(corners) == len(tiles)
+
+    def test_all_tiles_are_square(self, world_grid):
+        assert all(t.width == t.height == 15 for t in query_set(world_grid, 15))
+
+    def test_rejects_non_divisor(self, world_grid):
+        with pytest.raises(ValueError, match="does not divide"):
+            query_set(world_grid, 7)
+
+    def test_rejects_non_positive(self, world_grid):
+        with pytest.raises(ValueError):
+            query_set(world_grid, 0)
+
+    def test_paper_query_sets(self, world_grid):
+        sets = paper_query_sets(world_grid)
+        assert set(sets) == set(PAPER_QUERY_SET_SIZES)
+        assert len(sets[10]) == 648
+
+
+class TestBrowsingTiles:
+    def test_california_style_partitioning(self):
+        # Figure 1(b): a region split into a rows x cols raster.
+        region = TileQuery(10, 32, 20, 64)  # 22 cells wide, 44 tall
+        tiles = browsing_tiles(region, rows=4, cols=11)
+        assert len(tiles) == 4 and len(tiles[0]) == 11
+        assert tiles[0][0] == TileQuery(10, 12, 20, 31)
+        assert tiles[3][10] == TileQuery(30, 32, 53, 64)
+
+    def test_tiles_cover_region_exactly(self):
+        region = TileQuery(0, 12, 0, 8)
+        tiles = browsing_tiles(region, rows=2, cols=3)
+        total = sum(t.area for row in tiles for t in row)
+        assert total == region.area
+
+    def test_rejects_non_dividing_partition(self):
+        with pytest.raises(ValueError, match="equal aligned tiles"):
+            browsing_tiles(TileQuery(0, 10, 0, 10), rows=3, cols=2)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            browsing_tiles(TileQuery(0, 10, 0, 10), rows=0, cols=2)
+
+    def test_single_tile(self):
+        region = TileQuery(3, 7, 2, 6)
+        tiles = browsing_tiles(region, rows=1, cols=1)
+        assert tiles == [[region]]
