@@ -42,7 +42,9 @@ from repro.euler import (
     EulerHistogram,
     EulerHistogramBuilder,
     EulerHistogramND,
+    Level2BatchEstimator,
     Level2Counts,
+    Level2CountsBatch,
     Level2Estimator,
     MaintainedEulerHistogram,
     MEulerApprox,
@@ -50,6 +52,7 @@ from repro.euler import (
     SEulerApprox,
     SEulerApproxND,
     UnalignedEstimator,
+    as_batch_estimator,
     tune_area_thresholds,
 )
 from repro.exact import (
@@ -70,11 +73,17 @@ from repro.geometry import (
     Rect,
     dataset_from_geometries,
 )
-from repro.grid import BoxQuery, Grid, GridND, TileQuery, aligned_query_cells
+from repro.grid import BoxQuery, Grid, GridND, TileQuery, TileQueryBatch, aligned_query_cells
 from repro.index import GridBucketIndex
 from repro.metrics import average_relative_error
 from repro.selectivity import SelectivityEstimator, SpatialQueryPlanner
-from repro.workloads import PAPER_QUERY_SET_SIZES, browsing_tiles, paper_query_sets, query_set
+from repro.workloads import (
+    PAPER_QUERY_SET_SIZES,
+    browsing_tile_batch,
+    browsing_tiles,
+    paper_query_sets,
+    query_set,
+)
 
 __version__ = "1.0.0"
 
@@ -91,6 +100,7 @@ __all__ = [
     "Grid",
     "GridND",
     "TileQuery",
+    "TileQueryBatch",
     "BoxQuery",
     "aligned_query_cells",
     # datasets
@@ -114,7 +124,10 @@ __all__ = [
     "MEulerApprox",
     "tune_area_thresholds",
     "Level2Counts",
+    "Level2CountsBatch",
     "Level2Estimator",
+    "Level2BatchEstimator",
+    "as_batch_estimator",
     # exact
     "ExactEvaluator",
     "ContinuousExactEvaluator",
@@ -133,6 +146,7 @@ __all__ = [
     "query_set",
     "paper_query_sets",
     "browsing_tiles",
+    "browsing_tile_batch",
     "average_relative_error",
     # browsing service
     "GeoBrowsingService",

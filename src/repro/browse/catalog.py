@@ -22,12 +22,12 @@ import numpy as np
 
 from repro.browse.service import GeoBrowsingService
 from repro.datasets.base import RectDataset
-from repro.euler.base import Level2Estimator
-from repro.euler.estimates import Level2Counts
+from repro.euler.base import Level2Estimator, as_batch_estimator
+from repro.euler.estimates import Level2Counts, Level2CountsBatch
 from repro.euler.histogram import EulerHistogram
 from repro.euler.simple import SEulerApprox
 from repro.grid.grid import Grid
-from repro.grid.tiles_math import TileQuery
+from repro.grid.tiles_math import TileQuery, TileQueryBatch
 
 __all__ = ["AttributeCatalog", "SummedEstimator"]
 
@@ -58,6 +58,22 @@ class SummedEstimator:
         for estimator in self._estimators:
             total = total + estimator.estimate(query)
         return total
+
+    def estimate_batch(self, queries: TileQueryBatch) -> Level2CountsBatch:
+        """Sum of the member estimators' batch results, member order
+        matching the scalar path (bit-identical accumulation)."""
+        n = len(queries)
+        n_d = np.zeros(n, dtype=np.float64)
+        n_cs = np.zeros(n, dtype=np.float64)
+        n_cd = np.zeros(n, dtype=np.float64)
+        n_o = np.zeros(n, dtype=np.float64)
+        for estimator in self._estimators:
+            part = as_batch_estimator(estimator).estimate_batch(queries)
+            n_d = n_d + part.n_d
+            n_cs = n_cs + part.n_cs
+            n_cd = n_cd + part.n_cd
+            n_o = n_o + part.n_o
+        return Level2CountsBatch(n_d=n_d, n_cs=n_cs, n_cd=n_cd, n_o=n_o)
 
 
 class AttributeCatalog:

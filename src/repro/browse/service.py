@@ -9,20 +9,30 @@ render as a choropleth -- hundreds of trial queries in one interaction.
 public API: it owns a dataset summary (any Level-2 estimator) and turns a
 ``browse`` call into a count raster.  The exact evaluator plugs in the
 same way, which is how the examples show estimate-vs-exact side by side.
+
+Serving path: the raster's tile corners are materialised once as a
+:class:`~repro.grid.tiles_math.TileQueryBatch` and the whole interaction
+is answered through the estimator's vectorised ``estimate_batch`` -- a
+constant number of numpy gathers regardless of ``rows x cols``.  The
+original per-tile scalar loop is kept behind ``use_batch=False`` for
+parity testing and for profiling the two paths against each other;
+estimators without a native batch path are adapted transparently via
+:func:`~repro.euler.base.as_batch_estimator`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
-from repro.euler.base import Level2Estimator
+from repro.euler.base import Level2BatchEstimator, Level2Estimator, as_batch_estimator
 from repro.euler.estimates import Level2Counts
 from repro.geometry.rect import Rect
 from repro.grid.grid import Grid
 from repro.grid.tiles_math import TileQuery, aligned_query_cells
-from repro.workloads.tiles import browsing_tiles
+from repro.workloads.tiles import browsing_tile_batch, browsing_tiles
 
 __all__ = ["GeoBrowsingService", "BrowseResult", "RELATION_FIELDS"]
 
@@ -48,18 +58,28 @@ class BrowseResult:
     region: TileQuery
     relation: str
     counts: np.ndarray
-    tiles: list[list[TileQuery]]
 
     @property
     def rows(self) -> int:
+        """Number of tile rows in the raster."""
         return self.counts.shape[0]
 
     @property
     def cols(self) -> int:
+        """Number of tile columns in the raster."""
         return self.counts.shape[1]
+
+    @cached_property
+    def tiles(self) -> list[list[TileQuery]]:
+        """The per-tile queries behind the raster, ``tiles[r][c]``
+        matching ``counts[r, c]``.  Derived lazily from the region and the
+        raster shape so the batch serving path never pays for building
+        ``rows x cols`` Python objects unless a client drills down."""
+        return browsing_tiles(self.region, self.rows, self.cols)
 
     @property
     def total(self) -> float:
+        """Sum of the raster's counts."""
         return float(self.counts.sum())
 
     def render_ascii(self, *, width: int = 4) -> str:
@@ -78,18 +98,27 @@ class GeoBrowsingService:
 
     def __init__(self, estimator: Level2Estimator, grid: Grid) -> None:
         self._estimator = estimator
+        self._batch: Level2BatchEstimator = as_batch_estimator(estimator)
         self._grid = grid
 
     @property
     def grid(self) -> Grid:
+        """The service's evaluation grid."""
         return self._grid
 
     @property
     def estimator_name(self) -> str:
+        """The backing estimator's label."""
         return self._estimator.name
 
     def browse(
-        self, region: Rect | TileQuery, rows: int, cols: int, relation: str = "overlap"
+        self,
+        region: Rect | TileQuery,
+        rows: int,
+        cols: int,
+        relation: str = "overlap",
+        *,
+        use_batch: bool = True,
     ) -> BrowseResult:
         """Run one browsing interaction.
 
@@ -103,6 +132,11 @@ class GeoBrowsingService:
         relation:
             One of ``contains``, ``contained``, ``overlap``, ``disjoint``,
             ``intersect``.
+        use_batch:
+            ``True`` (default) answers the whole raster through the
+            vectorised ``estimate_batch`` path; ``False`` forces the
+            legacy per-tile scalar loop.  Both produce bit-identical
+            rasters -- the flag exists for parity tests and benchmarks.
         """
         if relation not in RELATION_FIELDS:
             raise ValueError(
@@ -111,12 +145,19 @@ class GeoBrowsingService:
         if isinstance(region, Rect):
             region = aligned_query_cells(self._grid, region)
         region.validate_against(self._grid)
+        field_name = RELATION_FIELDS[relation]
 
-        tiles = browsing_tiles(region, rows, cols)
-        counts = np.zeros((rows, cols), dtype=np.float64)
-        field = RELATION_FIELDS[relation]
-        for r, row in enumerate(tiles):
-            for c, tile in enumerate(row):
-                estimate: Level2Counts = self._estimator.estimate(tile)
-                counts[r, c] = getattr(estimate, field)
-        return BrowseResult(region=region, relation=relation, counts=counts, tiles=tiles)
+        if use_batch:
+            batch = browsing_tile_batch(region, rows, cols)
+            estimates = self._batch.estimate_batch(batch)
+            counts = np.asarray(
+                getattr(estimates, field_name), dtype=np.float64
+            ).reshape(rows, cols)
+        else:
+            tiles = browsing_tiles(region, rows, cols)
+            counts = np.zeros((rows, cols), dtype=np.float64)
+            for r, row in enumerate(tiles):
+                for c, tile in enumerate(row):
+                    estimate: Level2Counts = self._estimator.estimate(tile)
+                    counts[r, c] = getattr(estimate, field_name)
+        return BrowseResult(region=region, relation=relation, counts=counts)

@@ -14,8 +14,13 @@ Level-2 approximation algorithms.
   examples).
 """
 
-from repro.euler.base import Level2Estimator
-from repro.euler.estimates import Level2Counts
+from repro.euler.base import (
+    Level2BatchEstimator,
+    Level2Estimator,
+    ScalarBatchFallback,
+    as_batch_estimator,
+)
+from repro.euler.estimates import Level2Counts, Level2CountsBatch
 from repro.euler.euler_formula import (
     euler_characteristic,
     interior_counts,
@@ -24,7 +29,7 @@ from repro.euler.euler_formula import (
 from repro.euler.exterior import ExteriorHistogram
 from repro.euler.full import EulerApprox, QueryEdge
 from repro.euler.full_nd import EulerApproxND
-from repro.euler.histogram import EulerHistogram, EulerHistogramBuilder
+from repro.euler.histogram import BatchRegionSums, EulerHistogram, EulerHistogramBuilder
 from repro.euler.histogram_nd import EulerHistogramND, SEulerApproxND
 from repro.euler.maintained import MaintainedEulerHistogram
 from repro.euler.multi import MEulerApprox, area_partition
@@ -47,7 +52,12 @@ __all__ = [
     "ExteriorHistogram",
     "HistogramPyramid",
     "Level2Counts",
+    "Level2CountsBatch",
     "Level2Estimator",
+    "Level2BatchEstimator",
+    "ScalarBatchFallback",
+    "as_batch_estimator",
+    "BatchRegionSums",
     "SEulerApprox",
     "EulerApprox",
     "QueryEdge",

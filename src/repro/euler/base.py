@@ -1,13 +1,25 @@
-"""The estimator protocol every Level-2 algorithm implements."""
+"""The estimator protocols every Level-2 algorithm implements.
+
+Two tiers:
+
+- :class:`Level2Estimator` -- the original one-query-at-a-time protocol.
+- :class:`Level2BatchEstimator` -- the vectorised extension: a whole
+  batch of aligned queries answered in one call with a constant number of
+  numpy gathers, the serving path for GeoBrowsing rasters.
+
+Every estimator in the library implements both; third-party scalar
+estimators plug into batch call sites through :func:`as_batch_estimator`,
+which wraps them in a :class:`ScalarBatchFallback` loop.
+"""
 
 from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
-from repro.euler.estimates import Level2Counts
-from repro.grid.tiles_math import TileQuery
+from repro.euler.estimates import Level2Counts, Level2CountsBatch
+from repro.grid.tiles_math import TileQuery, TileQueryBatch
 
-__all__ = ["Level2Estimator"]
+__all__ = ["Level2Estimator", "Level2BatchEstimator", "ScalarBatchFallback", "as_batch_estimator"]
 
 
 @runtime_checkable
@@ -28,3 +40,59 @@ class Level2Estimator(Protocol):
     def estimate(self, query: TileQuery) -> Level2Counts:
         """Estimate the Level-2 counts for one grid-aligned query."""
         ...
+
+
+@runtime_checkable
+class Level2BatchEstimator(Level2Estimator, Protocol):
+    """A Level-2 estimator that also answers whole query batches.
+
+    ``estimate_batch`` must be *bit-identical* to mapping ``estimate``
+    over the batch -- the batch path is an execution strategy, not an
+    approximation of the scalar one.  All four library estimators
+    implement it natively with O(1) numpy gathers per batch.
+    """
+
+    def estimate_batch(self, queries: TileQueryBatch) -> Level2CountsBatch:
+        """Estimate the Level-2 counts for every query in the batch."""
+        ...
+
+
+class ScalarBatchFallback:
+    """Adapts any scalar :class:`Level2Estimator` to the batch protocol.
+
+    The generic fallback: loops ``estimate`` over the batch and packs the
+    results.  No speedup -- its point is that every estimator, including
+    external ones, stays pluggable into batch-only call sites such as the
+    browsing service's raster path.
+    """
+
+    def __init__(self, estimator: Level2Estimator) -> None:
+        self._estimator = estimator
+
+    @property
+    def name(self) -> str:
+        """The wrapped estimator's label."""
+        return self._estimator.name
+
+    @property
+    def wrapped(self) -> Level2Estimator:
+        """The underlying scalar estimator."""
+        return self._estimator
+
+    def estimate(self, query: TileQuery) -> Level2Counts:
+        """Forward a scalar query to the wrapped estimator."""
+        return self._estimator.estimate(query)
+
+    def estimate_batch(self, queries: TileQueryBatch) -> Level2CountsBatch:
+        """Answer the batch with a scalar ``estimate`` loop."""
+        return Level2CountsBatch.from_counts(
+            [self._estimator.estimate(q) for q in queries]
+        )
+
+
+def as_batch_estimator(estimator: Level2Estimator) -> Level2BatchEstimator:
+    """Return ``estimator`` itself when it already speaks the batch
+    protocol, else a :class:`ScalarBatchFallback` around it."""
+    if isinstance(estimator, Level2BatchEstimator):
+        return estimator
+    return ScalarBatchFallback(estimator)

@@ -1,10 +1,12 @@
-"""Result type shared by every Level-2 estimator and the exact evaluator."""
+"""Result types shared by every Level-2 estimator and the exact evaluator."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Level2Counts"]
+import numpy as np
+
+__all__ = ["Level2Counts", "Level2CountsBatch"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,4 +59,69 @@ class Level2Counts:
             self.n_cs + other.n_cs,
             self.n_cd + other.n_cd,
             self.n_o + other.n_o,
+        )
+
+
+@dataclass(frozen=True)
+class Level2CountsBatch:
+    """Struct-of-arrays form of :class:`Level2Counts` for a query batch.
+
+    ``n_d[i] .. n_o[i]`` are the Level-2 counts of the ``i``-th query of
+    the batch that produced this result.  Arrays are float64 (same
+    rationale as the scalar type: raw equation-system solutions, clamping
+    left to presentation layers) and every element is bit-identical to
+    what the scalar ``estimate`` path computes for the same query -- the
+    parity test suite asserts exact equality, not approximation.
+    """
+
+    n_d: np.ndarray
+    n_cs: np.ndarray
+    n_cd: np.ndarray
+    n_o: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("n_d", "n_cs", "n_cd", "n_o"):
+            object.__setattr__(
+                self, name, np.ascontiguousarray(getattr(self, name), dtype=np.float64)
+            )
+        shapes = {getattr(self, name).shape for name in ("n_d", "n_cs", "n_cd", "n_o")}
+        if len(shapes) != 1 or self.n_d.ndim != 1:
+            raise ValueError(f"count arrays must be 1-d and equal-length, got {shapes}")
+
+    def __len__(self) -> int:
+        return len(self.n_d)
+
+    def __getitem__(self, i: int) -> Level2Counts:
+        """The ``i``-th query's counts as a scalar :class:`Level2Counts`."""
+        return Level2Counts(
+            float(self.n_d[i]), float(self.n_cs[i]), float(self.n_cd[i]), float(self.n_o[i])
+        )
+
+    @property
+    def total(self) -> np.ndarray:
+        """Per-query sum of the four counts (``|S|`` for every estimator)."""
+        return self.n_d + self.n_cs + self.n_cd + self.n_o
+
+    @property
+    def n_intersect(self) -> np.ndarray:
+        """Per-query Level-1 intersect count ``n_ii = N_cs + N_cd + N_o``."""
+        return self.n_cs + self.n_cd + self.n_o
+
+    def clamped(self) -> "Level2CountsBatch":
+        """Non-negative version for display purposes."""
+        return Level2CountsBatch(
+            np.maximum(self.n_d, 0.0),
+            np.maximum(self.n_cs, 0.0),
+            np.maximum(self.n_cd, 0.0),
+            np.maximum(self.n_o, 0.0),
+        )
+
+    @classmethod
+    def from_counts(cls, counts: "list[Level2Counts]") -> "Level2CountsBatch":
+        """Pack scalar results (e.g. from a fallback loop) into a batch."""
+        return cls(
+            np.array([c.n_d for c in counts], dtype=np.float64),
+            np.array([c.n_cs for c in counts], dtype=np.float64),
+            np.array([c.n_cd for c in counts], dtype=np.float64),
+            np.array([c.n_o for c in counts], dtype=np.float64),
         )

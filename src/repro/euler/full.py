@@ -49,9 +49,11 @@ from __future__ import annotations
 
 from enum import Enum
 
-from repro.euler.estimates import Level2Counts
+import numpy as np
+
+from repro.euler.estimates import Level2Counts, Level2CountsBatch
 from repro.euler.histogram import EulerHistogram
-from repro.grid.tiles_math import TileQuery
+from repro.grid.tiles_math import TileQuery, TileQueryBatch
 
 __all__ = ["EulerApprox", "QueryEdge"]
 
@@ -174,3 +176,78 @@ class EulerApprox:
         n_cd = self.contained_in_query_estimate(query)
         n_cs = float(n_total) - n_cd - n_d - n_o
         return Level2Counts(n_d=n_d, n_cs=n_cs, n_cd=n_cd, n_o=n_o)
+
+    # ------------------------------------------------------------------ #
+    # batch path
+    # ------------------------------------------------------------------ #
+
+    def _single_edge_estimate_batch(
+        self, queries: TileQueryBatch, edge: QueryEdge
+    ) -> np.ndarray:
+        """Batch Region-A/B ``N_cd`` estimate for one edge.
+
+        The band and Region-B corner arrays are built by broadcasting the
+        query corners against the grid bounds; the whole batch then costs
+        three batched region sums.  Region B degenerates to an empty span
+        exactly where the query touches the chosen boundary, and its
+        ``N_cs(B)`` contribution is masked to 0 there -- the same
+        ``region_b is None`` rule as the scalar path.
+        """
+        hist = self._hist
+        grid = hist.grid
+        qx_lo, qx_hi = queries.qx_lo, queries.qx_hi
+        qy_lo, qy_hi = queries.qy_lo, queries.qy_hi
+        zeros = np.zeros(len(queries), dtype=np.intp)
+        if edge is QueryEdge.LEFT:
+            band = (zeros, qx_hi, qy_lo, qy_hi)
+            region_b = (zeros, qx_lo, qy_lo, qy_hi)
+            has_b = qx_lo > 0
+        elif edge is QueryEdge.RIGHT:
+            band = (qx_lo, zeros + grid.n1, qy_lo, qy_hi)
+            region_b = (qx_hi, zeros + grid.n1, qy_lo, qy_hi)
+            has_b = qx_hi < grid.n1
+        elif edge is QueryEdge.BOTTOM:
+            band = (qx_lo, qx_hi, zeros, qy_hi)
+            region_b = (qx_lo, qx_hi, zeros, qy_lo)
+            has_b = qy_lo > 0
+        elif edge is QueryEdge.TOP:
+            band = (qx_lo, qx_hi, qy_lo, zeros + grid.n2)
+            region_b = (qx_lo, qx_hi, qy_hi, zeros + grid.n2)
+            has_b = qy_hi < grid.n2
+        else:  # pragma: no cover - ALL is dispatched before reaching here
+            raise ValueError(f"no single band for edge {edge}")
+
+        total = hist.total_sum
+        n_i_a = total - hist._closed_sum_corners(*band)
+        n_cs_b = np.where(
+            has_b, hist.num_objects - (total - hist._closed_sum_corners(*region_b)), 0
+        )
+        n_ei_prime = total - hist._closed_sum_corners(qx_lo, qx_hi, qy_lo, qy_hi)
+        return (n_i_a + n_cs_b - n_ei_prime).astype(np.float64)
+
+    def contained_in_query_estimate_batch(self, queries: TileQueryBatch) -> np.ndarray:
+        """Batch ``N_cd`` estimates (Equation 21), one float64 per query."""
+        if self._edge is QueryEdge.ALL:
+            acc = np.zeros(len(queries), dtype=np.float64)
+            for edge in (QueryEdge.LEFT, QueryEdge.RIGHT, QueryEdge.BOTTOM, QueryEdge.TOP):
+                acc = acc + self._single_edge_estimate_batch(queries, edge)
+            return acc / 4.0
+        return self._single_edge_estimate_batch(queries, self._edge)
+
+    def estimate_batch(self, queries: TileQueryBatch) -> Level2CountsBatch:
+        """Vectorised :meth:`estimate` over a query batch.
+
+        A constant number of batched gathers regardless of batch size
+        (five region sums for a single-edge split, eleven for ``ALL``);
+        per-query values are bit-identical to the scalar path.
+        """
+        queries.validate_against(self._hist.grid)
+        n_total = self._hist.num_objects
+        n_ii = self._hist.intersect_count_batch(queries)
+        n_ei_prime = self._hist.outside_sum_batch(queries)
+
+        n_d = (n_total - n_ii).astype(np.float64)
+        n_o = n_ei_prime - n_d
+        n_cd = self.contained_in_query_estimate_batch(queries)
+        n_cs = float(n_total) - n_cd - n_d - n_o
+        return Level2CountsBatch(n_d=n_d, n_cs=n_cs, n_cd=n_cd, n_o=n_o)

@@ -39,9 +39,66 @@ from repro.geometry.rect import Rect
 from repro.geometry.snapping import snap_rect, snap_rects
 from repro.grid.grid import Grid
 from repro.grid.lattice import lattice_sign_matrix
-from repro.grid.tiles_math import TileQuery
+from repro.grid.tiles_math import TileQuery, TileQueryBatch
 
-__all__ = ["EulerHistogram", "EulerHistogramBuilder"]
+__all__ = ["EulerHistogram", "EulerHistogramBuilder", "BatchRegionSums"]
+
+
+class BatchRegionSums:
+    """Vectorised region-sum surface derived from a batch lattice sum.
+
+    Mixin shared by :class:`EulerHistogram` and
+    :class:`~repro.euler.maintained.MaintainedEulerHistogram`: given a
+    ``lattice_range_sum_batch`` primitive plus ``grid``, ``total_sum`` and
+    ``num_objects``, it derives the batch forms of every Section-5.2/5.3
+    region sum.  Each method answers its whole batch with a constant
+    number of numpy gathers, which is what the batch estimators build on.
+    """
+
+    def _interior_sum_corners(
+        self, qx_lo: np.ndarray, qx_hi: np.ndarray, qy_lo: np.ndarray, qy_hi: np.ndarray
+    ) -> np.ndarray:
+        """Batch bucket sums strictly inside cell spans (corner arrays)."""
+        return self.lattice_range_sum_batch(
+            2 * qx_lo, 2 * qx_hi - 2, 2 * qy_lo, 2 * qy_hi - 2
+        )
+
+    def _closed_sum_corners(
+        self, qx_lo: np.ndarray, qx_hi: np.ndarray, qy_lo: np.ndarray, qy_hi: np.ndarray
+    ) -> np.ndarray:
+        """Batch closed-region bucket sums for cell spans given as corner
+        arrays.  Degenerate spans (``hi <= lo``) yield empty lattice boxes
+        and therefore sum to 0, which the EulerApprox Region-B path relies
+        on for queries touching the data-space boundary."""
+        shape = self.grid.lattice_shape
+        return self.lattice_range_sum_batch(
+            np.maximum(2 * qx_lo - 1, 0),
+            np.minimum(2 * qx_hi - 1, shape[0] - 1),
+            np.maximum(2 * qy_lo - 1, 0),
+            np.minimum(2 * qy_hi - 1, shape[1] - 1),
+        )
+
+    def intersect_count_batch(self, queries: TileQueryBatch) -> np.ndarray:
+        """Batch ``n_ii`` (Equation 12/14): one int64 per query."""
+        queries.validate_against(self.grid)
+        return self._interior_sum_corners(
+            queries.qx_lo, queries.qx_hi, queries.qy_lo, queries.qy_hi
+        )
+
+    def closed_region_sum_batch(self, queries: TileQueryBatch) -> np.ndarray:
+        """Batch closed-region sums (interior plus clipped boundary)."""
+        queries.validate_against(self.grid)
+        return self._closed_sum_corners(
+            queries.qx_lo, queries.qx_hi, queries.qy_lo, queries.qy_hi
+        )
+
+    def outside_sum_batch(self, queries: TileQueryBatch) -> np.ndarray:
+        """Batch ``n'_ei`` (Equation 15/19): one int64 per query."""
+        return self.total_sum - self.closed_region_sum_batch(queries)
+
+    def contained_count_batch(self, queries: TileQueryBatch) -> np.ndarray:
+        """Batch S-Euler contains estimate ``N_cs = |S| - n'_ei``."""
+        return self.num_objects - self.outside_sum_batch(queries)
 
 
 class EulerHistogramBuilder:
@@ -69,8 +126,17 @@ class EulerHistogramBuilder:
         """Add one object (world coordinates) with the given weight.
 
         ``weight=-1`` removes a previously added object, supporting
-        deletions in a maintained histogram.
+        deletions in a maintained histogram.  Removing more objects than
+        were ever added (a ``weight=-1`` call against an empty builder,
+        or any weight that would drive the object count negative) is a
+        caller bug and raises ``ValueError`` before the accumulator is
+        touched, so the builder never reaches a corrupt state.
         """
+        if self._num_objects + weight < 0:
+            raise ValueError(
+                f"removing {-weight} object(s) from a builder holding "
+                f"{self._num_objects} would make the count negative"
+            )
         x_lo, x_hi, y_lo, y_hi = self._grid.rect_to_cell_units(rect)
         span = snap_rect(x_lo, x_hi, y_lo, y_hi, self._grid.n1, self._grid.n2)
         self._diff.add_box(span.a_lo, span.a_hi, span.b_lo, span.b_hi, weight)
@@ -94,17 +160,28 @@ class EulerHistogramBuilder:
 
     def build(self) -> "EulerHistogram":
         """Materialise the queryable histogram (coverage * sign pattern +
-        prefix-sum cube).  The builder stays usable for further updates."""
+        prefix-sum cube).  The builder stays usable for further updates.
+
+        Raises ``ValueError`` when the accumulated object count is
+        negative (over-removal through weighted :meth:`add` calls) rather
+        than constructing a corrupt histogram."""
+        if self._num_objects < 0:
+            raise ValueError(
+                f"cannot build a histogram with negative object count "
+                f"{self._num_objects}; more objects were removed than added"
+            )
         coverage = self._diff.materialize()
         signed = coverage * lattice_sign_matrix(self._grid.n1, self._grid.n2)
         return EulerHistogram(self._grid, signed, self._num_objects)
 
 
-class EulerHistogram:
+class EulerHistogram(BatchRegionSums):
     """Immutable, queryable Euler histogram.
 
     Construct via :meth:`from_dataset` (the common path) or from an
-    :class:`EulerHistogramBuilder`.
+    :class:`EulerHistogramBuilder`.  Scalar region sums answer one query
+    in four lookups; the ``*_batch`` methods (from
+    :class:`BatchRegionSums`) answer whole query batches in four gathers.
     """
 
     def __init__(self, grid: Grid, signed_buckets: np.ndarray, num_objects: int) -> None:
@@ -170,6 +247,13 @@ class EulerHistogram:
     def lattice_range_sum(self, a_lo: int, a_hi: int, b_lo: int, b_hi: int) -> int:
         """Raw inclusive lattice-box sum (empty boxes sum to 0)."""
         return int(self._cube.range_sum_2d(a_lo, a_hi, b_lo, b_hi))
+
+    def lattice_range_sum_batch(
+        self, a_lo: np.ndarray, a_hi: np.ndarray, b_lo: np.ndarray, b_hi: np.ndarray
+    ) -> np.ndarray:
+        """Raw inclusive lattice-box sums for arrays of boxes: one int64
+        per box, empty boxes summing to 0, answered with four gathers."""
+        return self._cube.range_sum_2d_batch(a_lo, a_hi, b_lo, b_hi)
 
     def intersect_count(self, region: TileQuery) -> int:
         """``n_ii`` of Equation 12/14: objects whose interiors intersect

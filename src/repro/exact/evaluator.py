@@ -19,12 +19,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.base import RectDataset
-from repro.euler.estimates import Level2Counts
+from repro.euler.estimates import Level2Counts, Level2CountsBatch
 from repro.geometry.snapping import snap_rects
 from repro.grid.grid import Grid
-from repro.grid.tiles_math import TileQuery
+from repro.grid.tiles_math import TileQuery, TileQueryBatch
 
 __all__ = ["ExactEvaluator"]
+
+#: Upper bound on the object x query comparison matrix held at once by
+#: :meth:`ExactEvaluator.estimate_batch` (elements, not bytes).
+_BATCH_CHUNK_ELEMENTS = 16_000_000
 
 
 class ExactEvaluator:
@@ -100,4 +104,58 @@ class ExactEvaluator:
             n_cs=float(n_cs),
             n_cd=float(n_cd),
             n_o=float(n_int - n_cs - n_cd),
+        )
+
+    def estimate_batch(self, queries: TileQueryBatch) -> Level2CountsBatch:
+        """Exact counts for a whole query batch.
+
+        Broadcasts the snapped object columns against chunks of the query
+        corner arrays (chunk size bounded so the intermediate boolean
+        matrix stays small) and reduces each relation along the object
+        axis.  Still O(M) work per query -- exactness has no free lunch
+        (Theorem 3.1) -- but the per-query Python interpreter cost of the
+        scalar loop is gone, which is most of the wall clock at browsing
+        batch sizes.
+        """
+        queries.validate_against(self._grid)
+        n = len(queries)
+        m = max(self._num_objects, 1)
+        chunk = max(_BATCH_CHUNK_ELEMENTS // m, 1)
+
+        n_int = np.empty(n, dtype=np.int64)
+        n_cs = np.empty(n, dtype=np.int64)
+        n_cd = np.empty(n, dtype=np.int64)
+        a_lo = self._a_lo[:, None]
+        a_hi = self._a_hi[:, None]
+        b_lo = self._b_lo[:, None]
+        b_hi = self._b_hi[:, None]
+        for start in range(0, n, chunk):
+            sl = slice(start, min(start + chunk, n))
+            ax_lo = 2 * queries.qx_lo[None, sl]
+            ax_hi = 2 * queries.qx_hi[None, sl] - 2
+            bx_lo = 2 * queries.qy_lo[None, sl]
+            bx_hi = 2 * queries.qy_hi[None, sl] - 2
+
+            intersects = (
+                (a_lo <= ax_hi) & (a_hi >= ax_lo) & (b_lo <= bx_hi) & (b_hi >= bx_lo)
+            )
+            within = (
+                (a_lo >= ax_lo) & (a_hi <= ax_hi) & (b_lo >= bx_lo) & (b_hi <= bx_hi)
+            )
+            covers = (
+                (a_lo <= ax_lo - 1)
+                & (a_hi >= ax_hi + 1)
+                & (b_lo <= bx_lo - 1)
+                & (b_hi >= bx_hi + 1)
+            )
+            n_int[sl] = np.count_nonzero(intersects, axis=0)
+            n_cs[sl] = np.count_nonzero(within, axis=0)
+            n_cd[sl] = np.count_nonzero(covers, axis=0)
+
+        n_o = n_int - n_cs - n_cd
+        return Level2CountsBatch(
+            n_d=(self._num_objects - n_int).astype(np.float64),
+            n_cs=n_cs.astype(np.float64),
+            n_cd=n_cd.astype(np.float64),
+            n_o=n_o.astype(np.float64),
         )

@@ -8,13 +8,14 @@ from repro.grid.lattice import (
     query_boundary_slice,
     query_interior_slice,
 )
-from repro.grid.tiles_math import TileQuery, aligned_query_cells
+from repro.grid.tiles_math import TileQuery, TileQueryBatch, aligned_query_cells
 
 __all__ = [
     "Grid",
     "GridND",
     "BoxQuery",
     "TileQuery",
+    "TileQueryBatch",
     "aligned_query_cells",
     "lattice_shape",
     "lattice_sign_matrix",

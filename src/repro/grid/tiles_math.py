@@ -10,11 +10,14 @@ conversion.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
 
 from repro.geometry.rect import Rect
 from repro.grid.grid import Grid
 
-__all__ = ["TileQuery", "aligned_query_cells"]
+__all__ = ["TileQuery", "TileQueryBatch", "aligned_query_cells"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,6 +68,80 @@ class TileQuery:
             grid.to_world_y(self.qy_lo),
             grid.to_world_y(self.qy_hi),
         )
+
+
+@dataclass(frozen=True)
+class TileQueryBatch:
+    """A batch of grid-aligned queries as a struct of corner arrays.
+
+    The batch form of :class:`TileQuery`: four equal-length 1-d integer
+    arrays holding the cell spans ``[qx_lo, qx_hi) x [qy_lo, qy_hi)`` of
+    every query.  This is the input type of the vectorised
+    ``estimate_batch`` path -- the whole batch is answered with a constant
+    number of numpy gathers, so materialising the corners once per
+    interaction is the only per-batch cost.
+
+    Invariants match :class:`TileQuery`: non-negative corners and at least
+    one covered cell per query, validated once at construction.
+    """
+
+    qx_lo: np.ndarray
+    qx_hi: np.ndarray
+    qy_lo: np.ndarray
+    qy_hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        arrays = {
+            name: np.ascontiguousarray(getattr(self, name), dtype=np.intp)
+            for name in ("qx_lo", "qx_hi", "qy_lo", "qy_hi")
+        }
+        lengths = {a.shape for a in arrays.values()}
+        if len(lengths) != 1 or arrays["qx_lo"].ndim != 1:
+            raise ValueError(
+                f"corner arrays must be 1-d and equal-length, got shapes "
+                f"{[a.shape for a in arrays.values()]}"
+            )
+        for name, arr in arrays.items():
+            object.__setattr__(self, name, arr)
+        if len(self.qx_lo) and (self.qx_lo.min() < 0 or self.qy_lo.min() < 0):
+            raise ValueError("query cells must be non-negative")
+        if np.any(self.qx_hi <= self.qx_lo) or np.any(self.qy_hi <= self.qy_lo):
+            raise ValueError("every query must cover at least one cell")
+
+    @classmethod
+    def from_queries(cls, queries: Iterable[TileQuery]) -> "TileQueryBatch":
+        """Pack an iterable of :class:`TileQuery` into one batch."""
+        qs = list(queries)
+        return cls(
+            np.array([q.qx_lo for q in qs], dtype=np.intp),
+            np.array([q.qx_hi for q in qs], dtype=np.intp),
+            np.array([q.qy_lo for q in qs], dtype=np.intp),
+            np.array([q.qy_hi for q in qs], dtype=np.intp),
+        )
+
+    def __len__(self) -> int:
+        return len(self.qx_lo)
+
+    def __getitem__(self, i: int) -> TileQuery:
+        """The ``i``-th query as a scalar :class:`TileQuery`."""
+        return TileQuery(
+            int(self.qx_lo[i]), int(self.qx_hi[i]), int(self.qy_lo[i]), int(self.qy_hi[i])
+        )
+
+    def __iter__(self) -> Iterator[TileQuery]:
+        return (self[i] for i in range(len(self)))
+
+    @property
+    def area(self) -> np.ndarray:
+        """Per-query areas in unit cells (``area(Q)`` in Section 5.4)."""
+        return (self.qx_hi - self.qx_lo) * (self.qy_hi - self.qy_lo)
+
+    def validate_against(self, grid: Grid) -> None:
+        """Raise when any query in the batch pokes outside ``grid``."""
+        if len(self.qx_lo) == 0:
+            return
+        if self.qx_hi.max() > grid.n1 or self.qy_hi.max() > grid.n2:
+            raise ValueError(f"batch contains a query exceeding grid {grid.n1}x{grid.n2}")
 
 
 def aligned_query_cells(grid: Grid, rect: Rect, *, tol: float = 1e-9) -> TileQuery:

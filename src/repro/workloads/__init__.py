@@ -4,6 +4,7 @@ session traces."""
 from repro.workloads.sessions import BrowseInteraction, BrowseSession, generate_sessions
 from repro.workloads.tiles import (
     PAPER_QUERY_SET_SIZES,
+    browsing_tile_batch,
     browsing_tiles,
     paper_query_sets,
     query_set,
@@ -14,6 +15,7 @@ __all__ = [
     "query_set",
     "paper_query_sets",
     "browsing_tiles",
+    "browsing_tile_batch",
     "BrowseInteraction",
     "BrowseSession",
     "generate_sessions",

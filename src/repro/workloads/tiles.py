@@ -13,14 +13,17 @@ arbitrary aligned region into a rows x columns array (Figure 1(b)'s
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.grid.grid import Grid
-from repro.grid.tiles_math import TileQuery
+from repro.grid.tiles_math import TileQuery, TileQueryBatch
 
 __all__ = [
     "PAPER_QUERY_SET_SIZES",
     "query_set",
     "paper_query_sets",
     "browsing_tiles",
+    "browsing_tile_batch",
 ]
 
 #: Tile sizes of the paper's eleven query sets, largest first.
@@ -83,3 +86,30 @@ def browsing_tiles(region: TileQuery, rows: int, cols: int) -> list[list[TileQue
         ]
         for r in range(rows)
     ]
+
+
+def browsing_tile_batch(region: TileQuery, rows: int, cols: int) -> TileQueryBatch:
+    """The same tiling as :func:`browsing_tiles`, materialised as one
+    :class:`TileQueryBatch` of corner arrays.
+
+    Query ``r * cols + c`` of the batch is tile ``(r, c)`` of the nested
+    list (row-major, row 0 at the bottom), so a raster is recovered by
+    reshaping the batch result to ``(rows, cols)``.  Built entirely with
+    numpy broadcasting -- no per-tile Python objects -- this is the O(1)
+    front half of the batched browse path.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be positive")
+    if region.width % cols or region.height % rows:
+        raise ValueError(
+            f"region {region.width}x{region.height} cells cannot be split "
+            f"into {cols}x{rows} equal aligned tiles"
+        )
+    tile_w = region.width // cols
+    tile_h = region.height // rows
+    x_lo = region.qx_lo + tile_w * np.arange(cols, dtype=np.intp)
+    y_lo = region.qy_lo + tile_h * np.arange(rows, dtype=np.intp)
+    # Row-major (r, c) flattening: the row coordinate varies slowest.
+    qx_lo = np.broadcast_to(x_lo[None, :], (rows, cols)).reshape(-1)
+    qy_lo = np.broadcast_to(y_lo[:, None], (rows, cols)).reshape(-1)
+    return TileQueryBatch(qx_lo, qx_lo + tile_w, qy_lo, qy_lo + tile_h)

@@ -105,3 +105,75 @@ def test_range_sum_2d_matches_generic(case):
 def test_total_matches_sum(case):
     values, _, _ = case
     assert PrefixSumCube(values).total == int(values.sum())
+
+
+class TestBatch:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(-50, 50, size=(9, 13))
+        cube = PrefixSumCube(values)
+        a_lo = rng.integers(0, 9, size=200)
+        a_hi = rng.integers(0, 9, size=200)
+        b_lo = rng.integers(0, 13, size=200)
+        b_hi = rng.integers(0, 13, size=200)
+        got = cube.range_sum_2d_batch(a_lo, a_hi, b_lo, b_hi)
+        assert got.dtype == np.int64
+        for i in range(200):
+            assert got[i] == cube.range_sum_2d(
+                int(a_lo[i]), int(a_hi[i]), int(b_lo[i]), int(b_hi[i])
+            )
+
+    def test_empty_boxes_sum_to_zero(self):
+        cube = PrefixSumCube(np.arange(12).reshape(3, 4))
+        got = cube.range_sum_2d_batch([2, 0], [1, 2], [0, 3], [3, 2])
+        np.testing.assert_array_equal(got, [0, 0])
+
+    def test_empty_boxes_skip_bounds_check(self):
+        # Scalar range_sum_2d returns 0 for empty boxes before bounds
+        # checking; the batch path must accept the same degenerate corners
+        # (e.g. Region-B slabs clipped to hi = lo - 1 at the boundary).
+        cube = PrefixSumCube(np.arange(12).reshape(3, 4))
+        got = cube.range_sum_2d_batch([0], [-1], [0], [3])
+        np.testing.assert_array_equal(got, [0])
+
+    def test_out_of_bounds_raises(self):
+        cube = PrefixSumCube(np.arange(12).reshape(3, 4))
+        with pytest.raises(IndexError):
+            cube.range_sum_2d_batch([0, 0], [2, 3], [0, 0], [3, 3])
+        with pytest.raises(IndexError):
+            cube.range_sum_2d_batch([-1], [2], [0], [3])
+
+    def test_requires_2d(self):
+        cube = PrefixSumCube(np.arange(4))
+        with pytest.raises(ValueError):
+            cube.range_sum_2d_batch([0], [1], [0], [1])
+
+    def test_broadcasting(self):
+        values = np.arange(12).reshape(3, 4)
+        cube = PrefixSumCube(values)
+        # Scalar lows against an array of highs.
+        got = cube.range_sum_2d_batch(0, [0, 1, 2], 0, 3)
+        expected = [values[:1].sum(), values[:2].sum(), values.sum()]
+        np.testing.assert_array_equal(got, expected)
+
+    def test_float_dtype(self):
+        cube = PrefixSumCube(np.array([[0.5, 1.5], [2.0, 4.0]]))
+        got = cube.range_sum_2d_batch([0], [1], [0], [1])
+        assert got.dtype == np.float64
+        assert got[0] == pytest.approx(8.0)
+
+    def test_empty_batch(self):
+        cube = PrefixSumCube(np.arange(12).reshape(3, 4))
+        got = cube.range_sum_2d_batch([], [], [], [])
+        assert got.shape == (0,)
+
+
+@settings(max_examples=100)
+@given(array_and_box(max_dims=2))
+def test_batch_matches_scalar_property(case):
+    values, lo, hi = case
+    if values.ndim != 2:
+        return
+    cube = PrefixSumCube(values)
+    got = cube.range_sum_2d_batch([lo[0]], [hi[0]], [lo[1]], [hi[1]])
+    assert got[0] == cube.range_sum_2d(lo[0], hi[0], lo[1], hi[1])

@@ -1,0 +1,122 @@
+"""Batch == scalar parity for every estimator (the tentpole invariant).
+
+The batch path is an execution strategy, not an approximation: for every
+estimator, ``estimate_batch`` must produce *bit-identical* floats to
+mapping ``estimate`` over the same queries.  Hypothesis drives random
+grids, datasets and tile partitions -- including degenerate 1x1 tiles and
+tiles touching the data-space boundary, which exercise the Region-B
+masking of the EulerApprox edge split.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.euler.full import EulerApprox, QueryEdge
+from repro.euler.histogram import EulerHistogram
+from repro.euler.multi import MEulerApprox
+from repro.euler.simple import SEulerApprox
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery, TileQueryBatch
+from repro.workloads.tiles import browsing_tile_batch, browsing_tiles
+
+from tests.conftest import random_dataset
+
+
+def _assert_bit_identical(batch, scalars, label):
+    assert len(batch) == len(scalars)
+    for i, counts in enumerate(scalars):
+        for field in ("n_d", "n_cs", "n_cd", "n_o"):
+            got = getattr(batch, field)[i]
+            want = getattr(counts, field)
+            assert got == want, (
+                f"{label}: query {i} field {field}: batch {got!r} != scalar {want!r}"
+            )
+
+
+def _estimators(data, grid, hist):
+    yield SEulerApprox(hist)
+    for edge in QueryEdge:
+        yield EulerApprox(hist, edge)
+    yield MEulerApprox(data, grid, [1.0, 4.0, 9.0])
+    yield ExactEvaluator(data, grid)
+
+
+@st.composite
+def grid_and_partition(draw):
+    n1 = draw(st.integers(min_value=2, max_value=14))
+    n2 = draw(st.integers(min_value=2, max_value=10))
+    grid = Grid(Rect(0.0, float(n1), 0.0, float(n2)), n1, n2)
+    # An aligned region plus a (rows, cols) split dividing it evenly.
+    x_lo = draw(st.integers(min_value=0, max_value=n1 - 1))
+    width = draw(st.integers(min_value=1, max_value=n1 - x_lo))
+    y_lo = draw(st.integers(min_value=0, max_value=n2 - 1))
+    height = draw(st.integers(min_value=1, max_value=n2 - y_lo))
+    region = TileQuery(x_lo, x_lo + width, y_lo, y_lo + height)
+    cols = draw(st.sampled_from([d for d in range(1, width + 1) if width % d == 0]))
+    rows = draw(st.sampled_from([d for d in range(1, height + 1) if height % d == 0]))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    num_objects = draw(st.integers(min_value=0, max_value=120))
+    return grid, region, rows, cols, seed, num_objects
+
+
+@settings(max_examples=25, deadline=None)
+@given(grid_and_partition())
+def test_every_estimator_batch_matches_scalar(case):
+    grid, region, rows, cols, seed, num_objects = case
+    rng = np.random.default_rng(seed)
+    data = random_dataset(rng, grid, num_objects)
+    hist = EulerHistogram.from_dataset(data, grid)
+
+    batch_queries = browsing_tile_batch(region, rows, cols)
+    tiles = [t for row in browsing_tiles(region, rows, cols) for t in row]
+    assert list(batch_queries) == tiles  # same tiling, same order
+
+    for estimator in _estimators(data, grid, hist):
+        batch = estimator.estimate_batch(batch_queries)
+        scalars = [estimator.estimate(t) for t in tiles]
+        label = getattr(estimator, "edge", estimator.name)
+        _assert_bit_identical(batch, scalars, f"{estimator.name}/{label}")
+
+
+def test_degenerate_single_cell_tiles():
+    """1x1 tiles over the whole grid: every tile touches a boundary case
+    somewhere and the Region-B extension degenerates on each border."""
+    grid = Grid(Rect(0.0, 5.0, 0.0, 4.0), 5, 4)
+    rng = np.random.default_rng(99)
+    data = random_dataset(rng, grid, 80)
+    hist = EulerHistogram.from_dataset(data, grid)
+    region = TileQuery(0, 5, 0, 4)
+    batch_queries = browsing_tile_batch(region, rows=4, cols=5)
+
+    for estimator in _estimators(data, grid, hist):
+        batch = estimator.estimate_batch(batch_queries)
+        scalars = [estimator.estimate(t) for t in batch_queries]
+        _assert_bit_identical(batch, scalars, estimator.name)
+
+
+def test_whole_grid_single_tile():
+    """The 1x1 partition: one query covering the full data space, where
+    every Region-B extension is empty for every edge."""
+    grid = Grid(Rect(0.0, 6.0, 0.0, 3.0), 6, 3)
+    rng = np.random.default_rng(5)
+    data = random_dataset(rng, grid, 60)
+    hist = EulerHistogram.from_dataset(data, grid)
+    whole = TileQueryBatch.from_queries([TileQuery(0, 6, 0, 3)])
+
+    for estimator in _estimators(data, grid, hist):
+        batch = estimator.estimate_batch(whole)
+        _assert_bit_identical(batch, [estimator.estimate(whole[0])], estimator.name)
+
+
+def test_batch_respects_grid_bounds():
+    grid = Grid(Rect(0.0, 4.0, 0.0, 4.0), 4, 4)
+    data = random_dataset(np.random.default_rng(1), grid, 10)
+    hist = EulerHistogram.from_dataset(data, grid)
+    outside = TileQueryBatch.from_queries([TileQuery(0, 5, 0, 4)])
+    for estimator in (SEulerApprox(hist), EulerApprox(hist), ExactEvaluator(data, grid)):
+        with pytest.raises((ValueError, IndexError)):
+            estimator.estimate_batch(outside)

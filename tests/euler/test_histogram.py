@@ -104,6 +104,34 @@ class TestBuilder:
         assert first.total_sum == 1
         assert second.total_sum == 2
 
+    def test_remove_from_empty_builder_rejected(self, grid):
+        builder = EulerHistogramBuilder(grid)
+        with pytest.raises(ValueError, match="negative"):
+            builder.add(Rect(0.5, 1.5, 0.5, 1.5), weight=-1)
+        # The guard fires before the accumulator is touched: the builder
+        # still produces a pristine empty histogram.
+        hist = builder.build()
+        assert builder.num_objects == 0
+        assert hist.total_sum == 0
+        assert np.count_nonzero(hist.buckets()) == 0
+
+    def test_over_removal_rejected(self, grid):
+        builder = EulerHistogramBuilder(grid)
+        builder.add(Rect(0.5, 1.5, 0.5, 1.5))
+        builder.add(Rect(0.5, 1.5, 0.5, 1.5), weight=-1)
+        with pytest.raises(ValueError, match="negative"):
+            builder.add(Rect(2.5, 3.5, 2.5, 3.5), weight=-1)
+        assert builder.num_objects == 0
+
+    def test_negative_bulk_weight_rejected(self, grid):
+        builder = EulerHistogramBuilder(grid)
+        builder.add(Rect(0.5, 1.5, 0.5, 1.5))
+        builder.add(Rect(1.5, 2.5, 1.5, 2.5))
+        with pytest.raises(ValueError, match="negative"):
+            builder.add(Rect(0.5, 1.5, 0.5, 1.5), weight=-3)
+        assert builder.num_objects == 2
+        assert builder.build().total_sum == 2
+
 
 class TestRegionSums:
     def test_intersect_count_is_exact(self, grid, rng):
