@@ -27,7 +27,15 @@ from repro.baselines import (
     CumulativeDensity,
     MinskewHistogram,
 )
-from repro.browse import AttributeCatalog, BrowseResult, GeoBrowsingService
+from repro.browse import (
+    AttributeCatalog,
+    BrowseResult,
+    CircuitBreaker,
+    FallbackChain,
+    GeoBrowsingService,
+    ResilientBrowsingService,
+    RetryPolicy,
+)
 from repro.datasets import (
     DATASET_NAMES,
     RectDataset,
@@ -63,6 +71,13 @@ from repro.exact import (
     exact_contains_bucket_count,
     exact_contains_storage_bytes,
     exact_tiling_counts,
+)
+from repro.errors import (
+    BrowseError,
+    DeadlineExceededError,
+    EstimatorFailedError,
+    InvalidRegionError,
+    SummaryCorruptError,
 )
 from repro.geometry import (
     Level1Relation,
@@ -152,6 +167,16 @@ __all__ = [
     "GeoBrowsingService",
     "BrowseResult",
     "AttributeCatalog",
+    # resilient serving layer
+    "ResilientBrowsingService",
+    "FallbackChain",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "BrowseError",
+    "InvalidRegionError",
+    "DeadlineExceededError",
+    "EstimatorFailedError",
+    "SummaryCorruptError",
     # index & query optimization
     "GridBucketIndex",
     "SelectivityEstimator",

@@ -1,6 +1,29 @@
-"""The GeoBrowsing-style service facade and attribute catalog."""
+"""The GeoBrowsing-style service facade, attribute catalog and the
+resilient serving layer."""
 
 from repro.browse.catalog import AttributeCatalog, SummedEstimator
-from repro.browse.service import BrowseResult, GeoBrowsingService
+from repro.browse.resilience import (
+    CircuitBreaker,
+    EstimatorTier,
+    FallbackChain,
+    ResilientBrowsingService,
+    RetryPolicy,
+)
+from repro.browse.service import (
+    BrowseResult,
+    GeoBrowsingService,
+    resolve_browse_request,
+)
 
-__all__ = ["GeoBrowsingService", "BrowseResult", "AttributeCatalog", "SummedEstimator"]
+__all__ = [
+    "GeoBrowsingService",
+    "BrowseResult",
+    "AttributeCatalog",
+    "SummedEstimator",
+    "ResilientBrowsingService",
+    "FallbackChain",
+    "CircuitBreaker",
+    "EstimatorTier",
+    "RetryPolicy",
+    "resolve_browse_request",
+]

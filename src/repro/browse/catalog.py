@@ -137,6 +137,11 @@ class AttributeCatalog:
         None selects the whole collection."""
         if categories is None:
             selected = list(self.categories)
+            if not selected:
+                raise ValueError(
+                    "catalog has no categories (built over an empty collection); "
+                    "nothing to estimate over"
+                )
         else:
             selected = [self._validate(c) for c in categories]
             if not selected:

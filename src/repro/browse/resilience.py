@@ -1,0 +1,426 @@
+"""A resilient serving layer over the browsing stack.
+
+:class:`~repro.browse.service.GeoBrowsingService` is the fast path: one
+vectorised batch per raster, nothing between an estimator exception and
+the client.  In a production GeoBrowsing deployment (hundreds of trial
+queries per interaction, Section 1) that is not acceptable: one flaky
+estimator, one pathologically large raster or one corrupt summary must
+degrade the answer, not kill the session.  :class:`ResilientBrowsingService`
+adds that failure story:
+
+- **Deadlines.**  A raster is answered in *row chunks* with a deadline
+  check between chunks.  When the budget runs out, the remaining chunks
+  are left NaN and the returned :class:`~repro.browse.service.BrowseResult`
+  carries a validity mask -- a partial choropleth beats a timeout page.
+- **Fallback chain.**  Estimators are tried in order per chunk (e.g. the
+  exact evaluator first, S-EulerApprox as the cheap degradation; append
+  ``ScalarBatchFallback(primary)`` to degrade the batch path to the
+  scalar loop).  A chunk answer containing non-finite counts is treated
+  as a failure, so NaN corruption falls through to the next tier instead
+  of reaching the client.
+- **Circuit breaker.**  Each tier trips open after ``failure_threshold``
+  consecutive failures and is skipped while open; after ``cooldown``
+  seconds (on the injected clock) a half-open probe is allowed, and a
+  success closes the breaker again.
+- **Retries.**  Transient faults are retried per tier with deterministic
+  exponential backoff before falling through the chain.
+
+All failures surface through the structured taxonomy of
+:mod:`repro.errors`; if every tier fails a chunk the service raises
+:class:`~repro.errors.EstimatorFailedError` carrying the per-tier causes
+-- never a bare ``ValueError``.  The clock and sleep functions are
+injectable so the whole layer is deterministic under test (see
+:mod:`repro.testing.faults`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.browse.service import BrowseResult, resolve_browse_request
+from repro.errors import (
+    DeadlineExceededError,
+    EstimatorFailedError,
+    InvalidRegionError,
+)
+from repro.euler.base import Level2BatchEstimator, Level2Estimator, as_batch_estimator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery, TileQueryBatch
+from repro.workloads.tiles import browsing_tile_batch
+
+__all__ = [
+    "CircuitBreaker",
+    "EstimatorTier",
+    "FallbackChain",
+    "ResilientBrowsingService",
+    "RetryPolicy",
+]
+
+#: ``clock()`` -> seconds; monotonic in production, fake under test.
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-tier retry discipline: ``attempts`` total tries per chunk,
+    with deterministic exponential backoff between them.
+
+    The delay before retry ``i`` (0-based) is
+    ``backoff_base * backoff_multiplier ** i`` seconds -- deterministic
+    by design so fault-injection tests can assert the exact schedule.
+    """
+
+    attempts: int = 2
+    backoff_base: float = 0.0
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
+
+    def delay(self, retry_index: int) -> float:
+        """Backoff before the ``retry_index``-th retry, in seconds."""
+        return self.backoff_base * self.backoff_multiplier**retry_index
+
+
+class CircuitBreaker:
+    """A per-estimator circuit breaker with half-open recovery probes.
+
+    States: ``closed`` (normal), ``open`` (skipped after
+    ``failure_threshold`` consecutive failures), ``half_open`` (one probe
+    allowed once ``cooldown`` seconds have elapsed on ``clock``).  A
+    successful probe closes the breaker; a failed probe re-opens it and
+    restarts the cooldown.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown: float = 1.0,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        self._failure_threshold = failure_threshold
+        self._cooldown = cooldown
+        self._clock = clock
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"``."""
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures recorded since the last success."""
+        return self._consecutive_failures
+
+    def allows(self) -> bool:
+        """Whether a call may be attempted now.
+
+        In the open state this is where the cooldown expiry transitions
+        the breaker to half-open, admitting one recovery probe.
+        """
+        if self._state == "open":
+            if self._clock() - self._opened_at >= self._cooldown:
+                self._state = "half_open"
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        """Note a successful call: closes the breaker, resets the count."""
+        self._state = "closed"
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """Note a failed call: a failed half-open probe or the K-th
+        consecutive failure trips the breaker open."""
+        self._consecutive_failures += 1
+        if self._state == "half_open" or self._consecutive_failures >= self._failure_threshold:
+            self._state = "open"
+            self._opened_at = self._clock()
+
+
+class EstimatorTier:
+    """One estimator in a fallback chain, with its breaker and stats."""
+
+    def __init__(self, estimator: Level2Estimator, breaker: CircuitBreaker) -> None:
+        self._batch: Level2BatchEstimator = as_batch_estimator(estimator)
+        self.breaker = breaker
+        #: Chunk attempts routed to this tier (including retries).
+        self.attempts = 0
+        #: Attempts that failed (exception, timeout overrun, or NaN).
+        self.failures = 0
+        #: Chunks this tier answered.
+        self.successes = 0
+
+    @property
+    def name(self) -> str:
+        """The wrapped estimator's label."""
+        return self._batch.name
+
+    @property
+    def estimator(self) -> Level2BatchEstimator:
+        """The wrapped (batch-adapted) estimator."""
+        return self._batch
+
+
+class FallbackChain:
+    """Answers tile-batch chunks through an ordered estimator chain.
+
+    Each chunk walks the tiers in order: closed (or half-open) breakers
+    are attempted up to ``retry.attempts`` times with deterministic
+    backoff; an exception, a non-finite count, or an attempt overrunning
+    ``attempt_timeout`` counts as a failure and eventually falls through
+    to the next tier.  When every tier fails, the chunk raises
+    :class:`~repro.errors.EstimatorFailedError` with the per-tier causes.
+    """
+
+    def __init__(
+        self,
+        estimators: Sequence[Level2Estimator],
+        *,
+        failure_threshold: int = 3,
+        cooldown: float = 1.0,
+        retry: RetryPolicy | None = None,
+        attempt_timeout: float | None = None,
+        clock: Clock = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not estimators:
+            raise ValueError("a fallback chain needs at least one estimator")
+        if attempt_timeout is not None and attempt_timeout <= 0:
+            raise ValueError("attempt_timeout must be positive when given")
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._attempt_timeout = attempt_timeout
+        self._clock = clock
+        self._sleep = sleep
+        self.tiers = tuple(
+            EstimatorTier(
+                estimator,
+                CircuitBreaker(
+                    failure_threshold=failure_threshold, cooldown=cooldown, clock=clock
+                ),
+            )
+            for estimator in estimators
+        )
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Tier labels, primary first."""
+        return tuple(tier.name for tier in self.tiers)
+
+    def _attempt(self, tier: EstimatorTier, batch: TileQueryBatch, field_name: str) -> np.ndarray:
+        """One attempt on one tier; raises on any injected/real failure."""
+        started = self._clock()
+        estimates = tier.estimator.estimate_batch(batch)
+        elapsed = self._clock() - started
+        if self._attempt_timeout is not None and elapsed > self._attempt_timeout:
+            raise TimeoutError(
+                f"estimator {tier.name!r} took {elapsed:.3f}s for a "
+                f"{len(batch)}-tile chunk (limit {self._attempt_timeout:.3f}s)"
+            )
+        values = np.asarray(getattr(estimates, field_name), dtype=np.float64)
+        if values.shape != (len(batch),):
+            raise ValueError(
+                f"estimator {tier.name!r} returned shape {values.shape} "
+                f"for a {len(batch)}-query chunk"
+            )
+        if not np.isfinite(values).all():
+            bad = int(np.count_nonzero(~np.isfinite(values)))
+            raise ValueError(
+                f"estimator {tier.name!r} returned {bad} non-finite count(s)"
+            )
+        return values
+
+    def estimate_chunk(self, batch: TileQueryBatch, field_name: str) -> np.ndarray:
+        """Answer one chunk of tile queries, falling through the chain.
+
+        Returns the float64 counts for ``field_name``, one per query.
+        Raises :class:`~repro.errors.EstimatorFailedError` when no tier
+        can answer.
+        """
+        causes: list[BaseException] = []
+        for tier in self.tiers:
+            if not tier.breaker.allows():
+                causes.append(
+                    RuntimeError(f"circuit open for estimator {tier.name!r}")
+                )
+                continue
+            last_exc: BaseException | None = None
+            for attempt in range(self._retry.attempts):
+                tier.attempts += 1
+                try:
+                    values = self._attempt(tier, batch, field_name)
+                except Exception as exc:
+                    tier.failures += 1
+                    tier.breaker.record_failure()
+                    last_exc = exc
+                    if not tier.breaker.allows():
+                        break  # tripped open mid-chunk: stop retrying this tier
+                    if attempt + 1 < self._retry.attempts:
+                        delay = self._retry.delay(attempt)
+                        if delay > 0:
+                            self._sleep(delay)
+                else:
+                    tier.successes += 1
+                    tier.breaker.record_success()
+                    return values
+            if last_exc is not None:
+                causes.append(last_exc)
+        raise EstimatorFailedError(
+            f"all {len(self.tiers)} estimator tier(s) failed for a "
+            f"{len(batch)}-tile chunk: "
+            + "; ".join(f"{t.name}: {c}" for t, c in zip(self.tiers, causes)),
+            causes=tuple(causes),
+        )
+
+
+class ResilientBrowsingService:
+    """A browsing service with deadlines, fallbacks and partial answers.
+
+    Drop-in alternative to
+    :class:`~repro.browse.service.GeoBrowsingService`: same
+    ``browse(region, rows, cols, relation)`` surface, same
+    :class:`~repro.browse.service.BrowseResult`, but the raster is
+    answered in row chunks through a :class:`FallbackChain` with a
+    per-request deadline.  See the module docstring for the semantics.
+
+    Parameters
+    ----------
+    estimators:
+        The fallback chain, primary first (a single estimator works
+        too); or pass a prebuilt :class:`FallbackChain` via ``chain``.
+    grid:
+        The service's evaluation grid.
+    chunk_rows:
+        Raster rows answered per chunk -- the deadline-check granularity.
+    clock, sleep:
+        Injectable time sources (monotonic seconds / backoff sleeper);
+        tests substitute fakes for determinism.
+    """
+
+    def __init__(
+        self,
+        estimators: Level2Estimator | Sequence[Level2Estimator],
+        grid: Grid,
+        *,
+        chunk_rows: int = 4,
+        failure_threshold: int = 3,
+        cooldown: float = 1.0,
+        retry: RetryPolicy | None = None,
+        attempt_timeout: float | None = None,
+        clock: Clock = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        chain: FallbackChain | None = None,
+    ) -> None:
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be at least 1")
+        if chain is None:
+            if isinstance(estimators, Level2Estimator):
+                estimators = [estimators]
+            chain = FallbackChain(
+                estimators,
+                failure_threshold=failure_threshold,
+                cooldown=cooldown,
+                retry=retry,
+                attempt_timeout=attempt_timeout,
+                clock=clock,
+                sleep=sleep,
+            )
+        self._chain = chain
+        self._grid = grid
+        self._chunk_rows = chunk_rows
+        self._clock = clock
+
+    @property
+    def grid(self) -> Grid:
+        """The service's evaluation grid."""
+        return self._grid
+
+    @property
+    def chain(self) -> FallbackChain:
+        """The fallback chain answering chunks (stats live on its tiers)."""
+        return self._chain
+
+    @property
+    def estimator_name(self) -> str:
+        """The primary tier's label."""
+        return self._chain.tiers[0].name
+
+    def browse(
+        self,
+        region: Rect | TileQuery,
+        rows: int,
+        cols: int,
+        relation: str = "overlap",
+        *,
+        deadline: float | None = None,
+        on_deadline: str = "partial",
+    ) -> BrowseResult:
+        """Run one browsing interaction with resilience semantics.
+
+        Parameters
+        ----------
+        region, rows, cols, relation:
+            As in :meth:`GeoBrowsingService.browse
+            <repro.browse.service.GeoBrowsingService.browse>`; malformed
+            requests raise :class:`~repro.errors.InvalidRegionError`.
+        deadline:
+            Per-request budget in seconds on the service clock; ``None``
+            means unbounded.  The budget is checked before each row
+            chunk, so a chunk in flight is never abandoned.
+        on_deadline:
+            ``"partial"`` (default) returns whatever was answered, with
+            unanswered tiles NaN and marked ``False`` in the result's
+            validity mask; ``"raise"`` raises
+            :class:`~repro.errors.DeadlineExceededError` instead.
+        """
+        if on_deadline not in ("partial", "raise"):
+            raise ValueError(
+                f"on_deadline must be 'partial' or 'raise', got {on_deadline!r}"
+            )
+        region, field_name = resolve_browse_request(self._grid, region, relation)
+        try:
+            batch = browsing_tile_batch(region, rows, cols)
+        except ValueError as exc:
+            raise InvalidRegionError(str(exc)) from exc
+
+        counts = np.full((rows, cols), np.nan, dtype=np.float64)
+        valid = np.zeros((rows, cols), dtype=bool)
+        started = self._clock()
+        for row_lo in range(0, rows, self._chunk_rows):
+            if deadline is not None and self._clock() - started >= deadline:
+                if on_deadline == "raise":
+                    raise DeadlineExceededError(
+                        f"deadline of {deadline:.3f}s expired after answering "
+                        f"{row_lo} of {rows} raster rows",
+                        answered_rows=row_lo,
+                        total_rows=rows,
+                    )
+                break
+            row_hi = min(row_lo + self._chunk_rows, rows)
+            sl = slice(row_lo * cols, row_hi * cols)
+            chunk = TileQueryBatch(
+                batch.qx_lo[sl], batch.qx_hi[sl], batch.qy_lo[sl], batch.qy_hi[sl]
+            )
+            values = self._chain.estimate_chunk(chunk, field_name)
+            counts[row_lo:row_hi] = values.reshape(row_hi - row_lo, cols)
+            valid[row_lo:row_hi] = True
+        if valid.all():
+            return BrowseResult(region=region, relation=relation, counts=counts)
+        return BrowseResult(region=region, relation=relation, counts=counts, valid=valid)

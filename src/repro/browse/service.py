@@ -22,11 +22,13 @@ estimators without a native batch path are adapted transparently via
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from functools import cached_property
 
 import numpy as np
 
+from repro.errors import InvalidRegionError
 from repro.euler.base import Level2BatchEstimator, Level2Estimator, as_batch_estimator
 from repro.euler.estimates import Level2Counts
 from repro.geometry.rect import Rect
@@ -53,11 +55,17 @@ class BrowseResult:
     ``counts[r, c]`` is the (possibly estimated) number of objects in the
     requested relation with tile ``(r, c)``; row 0 is the bottom row of the
     region.
+
+    ``valid`` is the per-tile validity mask: ``None`` (the common case)
+    means every tile was answered; a boolean array of the raster's shape
+    marks tiles the resilient serving path could not answer before its
+    deadline -- those ``counts`` entries are NaN.
     """
 
     region: TileQuery
     relation: str
     counts: np.ndarray
+    valid: np.ndarray | None = field(default=None)
 
     @property
     def rows(self) -> int:
@@ -82,15 +90,61 @@ class BrowseResult:
         """Sum of the raster's counts."""
         return float(self.counts.sum())
 
+    @property
+    def is_complete(self) -> bool:
+        """Whether every tile of the raster was answered."""
+        return self.valid is None or bool(self.valid.all())
+
+    @property
+    def valid_fraction(self) -> float:
+        """Fraction of tiles answered (1.0 for a complete raster)."""
+        if self.valid is None:
+            return 1.0
+        return float(self.valid.mean()) if self.valid.size else 1.0
+
     def render_ascii(self, *, width: int = 4) -> str:
         """A terminal-friendly rendering of the raster (top row first),
-        for the examples: rounded counts, right-aligned columns."""
+        for the examples: rounded counts, right-aligned columns.  Tiles
+        whose count is NaN (unanswered under a deadline, or corrupted
+        upstream) render as ``"?"`` instead of crashing ``int(round())``.
+        """
         lines = []
         for r in range(self.rows - 1, -1, -1):
             lines.append(
-                " ".join(f"{int(round(v)):>{width}d}" for v in self.counts[r])
+                " ".join(
+                    f"{'?':>{width}}" if math.isnan(v) else f"{int(round(v)):>{width}d}"
+                    for v in self.counts[r]
+                )
             )
         return "\n".join(lines)
+
+
+def resolve_browse_request(
+    grid: Grid, region: Rect | TileQuery, relation: str
+) -> tuple[TileQuery, str]:
+    """Validate one browse request against ``grid``.
+
+    Returns the region as a cell span plus the
+    :class:`~repro.euler.estimates.Level2Counts` field backing
+    ``relation``.  Every way the request can be malformed -- unknown
+    relation, misaligned or out-of-space world rectangle, span exceeding
+    the grid -- raises :class:`~repro.errors.InvalidRegionError` (a
+    ``ValueError`` subclass, so pre-taxonomy callers keep working).
+    """
+    if relation not in RELATION_FIELDS:
+        raise InvalidRegionError(
+            f"unknown relation {relation!r}; expected one of {sorted(RELATION_FIELDS)}"
+        )
+    if isinstance(region, Rect):
+        try:
+            region = aligned_query_cells(grid, region)
+        except ValueError as exc:
+            raise InvalidRegionError(str(exc)) from exc
+    try:
+        region.validate_against(grid)
+    except ValueError as exc:
+        raise InvalidRegionError(str(exc)) from exc
+    return region, RELATION_FIELDS[relation]
 
 
 class GeoBrowsingService:
@@ -138,14 +192,7 @@ class GeoBrowsingService:
             legacy per-tile scalar loop.  Both produce bit-identical
             rasters -- the flag exists for parity tests and benchmarks.
         """
-        if relation not in RELATION_FIELDS:
-            raise ValueError(
-                f"unknown relation {relation!r}; expected one of {sorted(RELATION_FIELDS)}"
-            )
-        if isinstance(region, Rect):
-            region = aligned_query_cells(self._grid, region)
-        region.validate_against(self._grid)
-        field_name = RELATION_FIELDS[relation]
+        region, field_name = resolve_browse_request(self._grid, region, relation)
 
         if use_batch:
             batch = browsing_tile_batch(region, rows, cols)

@@ -23,6 +23,7 @@ import time
 
 from repro.browse.service import GeoBrowsingService, RELATION_FIELDS
 from repro.datasets import DATASET_NAMES, RectDataset, by_name
+from repro.errors import SummaryCorruptError
 from repro.euler.histogram import EulerHistogram
 from repro.euler.simple import SEulerApprox
 from repro.geometry.rect import Rect
@@ -101,7 +102,11 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
-    data = RectDataset.load(args.dataset)
+    try:
+        data = RectDataset.load(args.dataset)
+    except SummaryCorruptError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     grid = Grid(data.extent, args.cells[0], args.cells[1])
     start = time.perf_counter()
     histogram = EulerHistogram.from_dataset(data, grid)
@@ -114,7 +119,11 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_browse(args: argparse.Namespace) -> int:
-    histogram = EulerHistogram.load(args.histogram)
+    try:
+        histogram = EulerHistogram.load(args.histogram)
+    except SummaryCorruptError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     service = GeoBrowsingService(SEulerApprox(histogram), histogram.grid)
     region = Rect(args.region[0], args.region[1], args.region[2], args.region[3])
     try:

@@ -13,7 +13,9 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.errors import SummaryCorruptError
 from repro.geometry.rect import Rect
+from repro.persistence import load_verified_npz, save_verified_npz
 
 __all__ = ["RectDataset"]
 
@@ -164,29 +166,52 @@ class RectDataset:
     # ------------------------------------------------------------------ #
 
     def save(self, path: str | os.PathLike) -> None:
-        """Persist to a compressed ``.npz`` file."""
-        np.savez_compressed(
+        """Persist to a compressed ``.npz`` file, stamped with a CRC-32
+        checksum so corruption is caught at load."""
+        save_verified_npz(
             path,
-            x_lo=self.x_lo,
-            x_hi=self.x_hi,
-            y_lo=self.y_lo,
-            y_hi=self.y_hi,
-            extent=np.array(self.extent.as_tuple(), dtype=np.float64),
-            name=np.array(self.name),
+            {
+                "x_lo": self.x_lo,
+                "x_hi": self.x_hi,
+                "y_lo": self.y_lo,
+                "y_hi": self.y_hi,
+                "extent": np.array(self.extent.as_tuple(), dtype=np.float64),
+                "name": np.array(self.name),
+            },
         )
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "RectDataset":
-        with np.load(path, allow_pickle=False) as data:
-            extent = Rect(*(float(v) for v in data["extent"]))
-            return cls(
-                data["x_lo"],
-                data["x_hi"],
-                data["y_lo"],
-                data["y_hi"],
-                extent,
-                str(data["name"]),
+        """Load a dataset persisted with :meth:`save`.
+
+        The payload is integrity-checked -- checksum, required keys, and
+        the constructor's own column validation -- and any violation
+        raises a :class:`~repro.errors.SummaryCorruptError` naming the
+        file instead of a raw ``KeyError``/``ValueError`` from numpy.
+        """
+        payload = load_verified_npz(
+            path,
+            kind="rect dataset",
+            required=("x_lo", "x_hi", "y_lo", "y_hi", "extent", "name"),
+        )
+        extent_arr = np.asarray(payload["extent"], dtype=np.float64).reshape(-1)
+        if extent_arr.shape != (4,) or not np.isfinite(extent_arr).all():
+            raise SummaryCorruptError(
+                f"dataset file {path!s} has a malformed extent {extent_arr!r}"
             )
+        try:
+            return cls(
+                payload["x_lo"],
+                payload["x_hi"],
+                payload["y_lo"],
+                payload["y_hi"],
+                Rect(*(float(v) for v in extent_arr)),
+                str(payload["name"]),
+            )
+        except ValueError as exc:
+            raise SummaryCorruptError(
+                f"dataset file {path!s} holds an inconsistent payload: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------ #
     # description

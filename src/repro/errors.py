@@ -1,0 +1,77 @@
+"""The serving layer's structured error taxonomy.
+
+Every failure the browsing stack can surface to a client is one of these
+types, replacing the bare ``ValueError``/``KeyError``/numpy exceptions
+that used to leak out of validation, estimation and persistence code.  A
+server wraps its request handler in ``except BrowseError`` and maps the
+subclass to a response code; anything *outside* this taxonomy escaping
+the stack is a bug, which is what the fault-injection suite asserts.
+
+The taxonomy lives at the package root (not under ``repro.browse``)
+because the persistence layer (``repro.euler.histogram``,
+``repro.datasets.base``) raises :class:`SummaryCorruptError` and must not
+depend on the browsing facade above it.
+
+Several subclasses also inherit ``ValueError``: callers that predate the
+taxonomy and catch ``ValueError`` for invalid input or a corrupt file
+keep working unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BrowseError",
+    "InvalidRegionError",
+    "DeadlineExceededError",
+    "EstimatorFailedError",
+    "SummaryCorruptError",
+]
+
+
+class BrowseError(Exception):
+    """Base class of every structured serving-layer failure."""
+
+
+class InvalidRegionError(BrowseError, ValueError):
+    """The request itself is malformed: unknown relation, misaligned or
+    out-of-space region, or an impossible tile partitioning.
+
+    Also a ``ValueError`` so pre-taxonomy callers keep catching it.
+    """
+
+
+class DeadlineExceededError(BrowseError):
+    """The per-request deadline expired before the raster was complete.
+
+    Raised only when the caller asked for ``on_deadline="raise"``; the
+    default policy returns a partial raster with a validity mask instead.
+    """
+
+    def __init__(self, message: str, *, answered_rows: int = 0, total_rows: int = 0) -> None:
+        super().__init__(message)
+        #: Raster rows answered before the deadline expired.
+        self.answered_rows = answered_rows
+        #: Raster rows requested.
+        self.total_rows = total_rows
+
+
+class EstimatorFailedError(BrowseError):
+    """Every estimator in the fallback chain failed for some chunk.
+
+    ``causes`` holds the per-estimator exceptions of the final chunk
+    attempt, in chain order, for post-mortems.
+    """
+
+    def __init__(self, message: str, *, causes: tuple[BaseException, ...] = ()) -> None:
+        super().__init__(message)
+        #: The underlying per-estimator exceptions, in chain order.
+        self.causes = causes
+
+
+class SummaryCorruptError(BrowseError, ValueError):
+    """A persisted summary (histogram or dataset ``.npz``) failed
+    integrity verification: missing keys, wrong shapes/dtypes, invalid
+    grid metadata, or a checksum mismatch.
+
+    Also a ``ValueError`` so pre-taxonomy callers keep catching it.
+    """

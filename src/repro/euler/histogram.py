@@ -35,11 +35,13 @@ import numpy as np
 from repro.cube.difference import DifferenceArray2D
 from repro.cube.prefix_sum import PrefixSumCube
 from repro.datasets.base import RectDataset
+from repro.errors import SummaryCorruptError
 from repro.geometry.rect import Rect
 from repro.geometry.snapping import snap_rect, snap_rects
 from repro.grid.grid import Grid
 from repro.grid.lattice import lattice_sign_matrix
 from repro.grid.tiles_math import TileQuery, TileQueryBatch
+from repro.persistence import load_verified_npz, save_verified_npz
 
 __all__ = ["EulerHistogram", "EulerHistogramBuilder", "BatchRegionSums"]
 
@@ -306,26 +308,89 @@ class EulerHistogram(BatchRegionSums):
     # persistence
     # ------------------------------------------------------------------ #
 
+    def verify(self) -> "EulerHistogram":
+        """Check the histogram's structural invariants, returning ``self``.
+
+        Verifies that the bucket array matches the grid's lattice shape
+        and holds integers, that the object count is non-negative, and
+        the Euler invariant of Corollary 4.1: the sum of *all* buckets
+        (the prefix-sum cube's corner) equals the object count, because
+        every whole-object footprint is one hole-free region contributing
+        exactly 1.  Raises :class:`~repro.errors.SummaryCorruptError` on
+        any violation -- a flipped bucket almost always breaks the corner
+        sum even without a checksum.
+        """
+        expected = self._grid.lattice_shape
+        if self._buckets.shape != expected:
+            raise SummaryCorruptError(
+                f"bucket array shape {self._buckets.shape} does not match lattice {expected}"
+            )
+        if not np.issubdtype(self._buckets.dtype, np.integer):
+            raise SummaryCorruptError(
+                f"bucket array must hold integers, got dtype {self._buckets.dtype}"
+            )
+        if self._num_objects < 0:
+            raise SummaryCorruptError(f"negative object count {self._num_objects}")
+        if self.total_sum != self._num_objects:
+            raise SummaryCorruptError(
+                f"corner-bucket sum {self.total_sum} does not equal the object "
+                f"count {self._num_objects}; the bucket array is corrupt"
+            )
+        return self
+
     def save(self, path) -> None:
         """Persist to a compressed ``.npz``: the signed buckets plus grid
-        metadata.  A browsing service builds once, ships the file, and
+        metadata, stamped with a CRC-32 checksum so corruption is caught
+        at load.  A browsing service builds once, ships the file, and
         serves queries from the loaded copy."""
-        np.savez_compressed(
+        save_verified_npz(
             path,
-            buckets=self._buckets,
-            extent=np.array(self._grid.extent.as_tuple(), dtype=np.float64),
-            cells=np.array([self._grid.n1, self._grid.n2], dtype=np.int64),
-            num_objects=np.int64(self._num_objects),
+            {
+                "buckets": self._buckets,
+                "extent": np.array(self._grid.extent.as_tuple(), dtype=np.float64),
+                "cells": np.array([self._grid.n1, self._grid.n2], dtype=np.int64),
+                "num_objects": np.int64(self._num_objects),
+            },
         )
 
     @classmethod
     def load(cls, path) -> "EulerHistogram":
         """Load a histogram persisted with :meth:`save` (the prefix-sum
-        cube is rebuilt on load)."""
-        with np.load(path, allow_pickle=False) as data:
-            extent = Rect(*(float(v) for v in data["extent"]))
-            n1, n2 = (int(v) for v in data["cells"])
-            return cls(Grid(extent, n1, n2), data["buckets"], int(data["num_objects"]))
+        cube is rebuilt on load).
+
+        The payload is integrity-checked end to end -- checksum, grid
+        metadata, bucket shape/dtype and the Euler corner-sum invariant
+        -- and any violation raises a
+        :class:`~repro.errors.SummaryCorruptError` naming the file and
+        the problem instead of a cryptic numpy error.
+        """
+        payload = load_verified_npz(
+            path, kind="Euler histogram", required=("buckets", "extent", "cells", "num_objects")
+        )
+        extent_arr = np.asarray(payload["extent"], dtype=np.float64).reshape(-1)
+        cells = np.asarray(payload["cells"]).reshape(-1)
+        if extent_arr.shape != (4,) or not np.isfinite(extent_arr).all():
+            raise SummaryCorruptError(
+                f"histogram file {path!s} has a malformed extent {extent_arr!r}"
+            )
+        if cells.shape != (2,) or not np.issubdtype(cells.dtype, np.integer):
+            raise SummaryCorruptError(
+                f"histogram file {path!s} has malformed grid cells {cells!r}"
+            )
+        num_objects = np.asarray(payload["num_objects"]).reshape(-1)
+        if num_objects.shape != (1,) or not np.issubdtype(num_objects.dtype, np.integer):
+            raise SummaryCorruptError(
+                f"histogram file {path!s} has a malformed object count "
+                f"{payload['num_objects']!r}"
+            )
+        try:
+            grid = Grid(Rect(*(float(v) for v in extent_arr)), int(cells[0]), int(cells[1]))
+            hist = cls(grid, payload["buckets"], int(num_objects[0]))
+        except ValueError as exc:
+            raise SummaryCorruptError(
+                f"histogram file {path!s} holds an inconsistent payload: {exc}"
+            ) from exc
+        return hist.verify()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.base import RectDataset
+from repro.errors import SummaryCorruptError
 from repro.euler.histogram import BatchRegionSums, EulerHistogram, EulerHistogramBuilder
 from repro.geometry.rect import Rect
 from repro.geometry.snapping import LatticeSpan, snap_rect
@@ -211,3 +212,36 @@ class MaintainedEulerHistogram(BatchRegionSums):
         pending updates first)."""
         self.merge()
         return self._base
+
+    def verify(self) -> "MaintainedEulerHistogram":
+        """Check the maintained state's invariants, returning ``self``.
+
+        Verifies the base histogram (:meth:`EulerHistogram.verify`), the
+        pending-delta bookkeeping (the pending weights sum to the pending
+        object count and the shadow builder's count matches the total),
+        and the maintained Euler invariant: the full-lattice sum *with
+        pending deltas applied* equals the live object count.  After a
+        :meth:`merge` the delta list must be empty, so the same call also
+        validates post-merge consistency.  Raises
+        :class:`~repro.errors.SummaryCorruptError` on any violation.
+        """
+        self._base.verify()
+        weight_sum = sum(weight for _, weight in self._pending)
+        if weight_sum != self._pending_objects:
+            raise SummaryCorruptError(
+                f"pending weights sum to {weight_sum} but the pending object "
+                f"count is {self._pending_objects}"
+            )
+        if self._builder.num_objects != self.num_objects:
+            raise SummaryCorruptError(
+                f"shadow builder holds {self._builder.num_objects} objects but "
+                f"the maintained count is {self.num_objects}"
+            )
+        shape = self._grid.lattice_shape
+        full_sum = self.lattice_range_sum(0, shape[0] - 1, 0, shape[1] - 1)
+        if full_sum != self.num_objects:
+            raise SummaryCorruptError(
+                f"full-lattice sum {full_sum} (base + pending deltas) does not "
+                f"equal the object count {self.num_objects}"
+            )
+        return self

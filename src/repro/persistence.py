@@ -1,0 +1,101 @@
+"""Integrity-checked ``.npz`` persistence shared by the summary types.
+
+:meth:`repro.euler.histogram.EulerHistogram.save` and
+:meth:`repro.datasets.base.RectDataset.save` both persist a dict of numpy
+arrays.  This module gives them one wire discipline:
+
+- **save** stamps the payload with a ``format_version`` and a CRC-32
+  ``checksum`` over every payload array's name, dtype, shape and bytes;
+- **load** funnels every way a file can be bad -- unreadable zip,
+  truncated member, missing key, flipped bit -- into a single
+  :class:`~repro.errors.SummaryCorruptError` with a message naming the
+  file and the problem, instead of the raw ``KeyError``/``ValueError``/
+  ``BadZipFile`` soup numpy raises.
+
+Files written before checksumming existed (no ``checksum`` key) still
+load: they get the structural validation but skip CRC verification, so
+old shipped summaries keep working while every newly saved file is
+tamper-evident.
+"""
+
+from __future__ import annotations
+
+import os
+import zipfile
+import zlib
+
+import numpy as np
+
+from repro.errors import SummaryCorruptError
+
+__all__ = ["FORMAT_VERSION", "payload_checksum", "save_verified_npz", "load_verified_npz"]
+
+#: Version stamp written into every checksummed payload.
+FORMAT_VERSION = 2
+
+#: Keys added by the wire discipline, excluded from the checksum itself.
+_ENVELOPE_KEYS = frozenset({"checksum", "format_version"})
+
+
+def payload_checksum(arrays: dict[str, np.ndarray]) -> int:
+    """CRC-32 over the payload arrays in sorted key order.
+
+    Each array contributes its name, dtype, shape and raw bytes, so a
+    renamed key, a silently cast column or a single flipped bit all
+    change the digest.  Envelope keys are skipped.
+    """
+    crc = 0
+    for key in sorted(arrays):
+        if key in _ENVELOPE_KEYS:
+            continue
+        arr = np.ascontiguousarray(arrays[key])
+        crc = zlib.crc32(key.encode("utf-8"), crc)
+        crc = zlib.crc32(str(arr.dtype).encode("utf-8"), crc)
+        crc = zlib.crc32(str(arr.shape).encode("utf-8"), crc)
+        crc = zlib.crc32(arr.tobytes(), crc)
+    return crc
+
+
+def save_verified_npz(path: str | os.PathLike, arrays: dict[str, np.ndarray]) -> None:
+    """Persist ``arrays`` to compressed ``.npz`` with checksum envelope."""
+    if _ENVELOPE_KEYS & arrays.keys():
+        raise ValueError(f"payload keys may not shadow the envelope: {sorted(_ENVELOPE_KEYS)}")
+    np.savez_compressed(
+        path,
+        checksum=np.uint32(payload_checksum(arrays)),
+        format_version=np.int64(FORMAT_VERSION),
+        **arrays,
+    )
+
+
+def load_verified_npz(
+    path: str | os.PathLike, *, kind: str, required: tuple[str, ...]
+) -> dict[str, np.ndarray]:
+    """Load and integrity-check an ``.npz`` payload.
+
+    Returns the payload arrays (envelope keys stripped).  Raises
+    :class:`SummaryCorruptError` for an unreadable or truncated file, a
+    missing required key, or a checksum mismatch.  ``kind`` names the
+    summary type in error messages (e.g. ``"Euler histogram"``).
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            payload = {key: data[key] for key in data.files}
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile, zlib.error) as exc:
+        raise SummaryCorruptError(f"{kind} file {path!s} is unreadable: {exc}") from exc
+    missing = [key for key in required if key not in payload]
+    if missing:
+        raise SummaryCorruptError(
+            f"{kind} file {path!s} is missing required key(s) {missing}; "
+            f"found {sorted(payload)}"
+        )
+    if "checksum" in payload:
+        stored = int(payload["checksum"])
+        actual = payload_checksum(payload)
+        if stored != actual:
+            raise SummaryCorruptError(
+                f"{kind} file {path!s} failed checksum verification "
+                f"(stored {stored:#010x}, computed {actual:#010x}); "
+                f"the file is corrupt or was modified after saving"
+            )
+    return {key: value for key, value in payload.items() if key not in _ENVELOPE_KEYS}

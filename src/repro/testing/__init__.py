@@ -1,0 +1,10 @@
+"""Deterministic test doubles for the serving stack."""
+
+from repro.testing.faults import (
+    FaultSchedule,
+    FaultyBatchEstimator,
+    FaultyEstimator,
+    InjectedFault,
+)
+
+__all__ = ["FaultSchedule", "FaultyBatchEstimator", "FaultyEstimator", "InjectedFault"]

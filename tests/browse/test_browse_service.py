@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.browse.service import GeoBrowsingService, RELATION_FIELDS
+from repro.browse.service import BrowseResult, GeoBrowsingService, RELATION_FIELDS
 from repro.euler.histogram import EulerHistogram
 from repro.euler.simple import SEulerApprox
 from repro.exact.evaluator import ExactEvaluator
@@ -97,3 +97,41 @@ class TestBrowseResult:
     def test_estimator_name(self, service):
         assert service.estimator_name == "S-EulerApprox"
         assert service.grid.n1 == 12
+
+
+class TestNanRendering:
+    """Regression: render_ascii used to crash on NaN counts
+    (int(round(nan)) raises ValueError); NaN tiles now render as "?"."""
+
+    def test_nan_tiles_render_as_question_marks(self):
+        counts = np.array([[1.0, float("nan")], [float("nan") , 4.0]])
+        result = BrowseResult(
+            region=TileQuery(0, 2, 0, 2), relation="overlap", counts=counts
+        )
+        lines = result.render_ascii(width=3).splitlines()
+        assert lines == ["  ?   4", "  1   ?"]
+
+    def test_all_nan_raster_renders(self):
+        counts = np.full((2, 3), float("nan"))
+        result = BrowseResult(
+            region=TileQuery(0, 3, 0, 2), relation="overlap", counts=counts
+        )
+        rendering = result.render_ascii()
+        assert rendering.count("?") == 6
+        assert "nan" not in rendering
+
+    def test_validity_mask_defaults(self):
+        counts = np.ones((2, 2))
+        complete = BrowseResult(
+            region=TileQuery(0, 2, 0, 2), relation="overlap", counts=counts
+        )
+        assert complete.valid is None
+        assert complete.is_complete and complete.valid_fraction == 1.0
+        partial = BrowseResult(
+            region=TileQuery(0, 2, 0, 2),
+            relation="overlap",
+            counts=counts,
+            valid=np.array([[True, False], [True, True]]),
+        )
+        assert not partial.is_complete
+        assert partial.valid_fraction == 0.75

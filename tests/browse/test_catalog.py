@@ -102,3 +102,45 @@ class TestSummedEstimator:
         q = TileQuery(0, 12, 0, 8)
         total = catalog.estimate(q)
         assert total.total == pytest.approx(len(data))
+
+
+class TestDegeneratePartitions:
+    """Edge cases: an empty collection and filters selecting nothing."""
+
+    def test_catalog_over_empty_collection(self, grid):
+        from repro.datasets.base import RectDataset
+
+        catalog = AttributeCatalog(
+            RectDataset.empty(grid.extent), grid, [],
+            factory=lambda d, g: ExactEvaluator(d, g),
+        )
+        assert catalog.categories == ()
+        with pytest.raises(ValueError, match="no categories"):
+            catalog.estimator()
+
+    def test_zero_category_filter_rejected(self, catalog):
+        with pytest.raises(ValueError, match="at least one"):
+            catalog.estimator([])
+        with pytest.raises(ValueError, match="at least one"):
+            catalog.service([])
+
+    def test_empty_category_subset_estimates_zero(self, grid):
+        """A category whose partition is empty never arises from labels,
+        but a factory-built estimator over 0 objects must answer 0s."""
+        from repro.datasets.base import RectDataset
+
+        empty = ExactEvaluator(RectDataset.empty(grid.extent), grid)
+        counts = SummedEstimator([empty], "empty").estimate(TileQuery(0, 4, 0, 4))
+        assert (counts.n_d, counts.n_cs, counts.n_cd, counts.n_o) == (0, 0, 0, 0)
+
+    def test_single_object_categories(self, grid, data, rng):
+        """One category per object: the finest partition still sums back
+        to the unfiltered answer."""
+        subset = data.select(np.arange(12))
+        catalog = AttributeCatalog(
+            subset, grid, np.arange(12), factory=lambda d, g: ExactEvaluator(d, g)
+        )
+        assert len(catalog.categories) == 12
+        q = TileQuery(0, 12, 0, 8)
+        whole = ExactEvaluator(subset, grid).estimate(q)
+        assert catalog.estimate(q) == whole

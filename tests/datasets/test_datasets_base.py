@@ -113,3 +113,65 @@ class TestPersistence:
         assert loaded.extent == EXTENT
         np.testing.assert_array_equal(loaded.x_lo, data.x_lo)
         np.testing.assert_array_equal(loaded.y_hi, data.y_hi)
+
+
+class TestLoadHardening:
+    """Truncated/missing-key/corrupt .npz files raise SummaryCorruptError
+    with a message naming the file, never a raw KeyError/ValueError."""
+
+    def test_truncated_file(self, tmp_path):
+        from repro.errors import SummaryCorruptError
+
+        path = tmp_path / "data.npz"
+        _simple_dataset().save(path)
+        path.write_bytes(path.read_bytes()[:50])
+        with pytest.raises(SummaryCorruptError, match="unreadable"):
+            RectDataset.load(path)
+
+    def test_missing_column_named_in_error(self, tmp_path):
+        from repro.errors import SummaryCorruptError
+
+        data = _simple_dataset()
+        path = tmp_path / "data.npz"
+        np.savez_compressed(
+            path,
+            x_lo=data.x_lo,
+            x_hi=data.x_hi,
+            y_lo=data.y_lo,
+            extent=np.array(data.extent.as_tuple()),
+            name=np.array(data.name),
+        )
+        with pytest.raises(SummaryCorruptError, match="y_hi"):
+            RectDataset.load(path)
+
+    def test_tampered_column_fails_checksum(self, tmp_path):
+        from repro.errors import SummaryCorruptError
+
+        path = tmp_path / "data.npz"
+        _simple_dataset().save(path)
+        with np.load(path) as f:
+            payload = {k: f[k] for k in f.files}
+        payload["x_lo"] = payload["x_lo"].copy()
+        payload["x_lo"][0] += 1e-9
+        np.savez_compressed(path, **payload)
+        with pytest.raises(SummaryCorruptError, match="checksum"):
+            RectDataset.load(path)
+
+    def test_inconsistent_columns_reported_as_corrupt(self, tmp_path):
+        """A payload whose columns violate the constructor's invariants
+        (lo > hi) is reported as corruption, not a bare ValueError."""
+        from repro.errors import SummaryCorruptError
+
+        data = _simple_dataset()
+        path = tmp_path / "data.npz"
+        np.savez_compressed(  # legacy format, no checksum to catch it first
+            path,
+            x_lo=data.x_hi,  # swapped: lo > hi
+            x_hi=data.x_lo,
+            y_lo=data.y_lo,
+            y_hi=data.y_hi,
+            extent=np.array(data.extent.as_tuple()),
+            name=np.array(data.name),
+        )
+        with pytest.raises(SummaryCorruptError, match="inconsistent"):
+            RectDataset.load(path)

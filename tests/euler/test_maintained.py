@@ -2,11 +2,17 @@
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.datasets.base import RectDataset
 from repro.euler.full import EulerApprox
 from repro.euler.histogram import EulerHistogram
-from repro.euler.maintained import MaintainedEulerHistogram, _axis_factor
+from repro.euler.maintained import (
+    MaintainedEulerHistogram,
+    _axis_factor,
+    _axis_factor_batch,
+)
 from repro.euler.simple import SEulerApprox
 from repro.geometry.rect import Rect
 from repro.grid.grid import Grid
@@ -129,3 +135,77 @@ class TestEstimatorCompatibility:
             for _ in range(15):
                 q = random_query(rng, grid)
                 assert live.estimate(q) == reference.estimate(q)
+
+
+class TestAxisFactorBatchParity:
+    """Hypothesis parity: the vectorised _axis_factor_batch must agree
+    with the scalar _axis_factor on every (span, box) combination."""
+
+    @given(
+        span=st.tuples(st.integers(0, 60), st.integers(0, 60)).map(sorted),
+        boxes=st.lists(
+            st.tuples(st.integers(0, 60), st.integers(0, 60)).map(sorted),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_batch_matches_scalar(self, span, boxes):
+        span_lo, span_hi = span
+        box_lo = np.array([b[0] for b in boxes], dtype=np.intp)
+        box_hi = np.array([b[1] for b in boxes], dtype=np.intp)
+        batch = _axis_factor_batch(span_lo, span_hi, box_lo, box_hi)
+        scalar = [_axis_factor(span_lo, span_hi, lo, hi) for lo, hi in boxes]
+        np.testing.assert_array_equal(batch, scalar)
+
+    @given(
+        span=st.tuples(st.integers(0, 40), st.integers(0, 40)).map(sorted),
+        box=st.tuples(st.integers(0, 40), st.integers(0, 40)).map(sorted),
+    )
+    def test_disjoint_and_even_overlaps_are_zero(self, span, box):
+        """The factor is nonzero only for odd-length overlaps, and then
+        carries the lattice sign of the first overlapped coordinate."""
+        (span_lo, span_hi), (box_lo, box_hi) = span, box
+        value = _axis_factor(span_lo, span_hi, box_lo, box_hi)
+        lo, hi = max(span_lo, box_lo), min(span_hi, box_hi)
+        if hi < lo or (hi - lo + 1) % 2 == 0:
+            assert value == 0
+        else:
+            assert value == (1 if lo % 2 == 0 else -1)
+
+
+class TestMaintainedVerify:
+    def test_verify_passes_through_inserts_deletes_and_merges(self, grid, rng):
+        maintained = MaintainedEulerHistogram(
+            grid, random_dataset(rng, grid, 50), merge_threshold=8
+        )
+        inserted = []
+        for _ in range(20):
+            rect = Rect(1.0, 3.0, 1.0, 2.0)
+            maintained.insert(rect)
+            inserted.append(rect)
+            assert maintained.verify() is maintained
+        for rect in inserted[:5]:
+            maintained.delete(rect)
+            maintained.verify()
+        maintained.merge()
+        assert maintained.pending_updates == 0
+        maintained.verify()
+
+    def test_verify_catches_forged_pending_count(self, grid, rng):
+        from repro.errors import SummaryCorruptError
+
+        maintained = MaintainedEulerHistogram(
+            grid, random_dataset(rng, grid, 30), merge_threshold=10_000
+        )
+        maintained.insert(Rect(1.0, 2.0, 1.0, 2.0))
+        maintained._pending_objects += 1  # corrupt the bookkeeping
+        with pytest.raises(SummaryCorruptError):
+            maintained.verify()
+
+    def test_verify_catches_corrupt_base(self, grid, rng):
+        from repro.errors import SummaryCorruptError
+
+        maintained = MaintainedEulerHistogram(grid, random_dataset(rng, grid, 30))
+        maintained._base._num_objects += 1  # corrupt the base histogram
+        with pytest.raises(SummaryCorruptError):
+            maintained.verify()
