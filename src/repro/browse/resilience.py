@@ -35,7 +35,9 @@ injectable so the whole layer is deterministic under test (see
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -51,6 +53,8 @@ from repro.euler.base import Level2BatchEstimator, Level2Estimator, as_batch_est
 from repro.geometry.rect import Rect
 from repro.grid.grid import Grid
 from repro.grid.tiles_math import TileQuery, TileQueryBatch
+from repro.obs.instruments import BrowseInstrumentation, classify_failure
+from repro.obs.trace import RequestTrace
 from repro.workloads.tiles import browsing_tile_batch
 
 __all__ = [
@@ -96,8 +100,16 @@ class CircuitBreaker:
     States: ``closed`` (normal), ``open`` (skipped after
     ``failure_threshold`` consecutive failures), ``half_open`` (one probe
     allowed once ``cooldown`` seconds have elapsed on ``clock``).  A
-    successful probe closes the breaker; a failed probe re-opens it and
-    restarts the cooldown.
+    successful probe closes the breaker; a failed probe re-opens it with
+    a fresh ``opened_at``, restarting the cooldown.
+
+    The breaker trips on exactly the K-th consecutive failure (K =
+    ``failure_threshold``), and while half-open admits exactly one
+    probe: ``allows()`` returns ``True`` at the open-to-half-open
+    transition and ``False`` until the probe's outcome is recorded, so
+    concurrent callers cannot pile onto a recovering tier.  All state is
+    lock-guarded; ``on_transition(old, new)`` fires on every state
+    change (the observability layer wires it to a transition counter).
     """
 
     def __init__(
@@ -106,6 +118,7 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         cooldown: float = 1.0,
         clock: Clock = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be at least 1")
@@ -114,45 +127,72 @@ class CircuitBreaker:
         self._failure_threshold = failure_threshold
         self._cooldown = cooldown
         self._clock = clock
+        self._lock = threading.Lock()
         self._state = "closed"
         self._consecutive_failures = 0
         self._opened_at = 0.0
+        #: Optional ``(old_state, new_state)`` observer; assignable after
+        #: construction so chains can wire instrumentation to named tiers.
+        self.on_transition = on_transition
 
     @property
     def state(self) -> str:
         """``"closed"``, ``"open"`` or ``"half_open"``."""
-        return self._state
+        with self._lock:
+            return self._state
 
     @property
     def consecutive_failures(self) -> int:
         """Failures recorded since the last success."""
-        return self._consecutive_failures
+        with self._lock:
+            return self._consecutive_failures
+
+    def _set_state(self, new_state: str) -> None:
+        """Transition (callers hold the lock) and notify the observer."""
+        old_state = self._state
+        if old_state == new_state:
+            return
+        self._state = new_state
+        if self.on_transition is not None:
+            self.on_transition(old_state, new_state)
 
     def allows(self) -> bool:
         """Whether a call may be attempted now.
 
         In the open state this is where the cooldown expiry transitions
-        the breaker to half-open, admitting one recovery probe.
+        the breaker to half-open, admitting one recovery probe; while
+        that probe is outstanding (state half-open), further calls are
+        rejected until :meth:`record_success` or :meth:`record_failure`
+        resolves it.
         """
-        if self._state == "open":
-            if self._clock() - self._opened_at >= self._cooldown:
-                self._state = "half_open"
-                return True
-            return False
-        return True
+        with self._lock:
+            if self._state == "open":
+                if self._clock() - self._opened_at >= self._cooldown:
+                    self._set_state("half_open")
+                    return True
+                return False
+            if self._state == "half_open":
+                return False
+            return True
 
     def record_success(self) -> None:
         """Note a successful call: closes the breaker, resets the count."""
-        self._state = "closed"
-        self._consecutive_failures = 0
+        with self._lock:
+            self._set_state("closed")
+            self._consecutive_failures = 0
 
     def record_failure(self) -> None:
         """Note a failed call: a failed half-open probe or the K-th
-        consecutive failure trips the breaker open."""
-        self._consecutive_failures += 1
-        if self._state == "half_open" or self._consecutive_failures >= self._failure_threshold:
-            self._state = "open"
-            self._opened_at = self._clock()
+        consecutive failure trips the breaker open with a fresh
+        ``opened_at``."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                self._state == "half_open"
+                or self._consecutive_failures >= self._failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self._set_state("open")
 
 
 class EstimatorTier:
@@ -200,6 +240,7 @@ class FallbackChain:
         attempt_timeout: float | None = None,
         clock: Clock = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        instruments: BrowseInstrumentation | None = None,
     ) -> None:
         if not estimators:
             raise ValueError("a fallback chain needs at least one estimator")
@@ -209,6 +250,7 @@ class FallbackChain:
         self._attempt_timeout = attempt_timeout
         self._clock = clock
         self._sleep = sleep
+        self._obs = instruments
         self.tiers = tuple(
             EstimatorTier(
                 estimator,
@@ -218,6 +260,9 @@ class FallbackChain:
             )
             for estimator in estimators
         )
+        if instruments is not None:
+            for tier in self.tiers:
+                tier.breaker.on_transition = instruments.breaker_hook(tier.name)
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -247,16 +292,26 @@ class FallbackChain:
             )
         return values
 
-    def estimate_chunk(self, batch: TileQueryBatch, field_name: str) -> np.ndarray:
+    def estimate_chunk(
+        self,
+        batch: TileQueryBatch,
+        field_name: str,
+        *,
+        trace: RequestTrace | None = None,
+    ) -> np.ndarray:
         """Answer one chunk of tile queries, falling through the chain.
 
         Returns the float64 counts for ``field_name``, one per query.
         Raises :class:`~repro.errors.EstimatorFailedError` when no tier
-        can answer.
+        can answer.  When a trace is given, every tier attempt is
+        recorded as an ``attempt:<tier>`` span with its outcome.
         """
         causes: list[BaseException] = []
-        for tier in self.tiers:
+        obs = self._obs
+        for depth, tier in enumerate(self.tiers):
             if not tier.breaker.allows():
+                if obs is not None:
+                    obs.tier_skips.labels(tier=tier.name).inc()
                 causes.append(
                     RuntimeError(f"circuit open for estimator {tier.name!r}")
                 )
@@ -264,13 +319,35 @@ class FallbackChain:
             last_exc: BaseException | None = None
             for attempt in range(self._retry.attempts):
                 tier.attempts += 1
+                if obs is not None:
+                    obs.tier_attempts.labels(tier=tier.name).inc()
+                    if attempt:
+                        obs.tier_retries.labels(tier=tier.name).inc()
+                attempt_started = self._clock()
+                span_cm = (
+                    trace.span(f"attempt:{tier.name}", attempt=attempt)
+                    if trace is not None
+                    else nullcontext()
+                )
                 try:
-                    values = self._attempt(tier, batch, field_name)
+                    with span_cm:
+                        values = self._attempt(tier, batch, field_name)
                 except Exception as exc:
                     tier.failures += 1
                     tier.breaker.record_failure()
+                    if obs is not None:
+                        obs.tier_seconds.labels(tier=tier.name).observe(
+                            self._clock() - attempt_started
+                        )
+                        obs.tier_failures.labels(
+                            tier=tier.name, reason=classify_failure(exc)
+                        ).inc()
                     last_exc = exc
-                    if not tier.breaker.allows():
+                    # A pure state read, on purpose: ``allows()`` has the
+                    # side effect of admitting the half-open probe, so
+                    # using it as a mid-retry check would burn the probe
+                    # the moment a zero-cooldown breaker tripped.
+                    if tier.breaker.state == "open":
                         break  # tripped open mid-chunk: stop retrying this tier
                     if attempt + 1 < self._retry.attempts:
                         delay = self._retry.delay(attempt)
@@ -279,6 +356,12 @@ class FallbackChain:
                 else:
                     tier.successes += 1
                     tier.breaker.record_success()
+                    if obs is not None:
+                        obs.tier_seconds.labels(tier=tier.name).observe(
+                            self._clock() - attempt_started
+                        )
+                        obs.tier_successes.labels(tier=tier.name).inc()
+                        obs.fallback_depth.observe(depth)
                     return values
             if last_exc is not None:
                 causes.append(last_exc)
@@ -312,6 +395,12 @@ class ResilientBrowsingService:
     clock, sleep:
         Injectable time sources (monotonic seconds / backoff sleeper);
         tests substitute fakes for determinism.
+    instruments:
+        An optional :class:`~repro.obs.instruments.BrowseInstrumentation`;
+        when given, every request is traced (the trace rides on
+        ``BrowseResult.telemetry``), tier/breaker/tile outcomes are
+        recorded, and its accuracy probe (if any) samples each answered
+        raster.  ``None`` (the default) keeps the path uninstrumented.
     """
 
     def __init__(
@@ -327,6 +416,7 @@ class ResilientBrowsingService:
         clock: Clock = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         chain: FallbackChain | None = None,
+        instruments: BrowseInstrumentation | None = None,
     ) -> None:
         if chunk_rows < 1:
             raise ValueError("chunk_rows must be at least 1")
@@ -341,11 +431,13 @@ class ResilientBrowsingService:
                 attempt_timeout=attempt_timeout,
                 clock=clock,
                 sleep=sleep,
+                instruments=instruments,
             )
         self._chain = chain
         self._grid = grid
         self._chunk_rows = chunk_rows
         self._clock = clock
+        self._obs = instruments
 
     @property
     def grid(self) -> Grid:
@@ -394,33 +486,74 @@ class ResilientBrowsingService:
             raise ValueError(
                 f"on_deadline must be 'partial' or 'raise', got {on_deadline!r}"
             )
-        region, field_name = resolve_browse_request(self._grid, region, relation)
-        try:
-            batch = browsing_tile_batch(region, rows, cols)
-        except ValueError as exc:
-            raise InvalidRegionError(str(exc)) from exc
+        obs = self._obs
+        trace = obs.new_trace() if obs is not None else None
 
-        counts = np.full((rows, cols), np.nan, dtype=np.float64)
-        valid = np.zeros((rows, cols), dtype=bool)
+        def span(name: str, **attrs):
+            return trace.span(name, **attrs) if trace is not None else nullcontext()
+
+        expired = False
         started = self._clock()
-        for row_lo in range(0, rows, self._chunk_rows):
-            if deadline is not None and self._clock() - started >= deadline:
-                if on_deadline == "raise":
-                    raise DeadlineExceededError(
-                        f"deadline of {deadline:.3f}s expired after answering "
-                        f"{row_lo} of {rows} raster rows",
-                        answered_rows=row_lo,
-                        total_rows=rows,
+        with span("browse", relation=relation, rows=rows, cols=cols, deadline=deadline):
+            with span("resolve"):
+                region, field_name = resolve_browse_request(self._grid, region, relation)
+            with span("build_batch"):
+                try:
+                    batch = browsing_tile_batch(region, rows, cols)
+                except ValueError as exc:
+                    raise InvalidRegionError(str(exc)) from exc
+
+            counts = np.full((rows, cols), np.nan, dtype=np.float64)
+            valid = np.zeros((rows, cols), dtype=bool)
+            for row_lo in range(0, rows, self._chunk_rows):
+                if deadline is not None and self._clock() - started >= deadline:
+                    expired = True
+                    if obs is not None:
+                        obs.deadline_expirations.labels(service="resilient").inc()
+                    if on_deadline == "raise":
+                        raise DeadlineExceededError(
+                            f"deadline of {deadline:.3f}s expired after answering "
+                            f"{row_lo} of {rows} raster rows",
+                            answered_rows=row_lo,
+                            total_rows=rows,
+                        )
+                    break
+                row_hi = min(row_lo + self._chunk_rows, rows)
+                sl = slice(row_lo * cols, row_hi * cols)
+                chunk = TileQueryBatch(
+                    batch.qx_lo[sl], batch.qx_hi[sl], batch.qy_lo[sl], batch.qy_hi[sl]
+                )
+                chunk_started = self._clock()
+                with span(f"chunk[{row_lo}:{row_hi})", tiles=(row_hi - row_lo) * cols):
+                    values = self._chain.estimate_chunk(chunk, field_name, trace=trace)
+                if obs is not None:
+                    obs.stage_seconds.labels(service="resilient", stage="chunk").observe(
+                        self._clock() - chunk_started
                     )
-                break
-            row_hi = min(row_lo + self._chunk_rows, rows)
-            sl = slice(row_lo * cols, row_hi * cols)
-            chunk = TileQueryBatch(
-                batch.qx_lo[sl], batch.qx_hi[sl], batch.qy_lo[sl], batch.qy_hi[sl]
-            )
-            values = self._chain.estimate_chunk(chunk, field_name)
-            counts[row_lo:row_hi] = values.reshape(row_hi - row_lo, cols)
-            valid[row_lo:row_hi] = True
+                counts[row_lo:row_hi] = values.reshape(row_hi - row_lo, cols)
+                valid[row_lo:row_hi] = True
+
+        if obs is not None:
+            elapsed = self._clock() - started
+            answered = int(valid.sum())
+            obs.requests.labels(service="resilient", relation=relation).inc()
+            obs.request_seconds.labels(service="resilient").observe(elapsed)
+            obs.tiles.labels(service="resilient", outcome="answered").inc(answered)
+            obs.tiles.labels(service="resilient", outcome="nan").inc(rows * cols - answered)
+            if deadline is not None:
+                obs.deadline_margin.labels(service="resilient").set(deadline - elapsed)
+        if trace is not None:
+            trace_attrs = trace.spans[0].attrs
+            trace_attrs["valid_fraction"] = float(valid.mean()) if valid.size else 1.0
+            trace_attrs["deadline_expired"] = expired
         if valid.all():
-            return BrowseResult(region=region, relation=relation, counts=counts)
-        return BrowseResult(region=region, relation=relation, counts=counts, valid=valid)
+            result = BrowseResult(
+                region=region, relation=relation, counts=counts, telemetry=trace
+            )
+        else:
+            result = BrowseResult(
+                region=region, relation=relation, counts=counts, valid=valid, telemetry=trace
+            )
+        if obs is not None and obs.accuracy is not None:
+            obs.accuracy.observe(result, trace=trace)
+        return result

@@ -23,6 +23,7 @@ estimators without a native batch path are adapted transparently via
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from functools import cached_property
 
@@ -34,6 +35,8 @@ from repro.euler.estimates import Level2Counts
 from repro.geometry.rect import Rect
 from repro.grid.grid import Grid
 from repro.grid.tiles_math import TileQuery, aligned_query_cells
+from repro.obs.instruments import BrowseInstrumentation
+from repro.obs.trace import RequestTrace
 from repro.workloads.tiles import browsing_tile_batch, browsing_tiles
 
 __all__ = ["GeoBrowsingService", "BrowseResult", "RELATION_FIELDS"]
@@ -60,12 +63,19 @@ class BrowseResult:
     means every tile was answered; a boolean array of the raster's shape
     marks tiles the resilient serving path could not answer before its
     deadline -- those ``counts`` entries are NaN.
+
+    ``telemetry`` is the request's span trace when the answering service
+    was instrumented (``None`` otherwise): per-stage timings, per-chunk
+    estimator attempts and outcomes, readable via
+    ``result.telemetry.render()``.  It is excluded from equality so
+    result comparison stays about the raster.
     """
 
     region: TileQuery
     relation: str
     counts: np.ndarray
     valid: np.ndarray | None = field(default=None)
+    telemetry: RequestTrace | None = field(default=None, compare=False, repr=False)
 
     @property
     def rows(self) -> int:
@@ -105,18 +115,25 @@ class BrowseResult:
     def render_ascii(self, *, width: int = 4) -> str:
         """A terminal-friendly rendering of the raster (top row first),
         for the examples: rounded counts, right-aligned columns.  Tiles
-        whose count is NaN (unanswered under a deadline, or corrupted
-        upstream) render as ``"?"`` instead of crashing ``int(round())``.
+        whose count is non-finite (NaN from a missed deadline, or
+        corruption upstream) render as ``"?"`` instead of crashing
+        ``int(round())``.
+
+        ``width`` is a *minimum* column width: when any rendered count
+        needs more characters, every column expands to the widest cell,
+        so the raster always stays grid-aligned (a too-small ``width``
+        used to misalign only the wide columns).
         """
-        lines = []
-        for r in range(self.rows - 1, -1, -1):
-            lines.append(
-                " ".join(
-                    f"{'?':>{width}}" if math.isnan(v) else f"{int(round(v)):>{width}d}"
-                    for v in self.counts[r]
-                )
-            )
-        return "\n".join(lines)
+        cells = [
+            ["?" if not math.isfinite(v) else str(int(round(v))) for v in self.counts[r]]
+            for r in range(self.rows - 1, -1, -1)
+        ]
+        cell_width = max(
+            [width] + [len(cell) for row in cells for cell in row]
+        )
+        return "\n".join(
+            " ".join(cell.rjust(cell_width) for cell in row) for row in cells
+        )
 
 
 def resolve_browse_request(
@@ -148,12 +165,25 @@ def resolve_browse_request(
 
 
 class GeoBrowsingService:
-    """Browse a dataset summary with tiled relation queries."""
+    """Browse a dataset summary with tiled relation queries.
 
-    def __init__(self, estimator: Level2Estimator, grid: Grid) -> None:
+    Pass a :class:`~repro.obs.instruments.BrowseInstrumentation` as
+    ``instruments`` to record request counts, per-stage timings and tile
+    outcomes, and to get a span trace on every result's ``telemetry``;
+    the default ``None`` keeps the fast path uninstrumented.
+    """
+
+    def __init__(
+        self,
+        estimator: Level2Estimator,
+        grid: Grid,
+        *,
+        instruments: BrowseInstrumentation | None = None,
+    ) -> None:
         self._estimator = estimator
         self._batch: Level2BatchEstimator = as_batch_estimator(estimator)
         self._grid = grid
+        self._obs = instruments
 
     @property
     def grid(self) -> Grid:
@@ -192,19 +222,43 @@ class GeoBrowsingService:
             legacy per-tile scalar loop.  Both produce bit-identical
             rasters -- the flag exists for parity tests and benchmarks.
         """
-        region, field_name = resolve_browse_request(self._grid, region, relation)
+        obs = self._obs
+        trace = obs.new_trace() if obs is not None else None
 
-        if use_batch:
-            batch = browsing_tile_batch(region, rows, cols)
-            estimates = self._batch.estimate_batch(batch)
-            counts = np.asarray(
-                getattr(estimates, field_name), dtype=np.float64
-            ).reshape(rows, cols)
-        else:
-            tiles = browsing_tiles(region, rows, cols)
-            counts = np.zeros((rows, cols), dtype=np.float64)
-            for r, row in enumerate(tiles):
-                for c, tile in enumerate(row):
-                    estimate: Level2Counts = self._estimator.estimate(tile)
-                    counts[r, c] = getattr(estimate, field_name)
-        return BrowseResult(region=region, relation=relation, counts=counts)
+        def span(name: str, **attrs):
+            return trace.span(name, **attrs) if trace is not None else nullcontext()
+
+        started = obs.clock() if obs is not None else 0.0
+        with span("browse", relation=relation, rows=rows, cols=cols):
+            with span("resolve"):
+                region, field_name = resolve_browse_request(self._grid, region, relation)
+
+            if use_batch:
+                with span("build_batch"):
+                    batch = browsing_tile_batch(region, rows, cols)
+                with span("estimate", tier=self._batch.name):
+                    estimates = self._batch.estimate_batch(batch)
+                counts = np.asarray(
+                    getattr(estimates, field_name), dtype=np.float64
+                ).reshape(rows, cols)
+            else:
+                with span("estimate", tier=self._estimator.name, path="scalar"):
+                    tiles = browsing_tiles(region, rows, cols)
+                    counts = np.zeros((rows, cols), dtype=np.float64)
+                    for r, row in enumerate(tiles):
+                        for c, tile in enumerate(row):
+                            estimate: Level2Counts = self._estimator.estimate(tile)
+                            counts[r, c] = getattr(estimate, field_name)
+        if obs is not None:
+            elapsed = obs.clock() - started
+            obs.requests.labels(service="plain", relation=relation).inc()
+            obs.request_seconds.labels(service="plain").observe(elapsed)
+            for stage_span in (trace.spans if trace is not None else ()):
+                if stage_span.name in ("resolve", "build_batch", "estimate"):
+                    obs.stage_seconds.labels(
+                        service="plain", stage=stage_span.name
+                    ).observe(stage_span.seconds)
+            obs.tiles.labels(service="plain", outcome="answered").inc(rows * cols)
+        return BrowseResult(
+            region=region, relation=relation, counts=counts, telemetry=trace
+        )

@@ -74,6 +74,45 @@ def build_parser() -> argparse.ArgumentParser:
     browse.add_argument(
         "--relation", choices=sorted(RELATION_FIELDS), default="overlap"
     )
+
+    stats = sub.add_parser(
+        "stats",
+        help="browse through the resilient service and print its telemetry",
+    )
+    stats.add_argument("histogram", help="histogram .npz path")
+    stats.add_argument(
+        "--region",
+        type=float,
+        nargs=4,
+        required=True,
+        metavar=("X_LO", "X_HI", "Y_LO", "Y_HI"),
+        help="world-coordinate region (must be grid-aligned)",
+    )
+    stats.add_argument("--rows", type=int, required=True)
+    stats.add_argument("--cols", type=int, required=True)
+    stats.add_argument(
+        "--relation", choices=sorted(RELATION_FIELDS), default="overlap"
+    )
+    stats.add_argument(
+        "--deadline", type=float, default=None, help="per-request budget in seconds"
+    )
+    stats.add_argument(
+        "--chunk-rows", type=int, default=4, help="raster rows answered per chunk"
+    )
+    stats.add_argument(
+        "--format",
+        choices=("text", "prom", "json"),
+        default="text",
+        help="metrics snapshot format (default: human-readable text)",
+    )
+    stats.add_argument(
+        "--trace", action="store_true", help="also print the request's span tree"
+    )
+    stats.add_argument(
+        "--dataset",
+        default=None,
+        help="dataset .npz path; enables the exact-truth accuracy probe",
+    )
     return parser
 
 
@@ -141,11 +180,86 @@ def _cmd_browse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.browse.resilience import ResilientBrowsingService
+    from repro.errors import BrowseError
+    from repro.exact.evaluator import ExactEvaluator
+    from repro.obs import (
+        AccuracyProbe,
+        BrowseInstrumentation,
+        set_default_registry,
+        to_json,
+        to_prometheus_text,
+        to_text,
+    )
+
+    if args.chunk_rows < 1:
+        print("error: --chunk-rows must be positive", file=sys.stderr)
+        return 2
+    instruments = BrowseInstrumentation()
+    # Route the persistence layer's load/verify counters into the same
+    # registry the services record into, so the snapshot shows the whole
+    # request path; restored before returning.
+    previous = set_default_registry(instruments.registry)
+    try:
+        try:
+            histogram = EulerHistogram.load(args.histogram)
+        except SummaryCorruptError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.dataset is not None:
+            try:
+                data = RectDataset.load(args.dataset)
+            except SummaryCorruptError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            instruments.accuracy = AccuracyProbe(
+                ExactEvaluator(data, histogram.grid), instruments.registry
+            )
+        service = ResilientBrowsingService(
+            [SEulerApprox(histogram)],
+            histogram.grid,
+            chunk_rows=args.chunk_rows,
+            instruments=instruments,
+        )
+        region = Rect(args.region[0], args.region[1], args.region[2], args.region[3])
+        try:
+            result = service.browse(
+                region,
+                rows=args.rows,
+                cols=args.cols,
+                relation=args.relation,
+                deadline=args.deadline,
+            )
+        except BrowseError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(result.render_ascii(width=7))
+        print(
+            f"# {args.relation} counts, {args.rows}x{args.cols} tiles, "
+            f"{100 * result.valid_fraction:.0f}% answered ({service.estimator_name})"
+        )
+        if args.trace and result.telemetry is not None:
+            print()
+            print(result.telemetry.render())
+        print()
+        if args.format == "prom":
+            print(to_prometheus_text(instruments.registry), end="")
+        elif args.format == "json":
+            print(to_json(instruments.registry))
+        else:
+            print(to_text(instruments.registry))
+        return 0
+    finally:
+        set_default_registry(previous)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "describe": _cmd_describe,
     "build": _cmd_build,
     "browse": _cmd_browse,
+    "stats": _cmd_stats,
 }
 
 

@@ -178,6 +178,7 @@ class RectDataset:
                 "extent": np.array(self.extent.as_tuple(), dtype=np.float64),
                 "name": np.array(self.name),
             },
+            kind="rect dataset",
         )
 
     @classmethod

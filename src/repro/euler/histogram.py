@@ -41,6 +41,7 @@ from repro.geometry.snapping import snap_rect, snap_rects
 from repro.grid.grid import Grid
 from repro.grid.lattice import lattice_sign_matrix
 from repro.grid.tiles_math import TileQuery, TileQueryBatch
+from repro.obs.instruments import record_persistence_event
 from repro.persistence import load_verified_npz, save_verified_npz
 
 __all__ = ["EulerHistogram", "EulerHistogramBuilder", "BatchRegionSums"]
@@ -319,23 +320,31 @@ class EulerHistogram(BatchRegionSums):
         exactly 1.  Raises :class:`~repro.errors.SummaryCorruptError` on
         any violation -- a flipped bucket almost always breaks the corner
         sum even without a checksum.
+
+        Outcomes are recorded as ``repro_persistence_ops_total{op="verify"}``
+        when a default observability registry is installed.
         """
-        expected = self._grid.lattice_shape
-        if self._buckets.shape != expected:
-            raise SummaryCorruptError(
-                f"bucket array shape {self._buckets.shape} does not match lattice {expected}"
-            )
-        if not np.issubdtype(self._buckets.dtype, np.integer):
-            raise SummaryCorruptError(
-                f"bucket array must hold integers, got dtype {self._buckets.dtype}"
-            )
-        if self._num_objects < 0:
-            raise SummaryCorruptError(f"negative object count {self._num_objects}")
-        if self.total_sum != self._num_objects:
-            raise SummaryCorruptError(
-                f"corner-bucket sum {self.total_sum} does not equal the object "
-                f"count {self._num_objects}; the bucket array is corrupt"
-            )
+        try:
+            expected = self._grid.lattice_shape
+            if self._buckets.shape != expected:
+                raise SummaryCorruptError(
+                    f"bucket array shape {self._buckets.shape} does not match lattice {expected}"
+                )
+            if not np.issubdtype(self._buckets.dtype, np.integer):
+                raise SummaryCorruptError(
+                    f"bucket array must hold integers, got dtype {self._buckets.dtype}"
+                )
+            if self._num_objects < 0:
+                raise SummaryCorruptError(f"negative object count {self._num_objects}")
+            if self.total_sum != self._num_objects:
+                raise SummaryCorruptError(
+                    f"corner-bucket sum {self.total_sum} does not equal the object "
+                    f"count {self._num_objects}; the bucket array is corrupt"
+                )
+        except SummaryCorruptError:
+            record_persistence_event("Euler histogram", "verify", "invariant_violation")
+            raise
+        record_persistence_event("Euler histogram", "verify", "ok")
         return self
 
     def save(self, path) -> None:
@@ -351,6 +360,7 @@ class EulerHistogram(BatchRegionSums):
                 "cells": np.array([self._grid.n1, self._grid.n2], dtype=np.int64),
                 "num_objects": np.int64(self._num_objects),
             },
+            kind="Euler histogram",
         )
 
     @classmethod

@@ -34,6 +34,7 @@ from repro.geometry.rect import Rect
 from repro.geometry.snapping import LatticeSpan, snap_rect
 from repro.grid.grid import Grid
 from repro.grid.tiles_math import TileQuery
+from repro.obs.instruments import record_persistence_event
 
 __all__ = ["MaintainedEulerHistogram"]
 
@@ -225,23 +226,28 @@ class MaintainedEulerHistogram(BatchRegionSums):
         validates post-merge consistency.  Raises
         :class:`~repro.errors.SummaryCorruptError` on any violation.
         """
-        self._base.verify()
-        weight_sum = sum(weight for _, weight in self._pending)
-        if weight_sum != self._pending_objects:
-            raise SummaryCorruptError(
-                f"pending weights sum to {weight_sum} but the pending object "
-                f"count is {self._pending_objects}"
-            )
-        if self._builder.num_objects != self.num_objects:
-            raise SummaryCorruptError(
-                f"shadow builder holds {self._builder.num_objects} objects but "
-                f"the maintained count is {self.num_objects}"
-            )
-        shape = self._grid.lattice_shape
-        full_sum = self.lattice_range_sum(0, shape[0] - 1, 0, shape[1] - 1)
-        if full_sum != self.num_objects:
-            raise SummaryCorruptError(
-                f"full-lattice sum {full_sum} (base + pending deltas) does not "
-                f"equal the object count {self.num_objects}"
-            )
+        try:
+            self._base.verify()
+            weight_sum = sum(weight for _, weight in self._pending)
+            if weight_sum != self._pending_objects:
+                raise SummaryCorruptError(
+                    f"pending weights sum to {weight_sum} but the pending object "
+                    f"count is {self._pending_objects}"
+                )
+            if self._builder.num_objects != self.num_objects:
+                raise SummaryCorruptError(
+                    f"shadow builder holds {self._builder.num_objects} objects but "
+                    f"the maintained count is {self.num_objects}"
+                )
+            shape = self._grid.lattice_shape
+            full_sum = self.lattice_range_sum(0, shape[0] - 1, 0, shape[1] - 1)
+            if full_sum != self.num_objects:
+                raise SummaryCorruptError(
+                    f"full-lattice sum {full_sum} (base + pending deltas) does not "
+                    f"equal the object count {self.num_objects}"
+                )
+        except SummaryCorruptError:
+            record_persistence_event("maintained Euler histogram", "verify", "invariant_violation")
+            raise
+        record_persistence_event("maintained Euler histogram", "verify", "ok")
         return self

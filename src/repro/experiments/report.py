@@ -36,8 +36,14 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
 
 
 def _pct(value: float) -> str:
-    if value != value or value == float("inf"):  # NaN / inf guards
-        return "inf"
+    # Zero-truth query sets legitimately produce an infinite ARE (see
+    # average_relative_error); render it as "inf" rather than crashing or
+    # printing "inf%".  NaN should not reach here (the metrics validate
+    # their inputs) but must never silently masquerade as a percentage.
+    if value != value:
+        return "nan"
+    if value == float("inf") or value == float("-inf"):
+        return "inf" if value > 0 else "-inf"
     return f"{100.0 * value:.2f}%"
 
 

@@ -2,6 +2,7 @@
 
 from repro.metrics.errors import (
     average_relative_error,
+    error_quantiles,
     per_query_errors,
     scatter_points,
 )
@@ -9,6 +10,7 @@ from repro.metrics.timing import Timer, time_query_batch
 
 __all__ = [
     "average_relative_error",
+    "error_quantiles",
     "per_query_errors",
     "scatter_points",
     "Timer",

@@ -26,18 +26,40 @@ __all__ = [
 ]
 
 
+def _validated_pair(exact: np.ndarray, estimated: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce, shape-check and finiteness-check a (truth, estimate) pair.
+
+    Non-finite inputs poison every downstream aggregate (a single NaN tile
+    turns an ARE into NaN and a quantile table into garbage), so they are
+    rejected here with a message naming the cure: partially answered
+    rasters carry NaN in their unanswered tiles and must be masked with
+    ``BrowseResult.valid`` before scoring.
+    """
+    exact = np.asarray(exact, dtype=np.float64)
+    estimated = np.asarray(estimated, dtype=np.float64)
+    if exact.shape != estimated.shape:
+        raise ValueError("exact and estimated must have the same shape")
+    for label, arr in (("exact", exact), ("estimated", estimated)):
+        if arr.size and not np.isfinite(arr).all():
+            bad = int(np.count_nonzero(~np.isfinite(arr)))
+            raise ValueError(
+                f"{label} contains {bad} non-finite value(s); accuracy metrics "
+                "require finite inputs -- mask unanswered tiles (e.g. with "
+                "BrowseResult.valid) before scoring"
+            )
+    return exact, estimated
+
+
 def average_relative_error(exact: np.ndarray, estimated: np.ndarray) -> float:
     """ARE of one query set: ``sum |r - e| / sum r``.
 
     When the query set's total truth is zero the ARE is defined as 0 if the
     estimates are also all exact (zero absolute error) and ``inf``
     otherwise -- the natural continuous extension, and what keeps the
-    ``sz_skew`` ``N_o`` curve plottable (truth can be tiny).
+    ``sz_skew`` ``N_o`` curve plottable (truth can be tiny).  Non-finite
+    inputs raise :class:`ValueError` rather than silently propagating NaN.
     """
-    exact = np.asarray(exact, dtype=np.float64)
-    estimated = np.asarray(estimated, dtype=np.float64)
-    if exact.shape != estimated.shape:
-        raise ValueError("exact and estimated must have the same shape")
+    exact, estimated = _validated_pair(exact, estimated)
     abs_err = float(np.abs(exact - estimated).sum())
     truth = float(exact.sum())
     if truth == 0.0:
@@ -48,10 +70,7 @@ def average_relative_error(exact: np.ndarray, estimated: np.ndarray) -> float:
 def per_query_errors(exact: np.ndarray, estimated: np.ndarray) -> np.ndarray:
     """Per-query absolute errors ``|r_i - e_i|`` (the drill-down behind an
     ARE figure)."""
-    exact = np.asarray(exact, dtype=np.float64)
-    estimated = np.asarray(estimated, dtype=np.float64)
-    if exact.shape != estimated.shape:
-        raise ValueError("exact and estimated must have the same shape")
+    exact, estimated = _validated_pair(exact, estimated)
     return np.abs(exact - estimated)
 
 
@@ -86,10 +105,9 @@ def scatter_points(
     correctly estimated so -- is removed, matching how the paper's scatter
     plots read.
     """
-    exact = np.asarray(exact, dtype=np.float64).ravel()
-    estimated = np.asarray(estimated, dtype=np.float64).ravel()
-    if exact.shape != estimated.shape:
-        raise ValueError("exact and estimated must have the same shape")
+    exact, estimated = _validated_pair(exact, estimated)
+    exact = exact.ravel()
+    estimated = estimated.ravel()
     points = zip(exact.tolist(), estimated.tolist())
     if drop_zero_truth:
         return [(r, e) for r, e in points if r != 0.0 or e != 0.0]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -15,6 +16,12 @@ __all__ = ["Timer", "time_query_batch"]
 class Timer:
     """A context-manager stopwatch.
 
+    Sequential reuse restarts the measurement (``elapsed`` holds the most
+    recent interval); *nested* re-entry of a running timer is an error --
+    it used to silently clobber the outer measurement's start, so now it
+    raises :class:`RuntimeError` instead.  Nest a fresh ``Timer`` when an
+    inner interval is wanted.
+
     >>> with Timer() as t:
     ...     _ = sum(range(1000))
     >>> t.elapsed > 0
@@ -22,14 +29,25 @@ class Timer:
     """
 
     elapsed: float = field(default=0.0)
-    _start: float = field(default=0.0, repr=False)
+    _start: float | None = field(default=None, repr=False)
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently inside a ``with`` block."""
+        return self._start is not None
 
     def __enter__(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError(
+                "Timer is already running; nested re-entry would overwrite the "
+                "outer measurement -- use a fresh Timer for inner intervals"
+            )
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.elapsed = time.perf_counter() - self._start
+        self._start = None
 
 
 def time_query_batch(
@@ -37,16 +55,31 @@ def time_query_batch(
     queries: Sequence[TileQuery],
     *,
     repeats: int = 1,
+    on_error: str = "raise",
 ) -> float:
     """Best-of-``repeats`` wall-clock seconds to run ``estimate`` over the
     whole query set -- the paper's Figure 19 measurement (time per query
-    *set*, not per query)."""
+    *set*, not per query).
+
+    Failure mode is explicit, never a silent ``inf``: when ``estimate``
+    raises, the exception propagates with ``on_error="raise"`` (the
+    default), or the function returns ``nan`` with ``on_error="nan"``
+    (for sweeps that should keep timing the other estimators).  A
+    successful run always returns a finite non-negative number.
+    """
     if repeats < 1:
         raise ValueError("repeats must be positive")
-    best = float("inf")
+    if on_error not in ("raise", "nan"):
+        raise ValueError(f"on_error must be 'raise' or 'nan', got {on_error!r}")
+    best = math.inf
     for _ in range(repeats):
-        with Timer() as t:
-            for q in queries:
-                estimate(q)
+        try:
+            with Timer() as t:
+                for q in queries:
+                    estimate(q)
+        except Exception:
+            if on_error == "raise":
+                raise
+            return math.nan
         best = min(best, t.elapsed)
     return best

@@ -1,0 +1,150 @@
+"""Accuracy telemetry: sampled ``|r - e|`` against the exact evaluator.
+
+The paper's quality metric (ARE, Section 6.1.3) is normally computed
+offline over a whole query set.  In a serving deployment the estimator's
+drift matters *over time*: an :class:`AccuracyProbe` owns an
+:class:`~repro.exact.evaluator.ExactEvaluator` (or anything speaking the
+estimator protocol as ground truth), samples K answered tiles from each
+raster it observes, and feeds the observed absolute errors into the
+registry.  Because ARE is a ratio of two sums, the probe exports the
+numerator and denominator as separate counters --
+
+- ``repro_accuracy_error_sum_total{relation}``: running ``sum |r - e|``
+- ``repro_accuracy_truth_sum_total{relation}``: running ``sum r``
+- ``repro_accuracy_abs_error{relation}``: the per-tile error distribution
+- ``repro_accuracy_samples_total{relation}``: tiles sampled
+
+-- so ARE-over-any-window is queryable downstream (``rate(error_sum) /
+rate(truth_sum)`` in Prometheus terms) without the exporter ever having
+to emit an ``inf`` ratio for a zero-truth window.  A running ARE gauge
+(``repro_accuracy_running_are``) is maintained only while the summed
+truth is positive, for humans reading a snapshot.
+
+NaN tiles of partial rasters are excluded before sampling -- the probe
+measures estimator drift, not deadline behaviour (the NaN-tile counters
+in :class:`~repro.obs.instruments.BrowseInstrumentation` cover that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.browse.service import RELATION_FIELDS, BrowseResult
+from repro.obs.registry import MetricsRegistry
+from repro.workloads.tiles import browsing_tile_batch
+
+__all__ = ["AccuracyProbe"]
+
+#: Absolute-error buckets: exact tiles land in the 0 bucket, then roughly
+#: doubling count errors up to "hundreds of objects off".
+_ERROR_BUCKETS = (0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0)
+
+
+class AccuracyProbe:
+    """Samples rasters against ground truth and records the error mass.
+
+    Parameters
+    ----------
+    exact:
+        The ground-truth evaluator; must speak ``estimate_batch`` over
+        the same grid the observed rasters were answered on.
+    registry:
+        Where the accuracy families are declared.
+    sample_size:
+        Tiles sampled per raster (fewer when the raster has fewer
+        answered tiles).  Keeps the exact evaluator's O(M)-per-query
+        price a bounded per-request tax.
+    seed:
+        Seed of the probe's own RNG -- sampling is deterministic given
+        the seed and the observation sequence.
+    """
+
+    def __init__(
+        self,
+        exact,
+        registry: MetricsRegistry,
+        *,
+        sample_size: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if sample_size < 1:
+            raise ValueError("sample_size must be at least 1")
+        self._exact = exact
+        self._sample_size = sample_size
+        self._rng = np.random.default_rng(seed)
+        self.registry = registry
+        self._abs_error = registry.histogram(
+            "repro_accuracy_abs_error",
+            help="Sampled per-tile absolute error |r - e|",
+            labels=("relation",),
+            buckets=_ERROR_BUCKETS,
+        )
+        self._error_sum = registry.counter(
+            "repro_accuracy_error_sum_total",
+            help="Running sum of sampled |r - e| (ARE numerator)",
+            labels=("relation",),
+        )
+        self._truth_sum = registry.counter(
+            "repro_accuracy_truth_sum_total",
+            help="Running sum of sampled exact counts (ARE denominator)",
+            labels=("relation",),
+        )
+        self._samples = registry.counter(
+            "repro_accuracy_samples_total",
+            help="Tiles sampled for accuracy telemetry",
+            labels=("relation",),
+        )
+        self._running_are = registry.gauge(
+            "repro_accuracy_running_are",
+            help="error_sum / truth_sum over the probe's lifetime (only "
+            "set while the summed truth is positive)",
+            labels=("relation",),
+        )
+
+    def observe(self, result: BrowseResult, *, trace=None) -> int:
+        """Sample one raster; returns the number of tiles scored.
+
+        Unanswered (NaN) tiles are excluded.  When a trace is given, the
+        probe's work is recorded as an ``accuracy_probe`` span.
+        """
+        if trace is not None:
+            with trace.span("accuracy_probe"):
+                return self._observe(result, trace)
+        return self._observe(result, None)
+
+    def _observe(self, result: BrowseResult, trace) -> int:
+        relation = result.relation
+        field_name = RELATION_FIELDS[relation]
+        flat_counts = np.asarray(result.counts, dtype=np.float64).ravel()
+        answered = np.flatnonzero(np.isfinite(flat_counts))
+        if answered.size == 0:
+            return 0
+        k = min(self._sample_size, int(answered.size))
+        chosen = np.sort(self._rng.choice(answered, size=k, replace=False))
+
+        batch = browsing_tile_batch(result.region, result.rows, result.cols)
+        sample = type(batch)(
+            batch.qx_lo[chosen], batch.qx_hi[chosen],
+            batch.qy_lo[chosen], batch.qy_hi[chosen],
+        )
+        truth = np.asarray(
+            getattr(self._exact.estimate_batch(sample), field_name), dtype=np.float64
+        )
+        errors = np.abs(truth - flat_counts[chosen])
+
+        labelled = dict(relation=relation)
+        abs_error = self._abs_error.labels(**labelled)
+        for err in errors:
+            abs_error.observe(float(err))
+        error_sum = self._error_sum.labels(**labelled)
+        truth_sum = self._truth_sum.labels(**labelled)
+        error_sum.inc(float(errors.sum()))
+        truth_sum.inc(float(truth.sum()))
+        self._samples.labels(**labelled).inc(k)
+        total_truth = truth_sum.value
+        if total_truth > 0.0:
+            self._running_are.labels(**labelled).set(error_sum.value / total_truth)
+        if trace is not None:
+            trace.annotate("tiles_sampled", k)
+            trace.annotate("relation", relation)
+        return k

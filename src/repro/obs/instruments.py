@@ -1,0 +1,206 @@
+"""The serving stack's pre-wired metric families.
+
+:class:`BrowseInstrumentation` is the bundle both browsing services, the
+fallback chain and the circuit breakers record into: one registry, every
+family declared once up front (so the hot path never re-validates metric
+names), plus a trace factory on the same clock.  Passing one instance to
+:class:`~repro.browse.service.GeoBrowsingService` or
+:class:`~repro.browse.resilience.ResilientBrowsingService` turns the
+whole stack observable; passing nothing keeps the uninstrumented fast
+path literally free (a ``None`` check per call site).
+
+Exported metric names (see DESIGN.md section 11 for the full reference):
+
+=====================================================  =========  ==========================
+name                                                   type       labels
+=====================================================  =========  ==========================
+``repro_browse_requests_total``                        counter    service, relation
+``repro_browse_request_seconds``                       histogram  service
+``repro_browse_stage_seconds``                         histogram  service, stage
+``repro_browse_tiles_total``                           counter    service, outcome
+``repro_browse_deadline_margin_seconds``               gauge      service
+``repro_browse_deadline_expirations_total``            counter    service
+``repro_browse_fallback_depth``                        histogram  --
+``repro_tier_attempts_total``                          counter    tier
+``repro_tier_retries_total``                           counter    tier
+``repro_tier_successes_total``                         counter    tier
+``repro_tier_failures_total``                          counter    tier, reason
+``repro_tier_skips_total``                             counter    tier
+``repro_tier_attempt_seconds``                         histogram  tier
+``repro_breaker_transitions_total``                    counter    tier, from_state, to_state
+``repro_persistence_ops_total``                        counter    kind, op, outcome
+=====================================================  =========  ==========================
+
+:func:`record_persistence_event` is the hook the persistence layer and
+the summary ``verify()`` methods call; it records into the process
+default registry (:func:`~repro.obs.registry.set_default_registry`) and
+is a no-op when none is installed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_default_registry,
+)
+from repro.obs.trace import RequestTrace
+
+__all__ = ["BrowseInstrumentation", "classify_failure", "record_persistence_event"]
+
+#: Buckets for the fallback-depth histogram: tier index that answered.
+_DEPTH_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Bucket an estimator failure for the ``reason`` label.
+
+    ``timeout`` for attempt-budget overruns, ``bad_output`` for answers
+    rejected by validation (wrong shape, non-finite counts), ``error``
+    for everything else (exceptions out of the estimator itself).
+    """
+    if isinstance(exc, TimeoutError):
+        return "timeout"
+    if isinstance(exc, ValueError):
+        return "bad_output"
+    return "error"
+
+
+class BrowseInstrumentation:
+    """One registry plus the serving stack's declared metric families.
+
+    Parameters
+    ----------
+    registry:
+        The registry to record into; a fresh one is created when omitted.
+    clock:
+        Monotonic seconds for traces and stage timings; defaults to the
+        registry's clock so metrics and spans share a timeline.
+    accuracy:
+        An optional :class:`~repro.obs.accuracy.AccuracyProbe`; when set,
+        the resilient service feeds each answered raster through it.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        clock: Callable[[], float] | None = None,
+        accuracy=None,
+    ) -> None:
+        if registry is None:
+            registry = MetricsRegistry(clock=clock if clock is not None else time.monotonic)
+        self.registry = registry
+        self.clock = clock if clock is not None else registry.clock
+        self.accuracy = accuracy
+
+        r = registry
+        self.requests = r.counter(
+            "repro_browse_requests_total",
+            help="Browse interactions served",
+            labels=("service", "relation"),
+        )
+        self.request_seconds = r.histogram(
+            "repro_browse_request_seconds",
+            help="End-to-end browse latency",
+            labels=("service",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.stage_seconds = r.histogram(
+            "repro_browse_stage_seconds",
+            help="Per-stage browse latency (resolve, build_batch, estimate, chunk)",
+            labels=("service", "stage"),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.tiles = r.counter(
+            "repro_browse_tiles_total",
+            help="Raster tiles by outcome (answered vs left NaN)",
+            labels=("service", "outcome"),
+        )
+        self.deadline_margin = r.gauge(
+            "repro_browse_deadline_margin_seconds",
+            help="Budget minus elapsed at the end of the last deadlined request",
+            labels=("service",),
+        )
+        self.deadline_expirations = r.counter(
+            "repro_browse_deadline_expirations_total",
+            help="Requests whose deadline expired before the raster completed",
+            labels=("service",),
+        )
+        self.fallback_depth = r.histogram(
+            "repro_browse_fallback_depth",
+            help="Tier index that answered each chunk (0 = primary)",
+            buckets=_DEPTH_BUCKETS,
+        )
+        self.tier_attempts = r.counter(
+            "repro_tier_attempts_total",
+            help="Chunk attempts routed to a tier, retries included",
+            labels=("tier",),
+        )
+        self.tier_retries = r.counter(
+            "repro_tier_retries_total",
+            help="Attempts that were retries of a failed attempt",
+            labels=("tier",),
+        )
+        self.tier_successes = r.counter(
+            "repro_tier_successes_total",
+            help="Chunks a tier answered",
+            labels=("tier",),
+        )
+        self.tier_failures = r.counter(
+            "repro_tier_failures_total",
+            help="Failed tier attempts, by failure reason",
+            labels=("tier", "reason"),
+        )
+        self.tier_skips = r.counter(
+            "repro_tier_skips_total",
+            help="Chunks that skipped a tier because its breaker was open",
+            labels=("tier",),
+        )
+        self.tier_seconds = r.histogram(
+            "repro_tier_attempt_seconds",
+            help="Per-attempt tier latency",
+            labels=("tier",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.breaker_transitions = r.counter(
+            "repro_breaker_transitions_total",
+            help="Circuit breaker state transitions",
+            labels=("tier", "from_state", "to_state"),
+        )
+
+    def new_trace(self) -> RequestTrace:
+        """A fresh trace on the instrumentation clock."""
+        return RequestTrace(clock=self.clock)
+
+    def breaker_hook(self, tier_name: str) -> Callable[[str, str], None]:
+        """An ``on_transition`` callback wired to the transition counter."""
+
+        def hook(old_state: str, new_state: str) -> None:
+            self.breaker_transitions.labels(
+                tier=tier_name, from_state=old_state, to_state=new_state
+            ).inc()
+
+        return hook
+
+
+def record_persistence_event(kind: str, op: str, outcome: str) -> None:
+    """Count one persistence-layer operation into the default registry.
+
+    ``kind`` names the summary type ("Euler histogram", "rect dataset"),
+    ``op`` the operation (``load``/``save``/``verify``) and ``outcome``
+    what happened (``ok``, ``corrupt``, ``missing_key``,
+    ``checksum_mismatch``, ``invariant_violation`` ...).  No-op unless a
+    default registry is installed.
+    """
+    registry = get_default_registry()
+    if registry is None:
+        return
+    registry.counter(
+        "repro_persistence_ops_total",
+        help="Summary persistence operations by kind, op and outcome",
+        labels=("kind", "op", "outcome"),
+    ).labels(kind=kind, op=op, outcome=outcome).inc()

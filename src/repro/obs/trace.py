@@ -1,0 +1,163 @@
+"""Per-request span recording for the browsing stack.
+
+A :class:`RequestTrace` is a lightweight in-process tracer: the serving
+code wraps each stage of one ``browse`` call -- request resolution,
+batch building, each chunk, each estimator attempt -- in a
+:meth:`~RequestTrace.span` context manager, and the finished trace hangs
+off the result as ``BrowseResult.telemetry``.  That is how "why was this
+raster slow / partial?" becomes answerable from the object in hand
+instead of from print statements.
+
+Spans nest: the recorder keeps a per-thread stack, so a span opened
+while another is active becomes its child and ``depth``/``parent`` make
+the tree reconstructable.  Spans are recorded in *start order*, which is
+also the order :meth:`~RequestTrace.render` prints.  The clock is
+injectable, like everywhere else in the serving stack, so tests assert
+exact durations.
+
+Failure is recorded, not swallowed: a span whose body raises is closed
+with an ``error`` attribute naming the exception type, and the exception
+propagates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = ["RequestTrace", "Span"]
+
+Clock = Callable[[], float]
+
+
+@dataclass
+class Span:
+    """One recorded stage of a request."""
+
+    name: str
+    #: Position in start order (0-based); doubles as the span id.
+    index: int
+    #: Start-order index of the enclosing span, ``None`` for roots.
+    parent: int | None
+    #: Nesting depth (0 for roots).
+    depth: int
+    #: Start/end on the trace clock; ``end`` is ``None`` while open.
+    start: float
+    end: float | None = None
+    #: Free-form annotations (``relation``, ``tier``, ``error`` ...).
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """The span's duration (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+
+class RequestTrace:
+    """Records one request's spans; safe to share across threads."""
+
+    def __init__(self, *, clock: Clock = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._local = threading.local()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a span around a ``with`` body.
+
+        The span closes when the body exits; if the body raises, the
+        span is annotated with ``error=<ExceptionType>`` and the
+        exception propagates.
+        """
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span = Span(
+                name=name,
+                index=len(self._spans),
+                parent=None if parent is None else parent.index,
+                depth=0 if parent is None else parent.depth + 1,
+                start=self._clock(),
+                attrs=dict(attrs),
+            )
+            self._spans.append(span)
+        stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            span.end = self._clock()
+            stack.pop()
+
+    def annotate(self, key: str, value: object) -> None:
+        """Attach ``key=value`` to the innermost open span.
+
+        Raises :class:`RuntimeError` when no span is open -- a silent
+        drop here would hide instrumentation bugs.
+        """
+        stack = self._stack()
+        if not stack:
+            raise RuntimeError("annotate() called with no open span")
+        stack[-1].attrs[key] = value
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """All spans recorded so far, in start order."""
+        with self._lock:
+            return tuple(self._spans)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall span of the whole trace (first start to last end)."""
+        spans = self.spans
+        if not spans:
+            return 0.0
+        ends = [s.end for s in spans if s.end is not None]
+        if not ends:
+            return 0.0
+        return max(ends) - min(s.start for s in spans)
+
+    def as_dict(self) -> dict:
+        """A JSON-safe structure of every span."""
+        return {
+            "total_seconds": self.total_seconds,
+            "spans": [
+                {
+                    "name": s.name,
+                    "index": s.index,
+                    "parent": s.parent,
+                    "depth": s.depth,
+                    "start": s.start,
+                    "end": s.end,
+                    "seconds": s.seconds,
+                    "attrs": {k: repr(v) if not isinstance(v, (int, float, str, bool, type(None))) else v
+                              for k, v in s.attrs.items()},
+                }
+                for s in self.spans
+            ],
+        }
+
+    def render(self) -> str:
+        """The span tree as indented text (start order, ms durations)."""
+        lines = []
+        for s in self.spans:
+            attrs = " ".join(f"{k}={v}" for k, v in s.attrs.items())
+            duration = "open" if s.end is None else f"{1e3 * s.seconds:.3f}ms"
+            lines.append(
+                "  " * s.depth + f"{s.name}  {duration}" + (f"  [{attrs}]" if attrs else "")
+            )
+        return "\n".join(lines)

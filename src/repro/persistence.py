@@ -16,6 +16,12 @@ Files written before checksumming existed (no ``checksum`` key) still
 load: they get the structural validation but skip CRC verification, so
 old shipped summaries keep working while every newly saved file is
 tamper-evident.
+
+Every save/load outcome is recorded into the observability layer's
+default registry when one is installed
+(:func:`repro.obs.set_default_registry`) as
+``repro_persistence_ops_total{kind, op, outcome}``; with no default
+registry the hooks are no-ops.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ import zlib
 import numpy as np
 
 from repro.errors import SummaryCorruptError
+from repro.obs.instruments import record_persistence_event
 
 __all__ = ["FORMAT_VERSION", "payload_checksum", "save_verified_npz", "load_verified_npz"]
 
@@ -56,7 +63,9 @@ def payload_checksum(arrays: dict[str, np.ndarray]) -> int:
     return crc
 
 
-def save_verified_npz(path: str | os.PathLike, arrays: dict[str, np.ndarray]) -> None:
+def save_verified_npz(
+    path: str | os.PathLike, arrays: dict[str, np.ndarray], *, kind: str = "summary"
+) -> None:
     """Persist ``arrays`` to compressed ``.npz`` with checksum envelope."""
     if _ENVELOPE_KEYS & arrays.keys():
         raise ValueError(f"payload keys may not shadow the envelope: {sorted(_ENVELOPE_KEYS)}")
@@ -66,6 +75,7 @@ def save_verified_npz(path: str | os.PathLike, arrays: dict[str, np.ndarray]) ->
         format_version=np.int64(FORMAT_VERSION),
         **arrays,
     )
+    record_persistence_event(kind, "save", "ok")
 
 
 def load_verified_npz(
@@ -82,9 +92,11 @@ def load_verified_npz(
         with np.load(path, allow_pickle=False) as data:
             payload = {key: data[key] for key in data.files}
     except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile, zlib.error) as exc:
+        record_persistence_event(kind, "load", "unreadable")
         raise SummaryCorruptError(f"{kind} file {path!s} is unreadable: {exc}") from exc
     missing = [key for key in required if key not in payload]
     if missing:
+        record_persistence_event(kind, "load", "missing_key")
         raise SummaryCorruptError(
             f"{kind} file {path!s} is missing required key(s) {missing}; "
             f"found {sorted(payload)}"
@@ -93,9 +105,11 @@ def load_verified_npz(
         stored = int(payload["checksum"])
         actual = payload_checksum(payload)
         if stored != actual:
+            record_persistence_event(kind, "load", "checksum_mismatch")
             raise SummaryCorruptError(
                 f"{kind} file {path!s} failed checksum verification "
                 f"(stored {stored:#010x}, computed {actual:#010x}); "
                 f"the file is corrupt or was modified after saving"
             )
+    record_persistence_event(kind, "load", "ok")
     return {key: value for key, value in payload.items() if key not in _ENVELOPE_KEYS}

@@ -111,6 +111,32 @@ class TestNanRendering:
         lines = result.render_ascii(width=3).splitlines()
         assert lines == ["  ?   4", "  1   ?"]
 
+    def test_narrow_width_stays_grid_aligned(self):
+        """Regression: a width smaller than the widest count used to
+        misalign columns; now every column expands to the widest cell."""
+        counts = np.array([[1.0, 12345.0], [7.0, 42.0]])
+        result = BrowseResult(
+            region=TileQuery(0, 2, 0, 2), relation="overlap", counts=counts
+        )
+        rendering = result.render_ascii(width=1)
+        assert rendering == "    7    42\n    1 12345"
+        lines = rendering.splitlines()
+        assert len(lines[0]) == len(lines[1])
+
+    def test_default_width_golden_string(self):
+        counts = np.array([[3.0, float("nan")], [100.0, 7.0]])
+        result = BrowseResult(
+            region=TileQuery(0, 2, 0, 2), relation="overlap", counts=counts
+        )
+        assert result.render_ascii() == " 100    7\n   3    ?"
+
+    def test_wide_minimum_width_pads_all_columns(self):
+        counts = np.array([[1.0, 2.0]])
+        result = BrowseResult(
+            region=TileQuery(0, 2, 0, 1), relation="overlap", counts=counts
+        )
+        assert result.render_ascii(width=6) == "     1      2"
+
     def test_all_nan_raster_renders(self):
         counts = np.full((2, 3), float("nan"))
         result = BrowseResult(

@@ -192,6 +192,87 @@ class TestCircuitBreaker:
         breaker.record_failure()  # single probe failure re-opens immediately
         assert breaker.state == "open" and not breaker.allows()
 
+    def test_trips_on_exactly_the_kth_failure(self):
+        """The K-th consecutive failure -- not K+1 -- opens the breaker."""
+        for threshold in (1, 2, 5):
+            breaker = CircuitBreaker(failure_threshold=threshold, clock=FakeClock())
+            for i in range(threshold - 1):
+                breaker.record_failure()
+                assert breaker.state == "closed", f"tripped early at failure {i + 1}"
+            breaker.record_failure()
+            assert breaker.state == "open"
+
+    def test_failed_probe_restarts_the_cooldown(self):
+        """Re-opening stamps a fresh opened_at: the next probe waits a
+        full cooldown from the probe failure, not from the original trip."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure()  # opens at t=0
+        clock.advance(10.0)
+        assert breaker.allows()  # probe admitted at t=10
+        breaker.record_failure()  # probe fails -> re-opened at t=10
+        clock.advance(9.9)  # t=19.9: only 9.9s since re-open
+        assert not breaker.allows()
+        clock.advance(0.1)  # t=20: full cooldown since re-open
+        assert breaker.allows()
+
+    def test_half_open_admits_exactly_one_probe(self):
+        """Only the admitting allows() call wins; until the probe's
+        outcome is recorded every other caller is rejected."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allows()  # the probe
+        assert not breaker.allows()  # concurrent caller: rejected
+        assert not breaker.allows()
+        breaker.record_success()
+        assert breaker.allows()  # closed again: normal traffic
+
+    def test_state_reads_do_not_admit_the_probe(self):
+        """Reading .state is pure -- only allows() may transition the
+        breaker to half-open (the chain relies on this mid-retry)."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        for _ in range(3):
+            assert breaker.state == "open"
+        assert breaker.allows()  # the probe is still available
+        assert breaker.state == "half_open"
+
+    def test_transition_hook_sees_every_state_change(self):
+        clock = FakeClock()
+        transitions = []
+        breaker = CircuitBreaker(
+            failure_threshold=2, cooldown=1.0, clock=clock,
+            on_transition=lambda old, new: transitions.append((old, new)),
+        )
+        breaker.record_failure()
+        breaker.record_failure()  # trip
+        clock.advance(1.0)
+        breaker.allows()  # admit the probe
+        breaker.record_failure()  # failed probe re-opens
+        clock.advance(1.0)
+        breaker.allows()
+        breaker.record_success()  # recovered
+        assert transitions == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+    def test_redundant_success_fires_no_transition(self):
+        transitions = []
+        breaker = CircuitBreaker(
+            clock=FakeClock(),
+            on_transition=lambda old, new: transitions.append((old, new)),
+        )
+        breaker.record_success()  # already closed: no-op transition
+        assert transitions == []
+
 
 class TestRetryPolicy:
     def test_deterministic_backoff(self):
@@ -292,6 +373,37 @@ class TestFallbackChain:
         result = service.browse(REGION, rows=4, cols=6)  # half-open probe succeeds
         assert service.chain.tiers[0].breaker.state == "closed"
         np.testing.assert_array_equal(result.counts, reference_counts(exact, grid))
+
+    def test_mid_chunk_trip_stops_retrying_the_tier(self, grid, exact, hist):
+        """Once a tier trips open mid-chunk, remaining retries are not
+        spent on it -- the chunk falls through immediately."""
+        primary = FaultyBatchEstimator(exact, FaultSchedule(script=("error",) * 10))
+        service = ResilientBrowsingService(
+            [primary, SEulerApprox(hist)], grid, chunk_rows=8,
+            failure_threshold=1, cooldown=60.0,
+            retry=RetryPolicy(attempts=3), clock=FakeClock(), sleep=lambda s: None,
+        )
+        result = service.browse(REGION, rows=4, cols=6)
+        assert result.is_complete
+        assert primary.calls == 1  # tripped on the first failure, never retried
+
+    def test_zero_cooldown_trip_does_not_burn_the_probe(self, grid, exact, hist):
+        """Regression: the mid-retry open check must not call allows() --
+        with a zero cooldown that would admit (and burn) the half-open
+        probe inside the same chunk's retry loop."""
+        primary = FaultyBatchEstimator(exact, FaultSchedule(script=("error", "error")))
+        service = ResilientBrowsingService(
+            [primary, SEulerApprox(hist)], grid, chunk_rows=2,
+            failure_threshold=1, cooldown=0.0,
+            retry=RetryPolicy(attempts=2), clock=FakeClock(), sleep=lambda s: None,
+        )
+        result = service.browse(REGION, rows=4, cols=6)
+        assert result.is_complete
+        # Exactly one attempt per chunk: the trip ends chunk 1's retries,
+        # and chunk 2 spends the single half-open probe (which fails and
+        # re-opens).  The buggy check produced a third call here.
+        assert primary.calls == 2
+        assert service.chain.tiers[0].successes == 0
 
     def test_timeout_overrun_counts_as_failure(self, grid, exact, hist):
         clock = FakeClock()

@@ -56,3 +56,50 @@ def test_estimate_tiling_shape(grid, rng):
     estimated = estimate_tiling(ExactEvaluator(data, grid), grid, 4)
     assert estimated.n_cs.shape == (3, 2)
     assert estimated.tile_size == 4
+
+
+def test_zero_truth_tiling_flows_through_report_and_csv(grid, tmp_path):
+    """Regression: an empty dataset (zero truth everywhere) with a
+    nonzero estimate yields an infinite ARE that must survive the whole
+    reporting path -- tiling_errors, the text table, and the CSV writer
+    -- without crashing or degrading to NaN."""
+    import csv
+    import math
+
+    from repro.datasets.base import RectDataset
+    from repro.experiments.export import write_error_curves_csv
+    from repro.experiments.figures import ErrorCurves
+    from repro.experiments.runner import EstimatedTiling
+    from repro.experiments.report import render_error_curves
+
+    empty = RectDataset.empty(grid.extent)
+    truth = exact_tiling_counts(empty, grid, 4, 4)
+    shape = truth.shape
+    # A (buggy or degraded) estimator that answers 1.0 everywhere.
+    estimated = EstimatedTiling(
+        tile_size=4,
+        n_d=np.ones(shape),
+        n_cs=np.ones(shape),
+        n_cd=np.ones(shape),
+        n_o=np.ones(shape),
+    )
+    errors = tiling_errors(truth, estimated)
+    assert all(e == float("inf") for e in errors.values())
+    assert not any(math.isnan(e) for e in errors.values())
+
+    curves = ErrorCurves(
+        figure="FX",
+        algorithm="Ones",
+        tile_sizes=(4,),
+        curves={"empty": {rel: {4: are} for rel, are in errors.items()}},
+    )
+    text = render_error_curves(curves)
+    assert "inf" in text and "nan" not in text
+
+    path = tmp_path / "curves.csv"
+    write_error_curves_csv(curves, path)
+    with path.open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 4
+    for row in rows:
+        assert float(row["are"]) == float("inf")

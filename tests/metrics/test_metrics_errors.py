@@ -89,3 +89,34 @@ class TestScatterPoints:
     def test_shape_mismatch(self):
         with pytest.raises(ValueError):
             scatter_points(np.zeros(2), np.zeros(3))
+
+
+class TestNonFiniteInputs:
+    """Non-finite inputs are rejected loudly, never propagated as NaN."""
+
+    def test_nan_truth_raises_with_masking_hint(self):
+        with pytest.raises(ValueError, match="BrowseResult.valid"):
+            average_relative_error(np.array([1.0, np.nan]), np.array([1.0, 2.0]))
+
+    def test_nan_estimate_raises(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            average_relative_error(np.array([1.0, 2.0]), np.array([np.nan, 2.0]))
+
+    def test_inf_estimate_raises(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            per_query_errors(np.array([1.0]), np.array([np.inf]))
+
+    def test_scatter_points_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            scatter_points(np.array([np.nan]), np.array([1.0]))
+
+    def test_error_message_counts_bad_values(self):
+        with pytest.raises(ValueError, match="2 non-finite"):
+            average_relative_error(
+                np.array([np.nan, 1.0, np.inf]), np.array([0.0, 1.0, 2.0])
+            )
+
+    def test_are_never_returns_nan(self):
+        # The documented zero-truth semantics stay: 0.0 or inf, never NaN.
+        assert average_relative_error(np.zeros(2), np.zeros(2)) == 0.0
+        assert average_relative_error(np.zeros(2), np.ones(2)) == float("inf")

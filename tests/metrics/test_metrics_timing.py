@@ -1,5 +1,7 @@
 """Tests for the timing helpers."""
 
+import math
+
 import pytest
 
 from repro.grid.tiles_math import TileQuery
@@ -43,3 +45,54 @@ def test_time_query_batch_takes_best_of_repeats():
 def test_time_query_batch_validates_repeats():
     with pytest.raises(ValueError):
         time_query_batch(lambda q: None, [], repeats=0)
+
+
+def test_timer_nested_reentry_raises():
+    """Regression: re-entering a running Timer used to silently clobber
+    the outer measurement's start; now it is an explicit error."""
+    t = Timer()
+    with t:
+        assert t.running
+        with pytest.raises(RuntimeError, match="already running"):
+            with t:
+                pass  # pragma: no cover - never reached
+    assert not t.running
+    assert t.elapsed >= 0.0
+
+
+def test_timer_running_flag_tracks_context():
+    t = Timer()
+    assert not t.running
+    with t:
+        assert t.running
+    assert not t.running
+
+
+def test_time_query_batch_raises_by_default():
+    """Regression: a raising estimator used to leave best=inf; the
+    failure mode is now explicit -- propagate by default."""
+    def boom(q):
+        raise RuntimeError("estimator down")
+
+    with pytest.raises(RuntimeError, match="estimator down"):
+        time_query_batch(boom, [TileQuery(0, 1, 0, 1)], repeats=3)
+
+
+def test_time_query_batch_on_error_nan():
+    def boom(q):
+        raise RuntimeError("estimator down")
+
+    result = time_query_batch(boom, [TileQuery(0, 1, 0, 1)], repeats=3, on_error="nan")
+    assert math.isnan(result)
+    assert not math.isinf(result)  # never the old silent inf
+
+
+def test_time_query_batch_validates_on_error():
+    with pytest.raises(ValueError, match="on_error"):
+        time_query_batch(lambda q: None, [], on_error="explode")
+
+
+def test_time_query_batch_success_is_finite():
+    queries = [TileQuery(0, 1, 0, 1)] * 3
+    result = time_query_batch(lambda q: None, queries, repeats=2, on_error="nan")
+    assert math.isfinite(result) and result >= 0.0

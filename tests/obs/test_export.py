@@ -1,0 +1,120 @@
+"""Tests for the Prometheus-text and JSON exporters and their parsers."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    parse_prometheus_text,
+    samples_from_json,
+    to_json,
+    to_json_dict,
+    to_prometheus_text,
+    to_text,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture
+def populated():
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_requests_total", help="Requests served", labels=("service",)
+    ).labels(service="resilient").inc(3)
+    registry.gauge("repro_margin_seconds", help="Deadline margin").set(-0.25)
+    h = registry.histogram("repro_latency_seconds", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 2.0):
+        h.observe(v)
+    return registry
+
+
+class TestPrometheusText:
+    def test_help_and_type_lines(self, populated):
+        text = to_prometheus_text(populated)
+        assert "# HELP repro_requests_total Requests served" in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert "# TYPE repro_latency_seconds histogram" in text
+
+    def test_counter_sample_line(self, populated):
+        assert 'repro_requests_total{service="resilient"} 3' in to_prometheus_text(populated)
+
+    def test_histogram_expands_to_cumulative_buckets(self, populated):
+        text = to_prometheus_text(populated)
+        assert 'repro_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_seconds_bucket{le="1"} 2' in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_latency_seconds_count 3" in text
+        assert "repro_latency_seconds_sum 2.55" in text
+
+    def test_negative_gauge(self, populated):
+        assert "repro_margin_seconds -0.25" in to_prometheus_text(populated)
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels=("k",)).labels(k='we"ird\\nv').inc()
+        text = to_prometheus_text(registry)
+        assert r'c_total{k="we\"ird\\nv"} 1' in text
+        # and the parser undoes the quoting enough to keep the key stable
+        assert len(parse_prometheus_text(text)) == 1
+
+    def test_empty_registry(self):
+        assert to_prometheus_text(MetricsRegistry()) == "\n"
+
+
+class TestJson:
+    def test_document_is_strict_json(self, populated):
+        document = to_json(populated)
+        parsed = json.loads(document)  # would raise on NaN/Infinity literals
+        assert {f["name"] for f in parsed["metrics"]} == {
+            "repro_requests_total",
+            "repro_margin_seconds",
+            "repro_latency_seconds",
+        }
+
+    def test_infinite_gauge_survives_strict_json(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(float("inf"))
+        registry.gauge("h").set(float("-inf"))
+        document = to_json(registry)
+        json.loads(document)
+        samples = samples_from_json(document)
+        assert samples["g"] == float("inf")
+        assert samples["h"] == float("-inf")
+
+    def test_dict_form_matches_string_form(self, populated):
+        assert samples_from_json(to_json_dict(populated)) == samples_from_json(
+            to_json(populated)
+        )
+
+
+class TestRoundTripIdentity:
+    def test_prometheus_and_json_flatten_identically(self, populated):
+        """The acceptance criterion: both wire formats carry the same
+        sample map, verified mechanically."""
+        prom = parse_prometheus_text(to_prometheus_text(populated))
+        doc = samples_from_json(to_json(populated))
+        assert prom == doc
+        assert prom  # non-trivial
+
+    def test_identity_holds_with_many_label_combinations(self):
+        registry = MetricsRegistry()
+        c = registry.counter("ops_total", labels=("kind", "op", "outcome"))
+        for kind in ("a", "b"):
+            for op in ("load", "save"):
+                for outcome in ("ok", "corrupt"):
+                    c.labels(kind=kind, op=op, outcome=outcome).inc()
+        h = registry.histogram("err", labels=("relation",), buckets=(1.0, 10.0))
+        h.labels(relation="overlap").observe(5.0)
+        prom = parse_prometheus_text(to_prometheus_text(registry))
+        assert prom == samples_from_json(to_json(registry))
+        assert len(prom) == 8 + (3 + 2)  # 8 counters + 3 buckets + sum/count
+
+
+class TestHumanText:
+    def test_one_line_per_sample(self, populated):
+        text = to_text(populated)
+        assert 'repro_requests_total{service="resilient"}  3' in text
+        assert "repro_latency_seconds  count=3 sum=2.55 mean=0.85" in text
+
+    def test_empty_registry(self):
+        assert to_text(MetricsRegistry()) == ""

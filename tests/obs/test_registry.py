@@ -1,0 +1,206 @@
+"""Tests for the dependency-free metrics primitives."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_default_registry,
+    set_default_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        c = registry.counter("events_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self, registry):
+        c = registry.counter("events_total")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1.0)
+
+    def test_labelled_children_are_independent(self, registry):
+        c = registry.counter("tiles_total", labels=("outcome",))
+        c.labels(outcome="answered").inc(10)
+        c.labels(outcome="nan").inc(2)
+        assert c.labels(outcome="answered").value == 10.0
+        assert c.labels(outcome="nan").value == 2.0
+
+    def test_labelled_family_requires_labels_call(self, registry):
+        c = registry.counter("tiles_total", labels=("outcome",))
+        with pytest.raises(ValueError, match="labels"):
+            c.inc()
+
+    def test_wrong_label_names_rejected(self, registry):
+        c = registry.counter("tiles_total", labels=("outcome",))
+        with pytest.raises(ValueError):
+            c.labels(tier="x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("margin")
+        g.set(1.5)
+        g.inc(0.5)
+        g.dec(2.0)
+        assert g.value == 0.0
+
+    def test_can_go_negative(self, registry):
+        g = registry.gauge("margin")
+        g.dec(3.0)
+        assert g.value == -3.0
+
+
+class TestHistogram:
+    def test_bucketing_is_cumulative(self, registry):
+        h = registry.histogram("lat", buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.5, 1.5, 10.0):
+            h.observe(v)
+        child = h._sole_child()
+        assert child.cumulative_buckets() == [
+            (1.0, 1), (2.0, 3), (5.0, 3), (float("inf"), 4),
+        ]
+        assert h.count == 4
+        assert h.sum == 13.5
+
+    def test_boundary_value_lands_in_its_bucket(self, registry):
+        # le semantics: an observation equal to a bound counts under it.
+        h = registry.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h._sole_child().cumulative_buckets()[0] == (1.0, 1)
+
+    def test_rejects_nan_observation(self, registry):
+        h = registry.histogram("lat", buckets=(1.0,))
+        with pytest.raises(ValueError, match="NaN"):
+            h.observe(float("nan"))
+
+    def test_rejects_bad_bucket_specs(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("a", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("b", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("c", buckets=(1.0, float("inf")))
+
+    def test_default_buckets_are_the_latency_schedule(self, registry):
+        h = registry.histogram("lat")
+        assert h.buckets == DEFAULT_LATENCY_BUCKETS
+
+
+class TestRegistry:
+    def test_redeclaration_is_idempotent(self, registry):
+        a = registry.counter("x_total", labels=("k",))
+        b = registry.counter("x_total", labels=("k",))
+        assert a is b
+
+    def test_conflicting_redeclaration_raises(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("x_total", labels=("k",))
+
+    def test_histogram_bucket_conflict_raises(self, registry):
+        registry.histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("h", buckets=(1.0, 2.0))
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("1bad")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("ok", labels=("bad-label",))
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.counter("ok", labels=("a", "a"))
+
+    def test_iteration_is_name_sorted(self, registry):
+        registry.counter("zz")
+        registry.gauge("aa")
+        assert [f.name for f in registry] == ["aa", "zz"]
+
+    def test_collect_shape(self, registry):
+        registry.counter("c_total", help="help!", labels=("k",)).labels(k="v").inc()
+        (family,) = registry.collect()
+        assert family["name"] == "c_total"
+        assert family["type"] == "counter"
+        assert family["help"] == "help!"
+        assert family["samples"] == [{"labels": {"k": "v"}, "value": 1.0}]
+
+    def test_get(self, registry):
+        c = registry.counter("x")
+        assert registry.get("x") is c
+        assert registry.get("y") is None
+
+
+class TestDefaultRegistry:
+    def test_install_and_restore(self):
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
+        try:
+            assert get_default_registry() is registry
+        finally:
+            assert set_default_registry(previous) is registry
+        assert get_default_registry() is previous
+
+
+class TestConcurrency:
+    def test_concurrent_mutation_loses_nothing(self):
+        """Smoke test: hammer one registry from many threads; every
+        increment and observation must land."""
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", labels=("worker",))
+        shared = registry.counter("shared_total")
+        histogram = registry.histogram("work", buckets=(0.5, 1.5))
+        n_threads, n_iter = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def worker(idx: int) -> None:
+            barrier.wait()
+            mine = counter.labels(worker=str(idx))
+            for _ in range(n_iter):
+                mine.inc()
+                shared.inc()
+                histogram.observe(1.0)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert shared.value == n_threads * n_iter
+        for i in range(n_threads):
+            assert counter.labels(worker=str(i)).value == n_iter
+        assert histogram.count == n_threads * n_iter
+        assert histogram.sum == float(n_threads * n_iter)
+        # Every observation of 1.0 is cumulative under both finite bounds.
+        assert histogram._sole_child().cumulative_buckets()[-1][1] == n_threads * n_iter
+
+    def test_concurrent_declaration_yields_one_family(self):
+        registry = MetricsRegistry()
+        results = []
+        barrier = threading.Barrier(8)
+
+        def declare() -> None:
+            barrier.wait()
+            results.append(registry.counter("shared_total"))
+
+        threads = [threading.Thread(target=declare) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r is results[0] for r in results)

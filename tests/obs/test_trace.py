@@ -1,0 +1,160 @@
+"""Tests for the request-trace span recorder."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import RequestTrace
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def trace(clock):
+    return RequestTrace(clock=clock)
+
+
+class TestNesting:
+    def test_parent_depth_and_start_order(self, trace, clock):
+        with trace.span("browse"):
+            clock.advance(1.0)
+            with trace.span("resolve"):
+                clock.advance(0.5)
+            with trace.span("chunk"):
+                clock.advance(2.0)
+                with trace.span("attempt"):
+                    clock.advance(0.25)
+        names = [s.name for s in trace.spans]
+        assert names == ["browse", "resolve", "chunk", "attempt"]
+        browse, resolve, chunk, attempt = trace.spans
+        assert browse.parent is None and browse.depth == 0
+        assert resolve.parent == browse.index and resolve.depth == 1
+        assert chunk.parent == browse.index and chunk.depth == 1
+        assert attempt.parent == chunk.index and attempt.depth == 2
+
+    def test_exact_durations_on_fake_clock(self, trace, clock):
+        with trace.span("outer"):
+            clock.advance(1.0)
+            with trace.span("inner"):
+                clock.advance(0.5)
+            clock.advance(0.25)
+        outer, inner = trace.spans
+        assert outer.seconds == 1.75
+        assert inner.seconds == 0.5
+        assert trace.total_seconds == 1.75
+
+    def test_sequential_siblings_share_a_parent(self, trace):
+        with trace.span("root"):
+            with trace.span("a"):
+                pass
+            with trace.span("b"):
+                pass
+        root, a, b = trace.spans
+        assert a.parent == b.parent == root.index
+        assert a.depth == b.depth == 1
+
+    def test_open_span_reports_zero_seconds(self, trace, clock):
+        cm = trace.span("open")
+        cm.__enter__()
+        clock.advance(5.0)
+        (span,) = trace.spans
+        assert span.end is None and span.seconds == 0.0
+        cm.__exit__(None, None, None)
+        assert span.seconds == 5.0
+
+
+class TestAttrsAndErrors:
+    def test_attrs_recorded(self, trace):
+        with trace.span("browse", relation="overlap", rows=4):
+            pass
+        assert trace.spans[0].attrs == {"relation": "overlap", "rows": 4}
+
+    def test_annotate_targets_innermost_open_span(self, trace):
+        with trace.span("outer"):
+            with trace.span("inner"):
+                trace.annotate("tier", "Exact")
+            trace.annotate("valid", True)
+        outer, inner = trace.spans
+        assert inner.attrs == {"tier": "Exact"}
+        assert outer.attrs == {"valid": True}
+
+    def test_annotate_without_open_span_raises(self, trace):
+        with pytest.raises(RuntimeError, match="no open span"):
+            trace.annotate("k", 1)
+
+    def test_raising_body_closes_span_with_error_attr(self, trace, clock):
+        with pytest.raises(ValueError):
+            with trace.span("chunk"):
+                clock.advance(1.0)
+                raise ValueError("boom")
+        (span,) = trace.spans
+        assert span.attrs["error"] == "ValueError"
+        assert span.end is not None and span.seconds == 1.0
+
+    def test_stack_unwinds_after_error(self, trace):
+        with pytest.raises(RuntimeError):
+            with trace.span("a"):
+                raise RuntimeError
+        with trace.span("b"):
+            pass
+        assert trace.spans[1].parent is None  # "b" is a new root
+
+
+class TestRendering:
+    def test_render_tree(self, trace, clock):
+        with trace.span("browse", relation="overlap"):
+            clock.advance(0.002)
+            with trace.span("resolve"):
+                clock.advance(0.001)
+        assert trace.render() == (
+            "browse  3.000ms  [relation=overlap]\n"
+            "  resolve  1.000ms"
+        )
+
+    def test_as_dict_is_json_safe(self, trace):
+        import json
+
+        with trace.span("browse", weird=object()):
+            pass
+        document = json.dumps(trace.as_dict())
+        assert "browse" in document
+
+    def test_empty_trace(self, trace):
+        assert trace.spans == ()
+        assert trace.total_seconds == 0.0
+        assert trace.render() == ""
+
+
+class TestThreads:
+    def test_per_thread_stacks_keep_roots_separate(self, trace):
+        """Spans opened on another thread must not become children of
+        this thread's open span."""
+        ready = threading.Event()
+
+        def other() -> None:
+            with trace.span("other-root"):
+                pass
+            ready.set()
+
+        with trace.span("main-root"):
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        assert ready.is_set()
+        by_name = {s.name: s for s in trace.spans}
+        assert by_name["other-root"].parent is None
+        assert by_name["other-root"].depth == 0

@@ -114,3 +114,55 @@ class TestBrowse:
         out = capsys.readouterr().out
         values = [int(v) for line in out.splitlines() if not line.startswith("#") for v in line.split()]
         assert 0 < sum(values) <= 2000
+
+
+class TestStats:
+    ARGS = ["--region", "0", "360", "0", "180", "--rows", "3", "--cols", "6"]
+
+    def test_prints_raster_and_text_snapshot(self, hist_path, capsys):
+        assert main(["stats", str(hist_path), *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "100% answered" in out
+        assert "repro_browse_requests_total" in out
+        # the histogram load itself shows up via the default registry
+        assert 'repro_persistence_ops_total{kind="Euler histogram",op="load",outcome="ok"}' in out
+
+    def test_prometheus_format_parses(self, hist_path, capsys):
+        from repro.obs import parse_prometheus_text
+
+        assert main(["stats", str(hist_path), *self.ARGS, "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        metrics_text = out[out.index("# HELP"):]
+        samples = parse_prometheus_text(metrics_text)
+        assert samples['repro_browse_requests_total{relation="overlap",service="resilient"}'] == 1
+
+    def test_json_format_parses(self, hist_path, capsys):
+        import json
+
+        assert main(["stats", str(hist_path), *self.ARGS, "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out[out.index("{"):])
+        assert any(f["name"] == "repro_browse_requests_total" for f in document["metrics"])
+
+    def test_trace_flag_prints_span_tree(self, hist_path, capsys):
+        assert main(["stats", str(hist_path), *self.ARGS, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "browse  " in out and "resolve" in out
+
+    def test_dataset_enables_accuracy_probe(self, hist_path, data_path, capsys):
+        code = main(["stats", str(hist_path), *self.ARGS, "--dataset", str(data_path)])
+        assert code == 0
+        assert "repro_accuracy_samples_total" in capsys.readouterr().out
+
+    def test_default_registry_restored(self, hist_path):
+        from repro.obs import get_default_registry
+
+        before = get_default_registry()
+        main(["stats", str(hist_path), *self.ARGS])
+        assert get_default_registry() is before
+
+    def test_corrupt_histogram_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not a zip")
+        assert main(["stats", str(bad), *self.ARGS]) == 2
+        assert "unreadable" in capsys.readouterr().err
