@@ -35,7 +35,9 @@ from repro.browse import (
     GeoBrowsingService,
     ResilientBrowsingService,
     RetryPolicy,
+    ShardPool,
 )
+from repro.cache import CacheKey, TileResultCache
 from repro.datasets import (
     DATASET_NAMES,
     RectDataset,
@@ -172,6 +174,10 @@ __all__ = [
     "FallbackChain",
     "CircuitBreaker",
     "RetryPolicy",
+    # cache & sharding
+    "TileResultCache",
+    "CacheKey",
+    "ShardPool",
     "BrowseError",
     "InvalidRegionError",
     "DeadlineExceededError",

@@ -102,24 +102,34 @@ class MinskewHistogram:
 
     @staticmethod
     def _cell_statistics(dataset: RectDataset, grid: Grid):
-        """Per-cell center counts and summed object extents."""
-        density = np.zeros((grid.n1, grid.n2), dtype=np.float64)
-        width_sum = np.zeros_like(density)
-        height_sum = np.zeros_like(density)
-        if len(dataset):
-            cx = np.clip(
-                np.floor(grid.to_cell_units_x((dataset.x_lo + dataset.x_hi) / 2.0)),
-                0,
-                grid.n1 - 1,
-            ).astype(np.int64)
-            cy = np.clip(
-                np.floor(grid.to_cell_units_y((dataset.y_lo + dataset.y_hi) / 2.0)),
-                0,
-                grid.n2 - 1,
-            ).astype(np.int64)
-            np.add.at(density, (cx, cy), 1.0)
-            np.add.at(width_sum, (cx, cy), dataset.widths)
-            np.add.at(height_sum, (cx, cy), dataset.heights)
+        """Per-cell center counts and summed object extents.
+
+        Accumulated with :func:`np.bincount` over flattened cell indices
+        rather than ``np.add.at`` scatters -- bincount's single counting
+        pass is many times faster on large datasets, and pairwise
+        summation over each cell's contiguous run gives the same float64
+        results (the extents are exact binary fractions here, and
+        ordering differences are below double precision regardless).
+        """
+        shape = (grid.n1, grid.n2)
+        if not len(dataset):
+            density = np.zeros(shape, dtype=np.float64)
+            return density, np.zeros_like(density), np.zeros_like(density)
+        cx = np.clip(
+            np.floor(grid.to_cell_units_x((dataset.x_lo + dataset.x_hi) / 2.0)),
+            0,
+            grid.n1 - 1,
+        ).astype(np.int64)
+        cy = np.clip(
+            np.floor(grid.to_cell_units_y((dataset.y_lo + dataset.y_hi) / 2.0)),
+            0,
+            grid.n2 - 1,
+        ).astype(np.int64)
+        flat = cx * grid.n2 + cy
+        n_cells = grid.n1 * grid.n2
+        density = np.bincount(flat, minlength=n_cells).astype(np.float64).reshape(shape)
+        width_sum = np.bincount(flat, weights=dataset.widths, minlength=n_cells).reshape(shape)
+        height_sum = np.bincount(flat, weights=dataset.heights, minlength=n_cells).reshape(shape)
         return density, width_sum, height_sum
 
     def _box_sum(self, padded: np.ndarray, cx_lo: int, cx_hi: int, cy_lo: int, cy_hi: int) -> float:

@@ -14,6 +14,7 @@ from repro.browse.service import (
     GeoBrowsingService,
     resolve_browse_request,
 )
+from repro.browse.sharding import ShardPool, band_slices, batch_subset
 
 __all__ = [
     "GeoBrowsingService",
@@ -26,4 +27,7 @@ __all__ = [
     "EstimatorTier",
     "RetryPolicy",
     "resolve_browse_request",
+    "ShardPool",
+    "band_slices",
+    "batch_subset",
 ]

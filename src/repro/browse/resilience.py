@@ -44,6 +44,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.browse.service import BrowseResult, resolve_browse_request
+from repro.browse.sharding import ShardPool, batch_subset
+from repro.cache import CacheKey, TileResultCache, backing_summary, summary_generation, summary_token
 from repro.errors import (
     DeadlineExceededError,
     EstimatorFailedError,
@@ -196,17 +198,39 @@ class CircuitBreaker:
 
 
 class EstimatorTier:
-    """One estimator in a fallback chain, with its breaker and stats."""
+    """One estimator in a fallback chain, with its breaker and stats.
+
+    Stat updates go through :meth:`note_attempt`/:meth:`note_failure`/
+    :meth:`note_success`, which are lock-guarded so chunks executing on
+    shard threads never lose increments; the counters themselves stay
+    plain ints for cheap reads.
+    """
 
     def __init__(self, estimator: Level2Estimator, breaker: CircuitBreaker) -> None:
         self._batch: Level2BatchEstimator = as_batch_estimator(estimator)
         self.breaker = breaker
+        self._stats_lock = threading.Lock()
         #: Chunk attempts routed to this tier (including retries).
         self.attempts = 0
         #: Attempts that failed (exception, timeout overrun, or NaN).
         self.failures = 0
         #: Chunks this tier answered.
         self.successes = 0
+
+    def note_attempt(self) -> None:
+        """Count one attempt (thread-safe)."""
+        with self._stats_lock:
+            self.attempts += 1
+
+    def note_failure(self) -> None:
+        """Count one failed attempt (thread-safe)."""
+        with self._stats_lock:
+            self.failures += 1
+
+    def note_success(self) -> None:
+        """Count one answered chunk (thread-safe)."""
+        with self._stats_lock:
+            self.successes += 1
 
     @property
     def name(self) -> str:
@@ -306,6 +330,19 @@ class FallbackChain:
         can answer.  When a trace is given, every tier attempt is
         recorded as an ``attempt:<tier>`` span with its outcome.
         """
+        values, _tier = self.estimate_chunk_tiered(batch, field_name, trace=trace)
+        return values
+
+    def estimate_chunk_tiered(
+        self,
+        batch: TileQueryBatch,
+        field_name: str,
+        *,
+        trace: RequestTrace | None = None,
+    ) -> tuple[np.ndarray, EstimatorTier]:
+        """Like :meth:`estimate_chunk`, but also returns the tier that
+        answered -- callers caching results need to know whether the
+        answer is authoritative (primary tier) or degraded."""
         causes: list[BaseException] = []
         obs = self._obs
         for depth, tier in enumerate(self.tiers):
@@ -318,7 +355,7 @@ class FallbackChain:
                 continue
             last_exc: BaseException | None = None
             for attempt in range(self._retry.attempts):
-                tier.attempts += 1
+                tier.note_attempt()
                 if obs is not None:
                     obs.tier_attempts.labels(tier=tier.name).inc()
                     if attempt:
@@ -333,7 +370,7 @@ class FallbackChain:
                     with span_cm:
                         values = self._attempt(tier, batch, field_name)
                 except Exception as exc:
-                    tier.failures += 1
+                    tier.note_failure()
                     tier.breaker.record_failure()
                     if obs is not None:
                         obs.tier_seconds.labels(tier=tier.name).observe(
@@ -354,7 +391,7 @@ class FallbackChain:
                         if delay > 0:
                             self._sleep(delay)
                 else:
-                    tier.successes += 1
+                    tier.note_success()
                     tier.breaker.record_success()
                     if obs is not None:
                         obs.tier_seconds.labels(tier=tier.name).observe(
@@ -362,7 +399,7 @@ class FallbackChain:
                         )
                         obs.tier_successes.labels(tier=tier.name).inc()
                         obs.fallback_depth.observe(depth)
-                    return values
+                    return values, tier
             if last_exc is not None:
                 causes.append(last_exc)
         raise EstimatorFailedError(
@@ -401,6 +438,21 @@ class ResilientBrowsingService:
         ``BrowseResult.telemetry``), tier/breaker/tile outcomes are
         recorded, and its accuracy probe (if any) samples each answered
         raster.  ``None`` (the default) keeps the path uninstrumented.
+    cache:
+        An optional :class:`~repro.cache.TileResultCache`.  The raster is
+        probed once, vectorised, before any chunk runs; hit tiles are
+        answered immediately (they survive even a zero deadline) and
+        only miss tiles reach the fallback chain.  Only *primary-tier*
+        answers are cached -- a degraded (fallback) answer must not keep
+        serving after the primary recovers.  Keys carry the primary
+        summary's generation, so maintained-histogram updates invalidate
+        stale entries for free.
+    num_shards:
+        When > 1, up to this many row chunks are dispatched concurrently
+        per *wave* on a :class:`~repro.browse.sharding.ShardPool`.  The
+        deadline is checked between waves (a wave in flight is never
+        abandoned), which generalises the sequential per-chunk check;
+        with the default 1 the behaviour is exactly the sequential one.
     """
 
     def __init__(
@@ -417,9 +469,13 @@ class ResilientBrowsingService:
         sleep: Callable[[float], None] = time.sleep,
         chain: FallbackChain | None = None,
         instruments: BrowseInstrumentation | None = None,
+        cache: TileResultCache | None = None,
+        num_shards: int = 1,
     ) -> None:
         if chunk_rows < 1:
             raise ValueError("chunk_rows must be at least 1")
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
         if chain is None:
             if isinstance(estimators, Level2Estimator):
                 estimators = [estimators]
@@ -438,6 +494,10 @@ class ResilientBrowsingService:
         self._chunk_rows = chunk_rows
         self._clock = clock
         self._obs = instruments
+        self._cache = cache
+        self._pool = ShardPool(num_shards) if num_shards > 1 else None
+        self._summary = backing_summary(chain.tiers[0].estimator)
+        self._summary_token = summary_token(self._summary) if cache is not None else 0
 
     @property
     def grid(self) -> Grid:
@@ -453,6 +513,32 @@ class ResilientBrowsingService:
     def estimator_name(self) -> str:
         """The primary tier's label."""
         return self._chain.tiers[0].name
+
+    @property
+    def cache(self) -> TileResultCache | None:
+        """The tile-result cache, when one was configured."""
+        return self._cache
+
+    @property
+    def num_shards(self) -> int:
+        """Row chunks dispatched concurrently per wave (1 = sequential)."""
+        return self._pool.num_shards if self._pool is not None else 1
+
+    def cache_key(self, field_name: str) -> CacheKey:
+        """The cache key for this service's *primary-tier* answers: the
+        primary summary's identity token and current generation plus the
+        primary estimator's label."""
+        return CacheKey(
+            summary_id=self._summary_token,
+            generation=summary_generation(self._summary),
+            estimator_key=self._chain.tiers[0].name,
+            field=field_name,
+        )
+
+    def close(self) -> None:
+        """Release the shard pool's threads (no-op when unsharded)."""
+        if self._pool is not None:
+            self._pool.close()
 
     def browse(
         self,
@@ -505,33 +591,85 @@ class ResilientBrowsingService:
 
             counts = np.full((rows, cols), np.nan, dtype=np.float64)
             valid = np.zeros((rows, cols), dtype=bool)
+            counts_flat = counts.reshape(-1)
+            valid_flat = valid.reshape(-1)
+
+            # Vectorised cache probe: one gather answers every
+            # previously-seen tile before any chunk (or deadline) runs.
+            cache = self._cache
+            cache_key = None
+            miss_flat = np.ones(rows * cols, dtype=bool)
+            if cache is not None:
+                cache_key = self.cache_key(field_name)
+                with span("cache_probe"):
+                    cached_values, hit = cache.probe(cache_key, batch)
+                n_hit = int(np.count_nonzero(hit))
+                if obs is not None:
+                    obs.cache_hits.labels(service="resilient").inc(n_hit)
+                    obs.cache_misses.labels(service="resilient").inc(rows * cols - n_hit)
+                if n_hit:
+                    counts_flat[hit] = cached_values[hit]
+                    valid_flat[hit] = True
+                    miss_flat = ~hit
+
+            # Row chunks that still have unanswered tiles, answered in
+            # waves of up to ``num_shards`` concurrent chunks.  The
+            # deadline is checked before each wave, so work in flight is
+            # never abandoned; with one shard this is exactly the
+            # sequential per-chunk check.
+            chunks: list[tuple[int, int, np.ndarray]] = []
             for row_lo in range(0, rows, self._chunk_rows):
+                row_hi = min(row_lo + self._chunk_rows, rows)
+                idx = row_lo * cols + np.flatnonzero(
+                    miss_flat[row_lo * cols : row_hi * cols]
+                )
+                if idx.size:
+                    chunks.append((row_lo, row_hi, idx))
+
+            def run_chunk(job: tuple[int, int, np.ndarray]):
+                row_lo, row_hi, idx = job
+                sub = batch_subset(batch, idx)
+                chunk_started = self._clock()
+                with span(f"chunk[{row_lo}:{row_hi})", tiles=len(idx)):
+                    values, tier = self._chain.estimate_chunk_tiered(
+                        sub, field_name, trace=trace
+                    )
+                return idx, sub, values, tier, self._clock() - chunk_started
+
+            wave_size = self._pool.num_shards if self._pool is not None else 1
+            position = 0
+            while position < len(chunks):
                 if deadline is not None and self._clock() - started >= deadline:
                     expired = True
                     if obs is not None:
                         obs.deadline_expirations.labels(service="resilient").inc()
                     if on_deadline == "raise":
+                        answered = int(valid.all(axis=1).sum())
                         raise DeadlineExceededError(
                             f"deadline of {deadline:.3f}s expired after answering "
-                            f"{row_lo} of {rows} raster rows",
-                            answered_rows=row_lo,
+                            f"{answered} of {rows} raster rows",
+                            answered_rows=answered,
                             total_rows=rows,
                         )
                     break
-                row_hi = min(row_lo + self._chunk_rows, rows)
-                sl = slice(row_lo * cols, row_hi * cols)
-                chunk = TileQueryBatch(
-                    batch.qx_lo[sl], batch.qx_hi[sl], batch.qy_lo[sl], batch.qy_hi[sl]
-                )
-                chunk_started = self._clock()
-                with span(f"chunk[{row_lo}:{row_hi})", tiles=(row_hi - row_lo) * cols):
-                    values = self._chain.estimate_chunk(chunk, field_name, trace=trace)
-                if obs is not None:
-                    obs.stage_seconds.labels(service="resilient", stage="chunk").observe(
-                        self._clock() - chunk_started
-                    )
-                counts[row_lo:row_hi] = values.reshape(row_hi - row_lo, cols)
-                valid[row_lo:row_hi] = True
+                wave = chunks[position : position + wave_size]
+                position += len(wave)
+                if self._pool is not None and len(wave) > 1:
+                    outcomes = self._pool.map(run_chunk, wave)
+                else:
+                    outcomes = [run_chunk(job) for job in wave]
+                for idx, sub, values, tier, chunk_seconds in outcomes:
+                    if obs is not None:
+                        obs.stage_seconds.labels(
+                            service="resilient", stage="chunk"
+                        ).observe(chunk_seconds)
+                    counts_flat[idx] = values
+                    valid_flat[idx] = True
+                    # Only authoritative answers are cached: a degraded
+                    # tier's counts must not keep serving once the
+                    # primary recovers.
+                    if cache_key is not None and tier is self._chain.tiers[0]:
+                        cache.store(cache_key, sub, values)
 
         if obs is not None:
             elapsed = self._clock() - started

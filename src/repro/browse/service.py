@@ -18,6 +18,20 @@ original per-tile scalar loop is kept behind ``use_batch=False`` for
 parity testing and for profiling the two paths against each other;
 estimators without a native batch path are adapted transparently via
 :func:`~repro.euler.base.as_batch_estimator`.
+
+Two optional accelerations layer onto the batch path, both producing
+bit-identical rasters:
+
+- a :class:`~repro.cache.TileResultCache` (``cache=``) is probed once
+  per raster -- one vectorised gather answers every previously-seen tile
+  -- and only the miss-set reaches the estimator; results are keyed by
+  the backing summary's identity *and generation*, so maintained
+  histograms invalidate stale entries for free;
+- a shard count (``num_shards=``) splits the miss-set into contiguous
+  row bands dispatched across a
+  :class:`~repro.browse.sharding.ShardPool` -- numpy kernels release the
+  GIL, so shards overlap on multi-core hosts and band-blocking keeps
+  the single-core case ahead too.
 """
 
 from __future__ import annotations
@@ -29,6 +43,8 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.browse.sharding import ShardPool, band_slices, batch_subset
+from repro.cache import CacheKey, TileResultCache, backing_summary, summary_generation, summary_token
 from repro.errors import InvalidRegionError
 from repro.euler.base import Level2BatchEstimator, Level2Estimator, as_batch_estimator
 from repro.euler.estimates import Level2Counts
@@ -171,6 +187,13 @@ class GeoBrowsingService:
     ``instruments`` to record request counts, per-stage timings and tile
     outcomes, and to get a span trace on every result's ``telemetry``;
     the default ``None`` keeps the fast path uninstrumented.
+
+    Pass a :class:`~repro.cache.TileResultCache` as ``cache`` to reuse
+    tile counts across requests (hit/miss counts are recorded when
+    instrumented), and ``num_shards > 1`` to execute large rasters as
+    row-band shards on a thread pool.  Both default off, leaving the
+    single-batch fast path untouched; both are exact -- cached, sharded
+    and plain rasters are bit-identical.
     """
 
     def __init__(
@@ -179,11 +202,19 @@ class GeoBrowsingService:
         grid: Grid,
         *,
         instruments: BrowseInstrumentation | None = None,
+        cache: TileResultCache | None = None,
+        num_shards: int = 1,
     ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
         self._estimator = estimator
         self._batch: Level2BatchEstimator = as_batch_estimator(estimator)
         self._grid = grid
         self._obs = instruments
+        self._cache = cache
+        self._summary = backing_summary(estimator)
+        self._summary_token = summary_token(self._summary) if cache is not None else 0
+        self._pool = ShardPool(num_shards) if num_shards > 1 else None
 
     @property
     def grid(self) -> Grid:
@@ -194,6 +225,32 @@ class GeoBrowsingService:
     def estimator_name(self) -> str:
         """The backing estimator's label."""
         return self._estimator.name
+
+    @property
+    def cache(self) -> TileResultCache | None:
+        """The tile-result cache, when one was configured."""
+        return self._cache
+
+    @property
+    def num_shards(self) -> int:
+        """Requested raster fan-out (1 = monolithic batches)."""
+        return self._pool.num_shards if self._pool is not None else 1
+
+    def cache_key(self, field_name: str) -> CacheKey:
+        """The cache key scoping this service's answers for one relation
+        field: the backing summary's identity token and *current*
+        generation plus the estimator's label."""
+        return CacheKey(
+            summary_id=self._summary_token,
+            generation=summary_generation(self._summary),
+            estimator_key=self._batch.name,
+            field=field_name,
+        )
+
+    def close(self) -> None:
+        """Release the shard pool's threads (no-op when unsharded)."""
+        if self._pool is not None:
+            self._pool.close()
 
     def browse(
         self,
@@ -236,11 +293,7 @@ class GeoBrowsingService:
             if use_batch:
                 with span("build_batch"):
                     batch = browsing_tile_batch(region, rows, cols)
-                with span("estimate", tier=self._batch.name):
-                    estimates = self._batch.estimate_batch(batch)
-                counts = np.asarray(
-                    getattr(estimates, field_name), dtype=np.float64
-                ).reshape(rows, cols)
+                counts = self._answer_batch(batch, field_name, span).reshape(rows, cols)
             else:
                 with span("estimate", tier=self._estimator.name, path="scalar"):
                     tiles = browsing_tiles(region, rows, cols)
@@ -254,7 +307,7 @@ class GeoBrowsingService:
             obs.requests.labels(service="plain", relation=relation).inc()
             obs.request_seconds.labels(service="plain").observe(elapsed)
             for stage_span in (trace.spans if trace is not None else ()):
-                if stage_span.name in ("resolve", "build_batch", "estimate"):
+                if stage_span.name in ("resolve", "build_batch", "cache_probe", "estimate"):
                     obs.stage_seconds.labels(
                         service="plain", stage=stage_span.name
                     ).observe(stage_span.seconds)
@@ -262,3 +315,61 @@ class GeoBrowsingService:
         return BrowseResult(
             region=region, relation=relation, counts=counts, telemetry=trace
         )
+
+    # ------------------------------------------------------------------ #
+    # batch execution (cache probe + sharded estimation)
+    # ------------------------------------------------------------------ #
+
+    def _answer_batch(self, batch, field_name: str, span) -> np.ndarray:
+        """Answer one raster batch: probe the cache (one gather for all
+        hits), estimate only the miss-set -- sharded when configured --
+        and back-fill the cache.  Bit-identical to a monolithic
+        ``estimate_batch`` because every tile's value is the same
+        elementwise arithmetic either way."""
+        obs = self._obs
+        cache = self._cache
+        if cache is None:
+            with span("estimate", tier=self._batch.name):
+                return self._estimate_field(batch, field_name)
+        key = self.cache_key(field_name)
+        with span("cache_probe"):
+            values, hit = cache.probe(key, batch)
+        n_miss = len(batch) - int(np.count_nonzero(hit))
+        if obs is not None:
+            obs.cache_hits.labels(service="plain").inc(len(batch) - n_miss)
+            obs.cache_misses.labels(service="plain").inc(n_miss)
+        if n_miss == 0:
+            return values
+        miss_mask = ~hit
+        miss_batch = batch_subset(batch, miss_mask)
+        with span("estimate", tier=self._batch.name, tiles=n_miss):
+            miss_values = self._estimate_field(miss_batch, field_name)
+        cache.store(key, miss_batch, miss_values)
+        values[miss_mask] = miss_values
+        return values
+
+    def _estimate_field(self, batch, field_name: str) -> np.ndarray:
+        """The requested field's counts for ``batch``, split into
+        row-band shards on the pool when that is configured and the
+        batch is big enough to be worth it.  A sharded service always
+        records per-shard timings, even when a small batch collapses to
+        one band."""
+        pool = self._pool
+        if pool is not None:
+            slices = band_slices(len(batch), pool.num_shards)
+            if len(slices) > 1:
+                return np.concatenate(
+                    pool.map(lambda sl: self._estimate_shard(batch, sl, field_name), slices)
+                )
+            return self._estimate_shard(batch, slice(0, len(batch)), field_name)
+        estimates = self._batch.estimate_batch(batch)
+        return np.asarray(getattr(estimates, field_name), dtype=np.float64)
+
+    def _estimate_shard(self, batch, sl: slice, field_name: str) -> np.ndarray:
+        obs = self._obs
+        started = obs.clock() if obs is not None else 0.0
+        estimates = self._batch.estimate_batch(batch_subset(batch, sl))
+        values = np.asarray(getattr(estimates, field_name), dtype=np.float64)
+        if obs is not None:
+            obs.shard_seconds.labels(service="plain").observe(obs.clock() - started)
+        return values

@@ -1,0 +1,99 @@
+"""Cache keying: identity tokens and generations for dataset summaries.
+
+A cached tile count is only reusable while three things hold: the answer
+came from the *same summary object*, at the *same state* of that summary,
+through the *same estimation algorithm*.  :class:`CacheKey` captures
+exactly that triple (plus the relation field being browsed):
+
+- ``summary_id`` -- a process-unique token for the backing summary,
+  assigned lazily by :func:`summary_token`.  Tokens are drawn from a
+  monotonic counter rather than ``id()`` so a freed histogram's identity
+  is never recycled into a false cache hit.
+- ``generation`` -- the summary's update counter.  Immutable summaries
+  (a built :class:`~repro.euler.histogram.EulerHistogram`) stay at
+  generation 0 forever; a
+  :class:`~repro.euler.maintained.MaintainedEulerHistogram` bumps its
+  generation on every ``insert``/``delete``, which makes every cache
+  entry recorded under the previous generation unreachable -- stale
+  results are invalidated for free, with no scans and no TTLs.
+- ``estimator_key`` -- the estimator's label (``name``), which encodes
+  the algorithm and its configuration (e.g. ``EulerApprox(left)`` vs
+  ``EulerApprox(all)``).  Distinct summaries already get distinct
+  tokens, so the label only needs to distinguish algorithms over the
+  *same* summary.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+
+__all__ = ["CacheKey", "backing_summary", "summary_generation", "summary_token"]
+
+_TOKEN_ATTR = "_repro_cache_token"
+_token_lock = threading.Lock()
+_token_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """The reuse scope of one cached tile count (see module docstring)."""
+
+    summary_id: int
+    generation: int
+    estimator_key: str
+    field: str
+
+
+def summary_token(summary: object) -> int:
+    """A process-unique, never-recycled identity token for ``summary``.
+
+    Assigned on first use and stored on the object, so repeated calls are
+    a cheap attribute read.  Objects that reject attribute assignment
+    (slotted classes) fall back to ``id()`` -- callers holding a strong
+    reference for the cache's lifetime (every service does) keep that
+    safe too.
+    """
+    token = getattr(summary, _TOKEN_ATTR, None)
+    if token is not None:
+        return token
+    with _token_lock:
+        token = getattr(summary, _TOKEN_ATTR, None)
+        if token is None:
+            token = next(_token_counter)
+            try:
+                setattr(summary, _TOKEN_ATTR, token)
+            except AttributeError:
+                return id(summary)
+    return token
+
+
+def summary_generation(summary: object) -> int:
+    """The summary's update generation (0 for summaries without one)."""
+    return int(getattr(summary, "generation", 0))
+
+
+def backing_summary(estimator: object) -> object:
+    """The summary object whose state an estimator's answers depend on.
+
+    Unwraps :class:`~repro.euler.base.ScalarBatchFallback`-style adapters
+    (``wrapped``) and histogram-backed estimators (``histogram``); an
+    estimator exposing neither is its own summary (e.g.
+    :class:`~repro.exact.evaluator.ExactEvaluator` over an immutable
+    dataset, or :class:`~repro.euler.multi.MEulerApprox` over its fixed
+    partition of histograms).
+    """
+    seen: set[int] = set()
+    current = estimator
+    while id(current) not in seen:
+        seen.add(id(current))
+        inner = getattr(current, "wrapped", None)
+        if inner is not None:
+            current = inner
+            continue
+        histogram = getattr(current, "histogram", None)
+        if histogram is not None:
+            return histogram
+        break
+    return current

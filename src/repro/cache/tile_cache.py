@@ -1,0 +1,313 @@
+"""A thread-safe, byte-bounded, vectorised LRU cache of tile counts.
+
+The browsing services answer rasters of tile COUNT queries; browse
+sessions repeat and overlap tiles heavily (pan/zoom locality), so the
+same ``(summary, generation, estimator, field, tile)`` lookup recurs
+across requests.  :class:`TileResultCache` stores those scalar answers
+so a repeated tile costs a gather instead of an estimator call.
+
+Design notes
+------------
+
+**Vectorised probing.**  Entries are grouped into *keyspaces*, one per
+:class:`~repro.cache.keys.CacheKey` scope ``(summary_id, estimator_key,
+field)``; within a keyspace each tile's geometry is packed into one
+``uint64`` (four 16-bit corners) and the keyspace keeps its packed keys
+in one sorted array with the values alongside.  Probing a whole raster
+is then ``searchsorted`` plus one gather -- no per-tile Python work --
+and filling the cache is a vectorised sorted merge.
+
+**Byte-bounded LRU.**  Every entry costs :data:`ENTRY_BYTES` (packed
+key + value + access stamp); when the accounted total exceeds
+``capacity_bytes``, the least-recently-touched entries are evicted
+across all keyspaces (ties on one access tick evict together, so the
+bound may be undershot, never overshot).  Access stamps are refreshed
+vectorised on every probe hit.
+
+**Generation invalidation.**  A keyspace records the summary generation
+it was filled under.  The first probe or store carrying a different
+generation drops the whole keyspace in O(1) bookkeeping -- maintained
+histograms invalidate their stale entries for free, with no scans and
+no TTLs.
+
+Tiles whose packed corners do not fit 16 bits (grids beyond 65535 cells
+per axis) are simply not cacheable: probes miss and stores are skipped,
+so correctness never depends on the packing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.cache.keys import CacheKey
+from repro.grid.tiles_math import TileQueryBatch
+
+__all__ = ["TileResultCache", "pack_tile_batch", "ENTRY_BYTES"]
+
+#: Accounted bytes per cached tile: packed key + float64 value + stamp.
+ENTRY_BYTES = 24
+
+#: Corner magnitude limit of the 4x16-bit geometry packing.
+_PACK_LIMIT = 1 << 16
+
+
+def pack_tile_batch(batch: TileQueryBatch) -> np.ndarray | None:
+    """Pack each tile's four corners into one ``uint64``, or ``None``
+    when any corner exceeds the 16-bit packing range."""
+    if len(batch) and (int(batch.qx_hi.max()) >= _PACK_LIMIT or int(batch.qy_hi.max()) >= _PACK_LIMIT):
+        return None
+    return (
+        (batch.qx_lo.astype(np.uint64) << np.uint64(48))
+        | (batch.qx_hi.astype(np.uint64) << np.uint64(32))
+        | (batch.qy_lo.astype(np.uint64) << np.uint64(16))
+        | batch.qy_hi.astype(np.uint64)
+    )
+
+
+class _KeySpace:
+    """One cache scope's entries: sorted packed keys, values, stamps."""
+
+    __slots__ = ("generation", "keys", "values", "stamps")
+
+    def __init__(self, generation: int) -> None:
+        self.generation = generation
+        self.keys = np.empty(0, dtype=np.uint64)
+        self.values = np.empty(0, dtype=np.float64)
+        self.stamps = np.empty(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def lookup(self, packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised membership test: ``(positions, hit mask)``."""
+        if not len(self.keys):
+            return np.zeros(len(packed), dtype=np.intp), np.zeros(len(packed), dtype=bool)
+        pos = np.searchsorted(self.keys, packed)
+        pos = np.minimum(pos, len(self.keys) - 1)
+        return pos, self.keys[pos] == packed
+
+
+class TileResultCache:
+    """Thread-safe LRU cache of per-tile counts (see module docstring).
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Upper bound on the accounted entry storage (:data:`ENTRY_BYTES`
+        per tile).  Must admit at least one entry.  The default (32 MiB)
+        holds ~1.4 million tiles -- over twenty full 360x180 rasters.
+    """
+
+    def __init__(self, capacity_bytes: int = 32 << 20) -> None:
+        if capacity_bytes < ENTRY_BYTES:
+            raise ValueError(
+                f"capacity_bytes must be at least {ENTRY_BYTES} (one entry), "
+                f"got {capacity_bytes}"
+            )
+        self._capacity_entries = capacity_bytes // ENTRY_BYTES
+        self._capacity_bytes = capacity_bytes
+        self._lock = threading.Lock()
+        self._spaces: dict[tuple[int, str, str], _KeySpace] = {}
+        self._entries = 0
+        self._tick = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def capacity_bytes(self) -> int:
+        """The configured byte bound."""
+        return self._capacity_bytes
+
+    @property
+    def nbytes(self) -> int:
+        """Accounted bytes currently held (always <= ``capacity_bytes``)."""
+        with self._lock:
+            return self._entries * ENTRY_BYTES
+
+    def __len__(self) -> int:
+        """Number of cached tile entries."""
+        with self._lock:
+            return self._entries
+
+    @property
+    def hits(self) -> int:
+        """Tiles answered from the cache so far."""
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Probed tiles that were not cached."""
+        with self._lock:
+            return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped by the LRU byte bound."""
+        with self._lock:
+            return self._evictions
+
+    @property
+    def generation_invalidations(self) -> int:
+        """Keyspaces dropped because their summary's generation moved."""
+        with self._lock:
+            return self._invalidations
+
+    def stats(self) -> dict[str, int]:
+        """A consistent snapshot of the cache counters."""
+        with self._lock:
+            return {
+                "entries": self._entries,
+                "nbytes": self._entries * ENTRY_BYTES,
+                "capacity_bytes": self._capacity_bytes,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "generation_invalidations": self._invalidations,
+            }
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._spaces.clear()
+            self._entries = 0
+
+    # ------------------------------------------------------------------ #
+    # the serving surface
+    # ------------------------------------------------------------------ #
+
+    def probe(self, key: CacheKey, batch: TileQueryBatch) -> tuple[np.ndarray, np.ndarray]:
+        """Look up every tile of ``batch`` under ``key`` in one gather.
+
+        Returns ``(values, hit)``: ``values[i]`` is the cached count of
+        tile ``i`` where ``hit[i]`` is ``True`` and NaN where it is not.
+        Hits refresh the entries' LRU stamps.  A probe whose generation
+        differs from the keyspace's drops the stale keyspace first, so it
+        reports all tiles missed.
+        """
+        n = len(batch)
+        values = np.full(n, np.nan, dtype=np.float64)
+        hit = np.zeros(n, dtype=bool)
+        packed = pack_tile_batch(batch)
+        with self._lock:
+            if packed is None or n == 0:
+                self._misses += n
+                return values, hit
+            space = self._space_for(key, create=False)
+            if space is None or not len(space):
+                self._misses += n
+                return values, hit
+            pos, hit = space.lookup(packed)
+            values[hit] = space.values[pos[hit]]
+            self._tick += 1
+            space.stamps[pos[hit]] = self._tick
+            n_hit = int(np.count_nonzero(hit))
+            self._hits += n_hit
+            self._misses += n - n_hit
+        return values, hit
+
+    def store(
+        self,
+        key: CacheKey,
+        batch: TileQueryBatch,
+        values: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> int:
+        """Cache ``values[i]`` for tile ``i`` of ``batch`` under ``key``.
+
+        ``mask`` restricts which tiles are stored (e.g. only the probe's
+        misses).  Non-finite values are never cached -- a NaN from a
+        degraded answer must not satisfy a later probe.  Tiles already
+        present keep their existing value (the estimators are
+        deterministic, so the values are equal anyway).  Returns the
+        number of entries actually added.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (len(batch),):
+            raise ValueError(
+                f"values shape {values.shape} does not match the "
+                f"{len(batch)}-tile batch"
+            )
+        packed = pack_tile_batch(batch)
+        if packed is None:
+            return 0
+        keep = np.isfinite(values)
+        if mask is not None:
+            keep &= np.asarray(mask, dtype=bool)
+        if not keep.any():
+            return 0
+        packed = packed[keep]
+        values = values[keep]
+        with self._lock:
+            space = self._space_for(key, create=True)
+            assert space is not None
+            # Dedupe within the store and against what is already cached.
+            packed, first = np.unique(packed, return_index=True)
+            values = values[first]
+            if len(space):
+                _, present = space.lookup(packed)
+                if present.any():
+                    packed = packed[~present]
+                    values = values[~present]
+            if not len(packed):
+                return 0
+            self._tick += 1
+            merged_keys = np.concatenate([space.keys, packed])
+            order = np.argsort(merged_keys, kind="stable")
+            space.keys = merged_keys[order]
+            space.values = np.concatenate([space.values, values])[order]
+            space.stamps = np.concatenate(
+                [space.stamps, np.full(len(packed), self._tick, dtype=np.int64)]
+            )[order]
+            added = len(packed)
+            self._entries += added
+            self._evict_to_capacity()
+            return added
+
+    # ------------------------------------------------------------------ #
+    # internals (callers hold the lock)
+    # ------------------------------------------------------------------ #
+
+    def _space_for(self, key: CacheKey, *, create: bool) -> _KeySpace | None:
+        scope = (key.summary_id, key.estimator_key, key.field)
+        space = self._spaces.get(scope)
+        if space is not None and space.generation != key.generation:
+            # The summary moved on: everything recorded under the old
+            # generation is unreachable by construction -- drop it.
+            self._entries -= len(space)
+            self._invalidations += 1
+            del self._spaces[scope]
+            space = None
+        if space is None and create:
+            space = _KeySpace(key.generation)
+            self._spaces[scope] = space
+        return space
+
+    def _evict_to_capacity(self) -> None:
+        """Drop the least-recently-touched entries over the byte bound."""
+        excess = self._entries - self._capacity_entries
+        if excess <= 0:
+            return
+        all_stamps = np.concatenate([s.stamps for s in self._spaces.values()])
+        threshold = np.partition(all_stamps, excess - 1)[excess - 1]
+        for scope in list(self._spaces):
+            space = self._spaces[scope]
+            survive = space.stamps > threshold
+            dropped = len(space) - int(np.count_nonzero(survive))
+            if not dropped:
+                continue
+            space.keys = space.keys[survive]
+            space.values = space.values[survive]
+            space.stamps = space.stamps[survive]
+            self._entries -= dropped
+            self._evictions += dropped
+            if not len(space):
+                del self._spaces[scope]

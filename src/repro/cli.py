@@ -74,6 +74,24 @@ def build_parser() -> argparse.ArgumentParser:
     browse.add_argument(
         "--relation", choices=sorted(RELATION_FIELDS), default="overlap"
     )
+    browse.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="row-band shards per raster (default: 1, sequential)",
+    )
+    browse.add_argument(
+        "--cache-mb",
+        type=float,
+        default=0.0,
+        help="tile-result cache capacity in MiB (default: 0, disabled)",
+    )
+    browse.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="serve the request this many times (shows cache warm-up)",
+    )
 
     stats = sub.add_parser(
         "stats",
@@ -98,6 +116,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument(
         "--chunk-rows", type=int, default=4, help="raster rows answered per chunk"
+    )
+    stats.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="row chunks dispatched concurrently per wave (default: 1)",
+    )
+    stats.add_argument(
+        "--cache-mb",
+        type=float,
+        default=0.0,
+        help="tile-result cache capacity in MiB (default: 0, disabled)",
+    )
+    stats.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="serve the request this many times (shows cache hit counters)",
     )
     stats.add_argument(
         "--format",
@@ -158,25 +194,47 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_browse(args: argparse.Namespace) -> int:
+    from repro.cache import TileResultCache
+
+    if args.shards < 1:
+        print("error: --shards must be positive", file=sys.stderr)
+        return 2
+    if args.repeat < 1:
+        print("error: --repeat must be positive", file=sys.stderr)
+        return 2
     try:
         histogram = EulerHistogram.load(args.histogram)
     except SummaryCorruptError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    service = GeoBrowsingService(SEulerApprox(histogram), histogram.grid)
+    cache = TileResultCache(int(args.cache_mb * (1 << 20))) if args.cache_mb > 0 else None
+    service = GeoBrowsingService(
+        SEulerApprox(histogram), histogram.grid, cache=cache, num_shards=args.shards
+    )
     region = Rect(args.region[0], args.region[1], args.region[2], args.region[3])
     try:
         start = time.perf_counter()
-        result = service.browse(region, rows=args.rows, cols=args.cols, relation=args.relation)
-        elapsed = time.perf_counter() - start
+        for _ in range(args.repeat):
+            result = service.browse(
+                region, rows=args.rows, cols=args.cols, relation=args.relation
+            )
+        elapsed = (time.perf_counter() - start) / args.repeat
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        service.close()
     print(result.render_ascii(width=7))
     print(
         f"# {args.relation} counts, {args.rows}x{args.cols} tiles, "
         f"{1000 * elapsed:.1f} ms ({service.estimator_name})"
     )
+    if cache is not None:
+        s = cache.stats()
+        print(
+            f"# cache: {s['hits']} hits / {s['misses']} misses, "
+            f"{s['entries']} entries ({s['nbytes']:,} bytes)"
+        )
     return 0
 
 
@@ -193,8 +251,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         to_text,
     )
 
+    from repro.cache import TileResultCache
+
     if args.chunk_rows < 1:
         print("error: --chunk-rows must be positive", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("error: --shards must be positive", file=sys.stderr)
+        return 2
+    if args.repeat < 1:
+        print("error: --repeat must be positive", file=sys.stderr)
         return 2
     instruments = BrowseInstrumentation()
     # Route the persistence layer's load/verify counters into the same
@@ -216,29 +282,45 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             instruments.accuracy = AccuracyProbe(
                 ExactEvaluator(data, histogram.grid), instruments.registry
             )
+        cache = (
+            TileResultCache(int(args.cache_mb * (1 << 20))) if args.cache_mb > 0 else None
+        )
         service = ResilientBrowsingService(
             [SEulerApprox(histogram)],
             histogram.grid,
             chunk_rows=args.chunk_rows,
             instruments=instruments,
+            cache=cache,
+            num_shards=args.shards,
         )
         region = Rect(args.region[0], args.region[1], args.region[2], args.region[3])
         try:
-            result = service.browse(
-                region,
-                rows=args.rows,
-                cols=args.cols,
-                relation=args.relation,
-                deadline=args.deadline,
-            )
+            for _ in range(args.repeat):
+                result = service.browse(
+                    region,
+                    rows=args.rows,
+                    cols=args.cols,
+                    relation=args.relation,
+                    deadline=args.deadline,
+                )
         except BrowseError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        finally:
+            service.close()
         print(result.render_ascii(width=7))
         print(
             f"# {args.relation} counts, {args.rows}x{args.cols} tiles, "
             f"{100 * result.valid_fraction:.0f}% answered ({service.estimator_name})"
         )
+        if cache is not None:
+            s = cache.stats()
+            print(
+                f"# cache: {s['hits']} hits / {s['misses']} misses, "
+                f"{s['entries']} entries ({s['nbytes']:,} bytes), "
+                f"{s['evictions']} evictions, "
+                f"{s['generation_invalidations']} generation invalidations"
+            )
         if args.trace and result.telemetry is not None:
             print()
             print(result.telemetry.render())

@@ -221,6 +221,15 @@ class EulerHistogram(BatchRegionSums):
         return self._num_objects
 
     @property
+    def generation(self) -> int:
+        """The summary's update generation, part of every tile-cache key
+        (:mod:`repro.cache.keys`).  A built histogram is immutable, so
+        its generation is 0 forever; the maintained variant bumps its
+        counter on every insert/delete, which is what invalidates cached
+        results keyed against the previous state."""
+        return 0
+
+    @property
     def num_buckets(self) -> int:
         """``(2*n1 - 1) * (2*n2 - 1)``, the storage figure of Section 5.2."""
         shape = self._grid.lattice_shape

@@ -94,6 +94,7 @@ class MaintainedEulerHistogram(BatchRegionSums):
         #: Snapped pending updates as (span, weight), weight in {+1, -1}.
         self._pending: list[tuple[LatticeSpan, int]] = []
         self._pending_objects = 0
+        self._generation = 0
 
     # ------------------------------------------------------------------ #
     # maintenance
@@ -116,6 +117,16 @@ class MaintainedEulerHistogram(BatchRegionSums):
         """Number of updates not yet merged into the base cube."""
         return len(self._pending)
 
+    @property
+    def generation(self) -> int:
+        """The summary's update generation: bumped by every
+        :meth:`insert`/:meth:`delete`, so any tile-cache entry keyed
+        against a previous generation (:mod:`repro.cache.keys`) becomes
+        unreachable the moment the histogram changes.  A :meth:`merge`
+        does not bump it -- merging is a representation change with
+        bit-identical query answers, so cached results stay valid."""
+        return self._generation
+
     def insert(self, rect: Rect) -> None:
         """Add one object (world coordinates)."""
         self._apply(rect, +1)
@@ -131,6 +142,7 @@ class MaintainedEulerHistogram(BatchRegionSums):
     def _apply(self, rect: Rect, weight: int) -> None:
         span = snap_rect(*self._grid.rect_to_cell_units(rect), self._grid.n1, self._grid.n2)
         self._builder.add(rect, weight)
+        self._generation += 1
         self._pending.append((span, weight))
         self._pending_objects += weight
         if len(self._pending) >= self._merge_threshold:

@@ -21,6 +21,9 @@ name                                                   type       labels
 ``repro_browse_deadline_margin_seconds``               gauge      service
 ``repro_browse_deadline_expirations_total``            counter    service
 ``repro_browse_fallback_depth``                        histogram  --
+``repro_cache_hits_total``                             counter    service
+``repro_cache_misses_total``                           counter    service
+``repro_browse_shard_seconds``                         histogram  service
 ``repro_tier_attempts_total``                          counter    tier
 ``repro_tier_retries_total``                           counter    tier
 ``repro_tier_successes_total``                         counter    tier
@@ -129,6 +132,22 @@ class BrowseInstrumentation:
             "repro_browse_deadline_expirations_total",
             help="Requests whose deadline expired before the raster completed",
             labels=("service",),
+        )
+        self.cache_hits = r.counter(
+            "repro_cache_hits_total",
+            help="Raster tiles answered from the tile-result cache",
+            labels=("service",),
+        )
+        self.cache_misses = r.counter(
+            "repro_cache_misses_total",
+            help="Raster tiles probed but not found in the tile-result cache",
+            labels=("service",),
+        )
+        self.shard_seconds = r.histogram(
+            "repro_browse_shard_seconds",
+            help="Per-shard raster estimation latency",
+            labels=("service",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
         )
         self.fallback_depth = r.histogram(
             "repro_browse_fallback_depth",

@@ -19,6 +19,7 @@ way to rehearse failure drills.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from typing import Callable, Sequence
 
@@ -54,6 +55,11 @@ class FaultSchedule:
     faults.  The schedule also owns the RNG used to pick *which* batch
     entries a ``"nan"`` fault corrupts (:meth:`corrupt_mask`), keeping
     the whole fault stream reproducible from one seed.
+
+    The cursor and RNG are lock-guarded, so one schedule can drive an
+    estimator shared across shard threads: the *set* of faults drawn is
+    still the scripted/seeded sequence, though which thread receives
+    which fault depends on scheduling.
     """
 
     def __init__(
@@ -87,20 +93,22 @@ class FaultSchedule:
         self._cursor = 0
         self._rates = (error_rate, latency_rate, nan_rate)
         self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
         #: Injected delay, in seconds, for ``"latency"`` faults.
         self.latency = latency
 
     def next_fault(self) -> str:
         """The fault kind for the next call (one of :data:`FAULT_KINDS`)."""
-        if self._script is not None:
-            if self._cursor >= len(self._script):
-                if not self._cycle or not self._script:
-                    return "none"
-                self._cursor = 0
-            fault = self._script[self._cursor]
-            self._cursor += 1
-            return fault
-        draw = float(self._rng.random())
+        with self._lock:
+            if self._script is not None:
+                if self._cursor >= len(self._script):
+                    if not self._cycle or not self._script:
+                        return "none"
+                    self._cursor = 0
+                fault = self._script[self._cursor]
+                self._cursor += 1
+                return fault
+            draw = float(self._rng.random())
         error_rate, latency_rate, nan_rate = self._rates
         if draw < error_rate:
             return "error"
@@ -115,9 +123,10 @@ class FaultSchedule:
         ``"nan"`` fault corrupts -- always at least one entry."""
         if n < 1:
             return np.zeros(0, dtype=bool)
-        mask = self._rng.random(n) < 0.5
-        if not mask.any():
-            mask[int(self._rng.integers(n))] = True
+        with self._lock:
+            mask = self._rng.random(n) < 0.5
+            if not mask.any():
+                mask[int(self._rng.integers(n))] = True
         return mask
 
 
@@ -148,6 +157,7 @@ class FaultyEstimator:
         self._inner = estimator
         self._schedule = schedule
         self._sleep = sleep
+        self._counter_lock = threading.Lock()
         #: Total estimate calls received (batch calls count once).
         self.calls = 0
         #: Faults injected so far, keyed by kind.
@@ -165,24 +175,31 @@ class FaultyEstimator:
 
     def _begin_call(self) -> str:
         """Advance the schedule, bump counters, apply error/latency."""
-        self.calls += 1
+        with self._counter_lock:
+            self.calls += 1
+            call_number = self.calls
         fault = self._schedule.next_fault()
         if fault == "error":
-            self.injected["error"] += 1
+            self._note_injected("error")
             raise InjectedFault(
-                f"injected failure on call {self.calls} of {self.name}"
+                f"injected failure on call {call_number} of {self.name}"
             )
         if fault == "latency":
-            self.injected["latency"] += 1
+            self._note_injected("latency")
             self._sleep(self._schedule.latency)
         return fault
+
+    def _note_injected(self, kind: str) -> None:
+        """Count one injected fault (thread-safe)."""
+        with self._counter_lock:
+            self.injected[kind] += 1
 
     def estimate(self, query: TileQuery) -> Level2Counts:
         """Answer one query, subject to the schedule's next fault."""
         fault = self._begin_call()
         counts = self._inner.estimate(query)
         if fault == "nan":
-            self.injected["nan"] += 1
+            self._note_injected("nan")
             return Level2Counts(math.nan, math.nan, math.nan, math.nan)
         return counts
 
@@ -212,7 +229,7 @@ class FaultyBatchEstimator(FaultyEstimator):
         fault = self._begin_call()
         counts = self._inner_batch.estimate_batch(queries)
         if fault == "nan":
-            self.injected["nan"] += 1
+            self._note_injected("nan")
             mask = self._schedule.corrupt_mask(len(queries))
             corrupted = {}
             for field_name in ("n_d", "n_cs", "n_cd", "n_o"):

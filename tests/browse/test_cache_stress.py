@@ -1,0 +1,103 @@
+"""Threaded stress test: many workers hammering one shared resilient
+service with the cache, shard pool and fault injector all enabled.
+
+Both tiers wrap the same summary, so every fully-answered raster --
+whichever tier answered, cached or not -- must equal the fault-free
+reference bit for bit.  The test asserts that under concurrency, plus
+the cache's byte bound and the absence of any raised error."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.browse.resilience import ResilientBrowsingService
+from repro.browse.service import GeoBrowsingService
+from repro.cache import TileResultCache
+from repro.euler.histogram import EulerHistogram
+from repro.euler.simple import SEulerApprox
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+from repro.testing.faults import FaultSchedule, FaultyBatchEstimator
+
+from tests.conftest import random_dataset
+
+GRID = Grid(Rect(0.0, 12.0, 0.0, 8.0), 12, 8)
+NUM_WORKERS = 6
+REQUESTS_PER_WORKER = 12
+
+#: The raster shapes the workers cycle through (all over the full grid,
+#: so cache entries overlap across shapes with identical tile geometry).
+SHAPES = ((4, 6), (8, 12), (2, 3))
+
+
+@pytest.fixture(scope="module")
+def hist():
+    data = random_dataset(np.random.default_rng(99), GRID, 300, max_size_cells=3.0)
+    return EulerHistogram.from_dataset(data, GRID)
+
+
+def test_threaded_stress_with_faults_cache_and_shards(hist):
+    estimator = SEulerApprox(hist)
+    references = {
+        shape: GeoBrowsingService(estimator, GRID)
+        .browse(TileQuery(0, 12, 0, 8), *shape)
+        .counts
+        for shape in SHAPES
+    }
+
+    primary = FaultyBatchEstimator(
+        SEulerApprox(hist),
+        FaultSchedule(seed=5, error_rate=0.15, nan_rate=0.1),
+        sleep=lambda _s: None,
+    )
+    cache = TileResultCache()
+    service = ResilientBrowsingService(
+        [primary, estimator],
+        GRID,
+        cache=cache,
+        num_shards=3,
+        chunk_rows=2,
+        failure_threshold=10_000,  # keep the breaker out of the way
+        sleep=lambda _s: None,
+    )
+
+    errors: list[str] = []
+    barrier = threading.Barrier(NUM_WORKERS)
+
+    def worker(worker_id: int) -> None:
+        try:
+            barrier.wait()
+            for i in range(REQUESTS_PER_WORKER):
+                rows, cols = SHAPES[(worker_id + i) % len(SHAPES)]
+                result = service.browse(TileQuery(0, 12, 0, 8), rows, cols)
+                if result.valid is not None and not result.valid.all():
+                    errors.append("partial result without a deadline")
+                elif not np.array_equal(result.counts, references[(rows, cols)]):
+                    errors.append(f"raster diverged on {rows}x{cols}")
+        except Exception as exc:
+            errors.append(repr(exc))
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(NUM_WORKERS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    service.close()
+
+    assert not errors, errors[:5]
+    assert primary.injected["error"] + primary.injected["nan"] > 0, (
+        "the fault injector never fired; the stress test is vacuous"
+    )
+    assert cache.nbytes <= cache.capacity_bytes
+    # The shared cache saw real traffic and stayed coherent.
+    total_tiles = NUM_WORKERS * REQUESTS_PER_WORKER  # lower bound: 6 tiles/raster
+    assert cache.hits + cache.misses >= total_tiles
+    # Tier stats were counted under their locks: attempts cover every
+    # chunk outcome recorded.
+    tier0, tier1 = service.chain.tiers
+    assert tier0.attempts == tier0.successes + tier0.failures
+    assert tier1.attempts >= tier1.successes

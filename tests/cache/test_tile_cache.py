@@ -1,0 +1,256 @@
+"""Unit tests for the tile-result cache: probe/store round trips, the
+byte-bounded LRU, generation invalidation, and packing edge cases."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    CacheKey,
+    TileResultCache,
+    backing_summary,
+    pack_tile_batch,
+    summary_generation,
+    summary_token,
+)
+from repro.cache.tile_cache import ENTRY_BYTES
+from repro.grid.tiles_math import TileQueryBatch
+
+KEY = CacheKey(summary_id=1, generation=0, estimator_key="est", field="n_o")
+
+
+def make_batch(lo, hi=None):
+    """A batch of unit tiles at x positions ``lo`` (one row of a raster)."""
+    lo = np.asarray(lo, dtype=np.intp)
+    hi = lo + 1 if hi is None else np.asarray(hi, dtype=np.intp)
+    return TileQueryBatch(lo, hi, np.zeros_like(lo), np.ones_like(lo))
+
+
+class TestProbeStore:
+    def test_round_trip(self):
+        cache = TileResultCache()
+        batch = make_batch([3, 1, 7])
+        values = np.array([30.0, 10.0, 70.0])
+        assert cache.store(KEY, batch, values) == 3
+        got, hit = cache.probe(KEY, batch)
+        assert hit.all()
+        np.testing.assert_array_equal(got, values)
+
+    def test_partial_hit_reports_misses_as_nan(self):
+        cache = TileResultCache()
+        cache.store(KEY, make_batch([1, 2]), np.array([1.0, 2.0]))
+        got, hit = cache.probe(KEY, make_batch([2, 5, 1]))
+        np.testing.assert_array_equal(hit, [True, False, True])
+        assert got[0] == 2.0 and got[2] == 1.0
+        assert np.isnan(got[1])
+
+    def test_counters(self):
+        cache = TileResultCache()
+        cache.store(KEY, make_batch([1]), np.array([1.0]))
+        cache.probe(KEY, make_batch([1, 2, 3]))
+        assert cache.hits == 1
+        assert cache.misses == 2
+
+    def test_mask_restricts_store(self):
+        cache = TileResultCache()
+        added = cache.store(
+            KEY,
+            make_batch([1, 2, 3]),
+            np.array([1.0, 2.0, 3.0]),
+            mask=np.array([True, False, True]),
+        )
+        assert added == 2
+        _, hit = cache.probe(KEY, make_batch([1, 2, 3]))
+        np.testing.assert_array_equal(hit, [True, False, True])
+
+    def test_non_finite_values_never_cached(self):
+        cache = TileResultCache()
+        added = cache.store(
+            KEY, make_batch([1, 2, 3]), np.array([1.0, np.nan, np.inf])
+        )
+        assert added == 1
+        _, hit = cache.probe(KEY, make_batch([1, 2, 3]))
+        np.testing.assert_array_equal(hit, [True, False, False])
+
+    def test_duplicate_stores_keep_one_entry(self):
+        cache = TileResultCache()
+        batch = make_batch([4, 4, 4])
+        assert cache.store(KEY, batch, np.array([7.0, 7.0, 7.0])) == 1
+        assert cache.store(KEY, batch, np.array([7.0, 7.0, 7.0])) == 0
+        assert len(cache) == 1
+
+    def test_distinct_fields_do_not_collide(self):
+        cache = TileResultCache()
+        other = CacheKey(summary_id=1, generation=0, estimator_key="est", field="n_d")
+        cache.store(KEY, make_batch([1]), np.array([5.0]))
+        _, hit = cache.probe(other, make_batch([1]))
+        assert not hit.any()
+
+    def test_empty_batch(self):
+        cache = TileResultCache()
+        empty = make_batch([])
+        assert cache.store(KEY, empty, np.empty(0)) == 0
+        values, hit = cache.probe(KEY, empty)
+        assert len(values) == 0 and len(hit) == 0
+
+    def test_shape_mismatch_raises(self):
+        cache = TileResultCache()
+        with pytest.raises(ValueError):
+            cache.store(KEY, make_batch([1, 2]), np.array([1.0]))
+
+
+class TestPacking:
+    def test_pack_is_injective_on_distinct_tiles(self):
+        lo = np.arange(100, dtype=np.intp)
+        packed = pack_tile_batch(make_batch(lo))
+        assert len(np.unique(packed)) == 100
+
+    def test_oversized_corners_are_uncachable(self):
+        big = make_batch([1 << 16])
+        assert pack_tile_batch(big) is None
+        cache = TileResultCache()
+        assert cache.store(KEY, big, np.array([1.0])) == 0
+        values, hit = cache.probe(KEY, big)
+        assert not hit.any() and np.isnan(values).all()
+
+
+class TestLRU:
+    def test_capacity_is_never_exceeded(self):
+        cache = TileResultCache(10 * ENTRY_BYTES)
+        for start in range(0, 40, 4):
+            cache.store(
+                KEY,
+                make_batch(np.arange(start, start + 4)),
+                np.arange(4, dtype=np.float64),
+            )
+            assert cache.nbytes <= cache.capacity_bytes
+        assert cache.evictions > 0
+
+    def test_recently_probed_entries_survive(self):
+        cache = TileResultCache(8 * ENTRY_BYTES)
+        cache.store(KEY, make_batch(np.arange(6)), np.arange(6, dtype=np.float64))
+        # Touch 0 and 1, then overflow with four new entries.
+        cache.probe(KEY, make_batch([0, 1]))
+        cache.store(
+            KEY, make_batch(np.arange(10, 14)), np.arange(4, dtype=np.float64)
+        )
+        _, hit = cache.probe(KEY, make_batch([0, 1]))
+        assert hit.all(), "recently-touched entries were evicted before stale ones"
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TileResultCache(ENTRY_BYTES - 1)
+
+    def test_clear(self):
+        cache = TileResultCache()
+        cache.store(KEY, make_batch([1, 2]), np.array([1.0, 2.0]))
+        cache.clear()
+        assert len(cache) == 0
+        _, hit = cache.probe(KEY, make_batch([1, 2]))
+        assert not hit.any()
+
+
+class TestGenerationInvalidation:
+    def test_new_generation_drops_stale_keyspace(self):
+        cache = TileResultCache()
+        cache.store(KEY, make_batch([1, 2]), np.array([1.0, 2.0]))
+        bumped = CacheKey(
+            summary_id=KEY.summary_id,
+            generation=1,
+            estimator_key=KEY.estimator_key,
+            field=KEY.field,
+        )
+        _, hit = cache.probe(bumped, make_batch([1, 2]))
+        assert not hit.any()
+        assert cache.generation_invalidations == 1
+        assert len(cache) == 0
+
+    def test_store_under_new_generation_replaces(self):
+        cache = TileResultCache()
+        cache.store(KEY, make_batch([1]), np.array([1.0]))
+        bumped = CacheKey(
+            summary_id=KEY.summary_id,
+            generation=2,
+            estimator_key=KEY.estimator_key,
+            field=KEY.field,
+        )
+        cache.store(bumped, make_batch([1]), np.array([9.0]))
+        values, hit = cache.probe(bumped, make_batch([1]))
+        assert hit.all() and values[0] == 9.0
+        # The old generation is gone, not resurrectable.
+        _, stale_hit = cache.probe(KEY, make_batch([1]))
+        assert not stale_hit.any()
+
+
+class TestKeys:
+    def test_summary_token_is_stable_and_unique(self):
+        class Summary:
+            pass
+
+        a, b = Summary(), Summary()
+        assert summary_token(a) == summary_token(a)
+        assert summary_token(a) != summary_token(b)
+
+    def test_summary_generation_defaults_to_zero(self):
+        assert summary_generation(object()) == 0
+
+    def test_backing_summary_unwraps_histogram(self):
+        class Hist:
+            pass
+
+        class Estimator:
+            def __init__(self, hist):
+                self.histogram = hist
+
+        hist = Hist()
+        assert backing_summary(Estimator(hist)) is hist
+
+    def test_backing_summary_unwraps_adapters(self):
+        class Hist:
+            pass
+
+        class Estimator:
+            def __init__(self, hist):
+                self.histogram = hist
+
+        class Adapter:
+            def __init__(self, inner):
+                self.wrapped = inner
+
+        hist = Hist()
+        assert backing_summary(Adapter(Adapter(Estimator(hist)))) is hist
+
+    def test_backing_summary_of_plain_estimator_is_itself(self):
+        est = object()
+        assert backing_summary(est) is est
+
+
+class TestThreadSafety:
+    def test_concurrent_probe_and_store(self):
+        cache = TileResultCache(2048 * ENTRY_BYTES)
+        errors = []
+
+        def worker(offset):
+            try:
+                rng = np.random.default_rng(offset)
+                for _ in range(50):
+                    lo = rng.integers(0, 500, size=32).astype(np.intp)
+                    batch = make_batch(lo)
+                    cache.store(KEY, batch, lo.astype(np.float64) * 2.0)
+                    values, hit = cache.probe(KEY, batch)
+                    # Any hit must return the deterministic value.
+                    if hit.any() and not np.array_equal(
+                        values[hit], lo[hit].astype(np.float64) * 2.0
+                    ):
+                        errors.append("stale or corrupt value")
+            except Exception as exc:  # pragma: no cover
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.nbytes <= cache.capacity_bytes

@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.workloads",
     "repro.metrics",
     "repro.browse",
+    "repro.cache",
     "repro.experiments",
 ]
 
