@@ -1,0 +1,332 @@
+"""Viewport-delta benchmarks for the browse stack: PR 5's headline numbers.
+
+Two measurements, both over Euler summaries of Figure-12 datasets on the
+paper's 360x180 world grid:
+
+1. **Pan-dominated session replay, cold vs delta.**  Replays reproducible
+   pan/zoom sessions (:func:`repro.workloads.sessions.generate_sessions`
+   with ``pan_prob`` high) through two :class:`GeoBrowsingService`
+   instances sharing one estimator: one cold (every raster estimated from
+   scratch) and one with a :class:`~repro.browse.delta.DeltaTracker`
+   (tile-aligned pans copy the overlapping band from the session's
+   previous raster and estimate only the fresh strip).  Parity is
+   asserted raster by raster; the reported speedup is the ratio of
+   *median* whole-trace replay times over interleaved rounds.
+2. **Generation bumps disable reuse.**  Replays one pan session over a
+   :class:`~repro.euler.maintained.MaintainedEulerHistogram`, inserting
+   an object between interactions.  Every insert bumps the summary
+   generation, so the delta scope never matches: the benchmark asserts
+   zero reused rasters, at least one ``incompatible`` outcome, and
+   bit-parity against a delta-free service over the same evolving state.
+
+Results go to ``BENCH_browse_delta.json`` at the repository root.  Run
+directly::
+
+    PYTHONPATH=src python benchmarks/bench_browse_delta.py          # full
+    PYTHONPATH=src python benchmarks/bench_browse_delta.py --quick  # CI smoke
+
+Full mode gates on the PR's acceptance number (median delta speedup >=
+3x on every pan replay); quick mode gates on speedup > 1x and parity
+only, so CI stays robust on loaded runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import time
+
+import numpy as np
+
+from repro.browse.delta import DeltaTracker
+from repro.browse.service import GeoBrowsingService
+from repro.euler.maintained import MaintainedEulerHistogram
+from repro.euler.simple import SEulerApprox
+from repro.experiments.config import ExperimentConfig, Workbench
+from repro.geometry.rect import Rect
+from repro.grid.tiles_math import TileQuery
+from repro.obs import BrowseInstrumentation
+from repro.workloads.sessions import generate_sessions
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_browse_delta.json"
+
+
+def _replay(service: GeoBrowsingService, sessions, collect: bool = False):
+    """Replay every interaction once; wall clock plus optional rasters.
+
+    Each session gets its own tracker key so pans reuse their own
+    session's previous raster, never another session's.
+    """
+    rasters: list[np.ndarray] = []
+    start = time.perf_counter()
+    for i, session in enumerate(sessions):
+        for step in session:
+            result = service.browse(
+                step.region, step.rows, step.cols, step.relation, session=f"s{i}"
+            )
+            if collect:
+                rasters.append(result.counts)
+    return time.perf_counter() - start, rasters
+
+
+def run_pan_replay(
+    workbench: Workbench,
+    dataset: str,
+    *,
+    num_sessions: int,
+    max_depth: int,
+    pan_prob: float,
+    pan_fraction: float,
+    min_partition: int,
+    max_partition: int,
+    rounds: int,
+    seed: int,
+) -> dict:
+    """Cold vs delta replay of a pan-dominated trace; parity asserted.
+
+    The trace models a map UI browsing at street level: sessions start
+    from a mid-zoom viewport (a centred half-width window, not the
+    unpannable full-world view) tiled at display resolution
+    (``min_partition``..``max_partition`` tiles per axis) and mostly pan
+    from there.
+    """
+    estimator = workbench.s_euler(dataset)
+    grid = workbench.grid
+    start = TileQuery(
+        grid.n1 // 6, grid.n1 // 6 + grid.n1 * 2 // 3,
+        grid.n2 // 6, grid.n2 // 6 + grid.n2 * 2 // 3,
+    )
+    sessions = generate_sessions(
+        grid,
+        num_sessions=num_sessions,
+        max_depth=max_depth,
+        seed=seed,
+        pan_prob=pan_prob,
+        pan_fraction=pan_fraction,
+        min_partition=min_partition,
+        max_partition=max_partition,
+        start_region=start,
+    )
+    interactions = sum(len(s) for s in sessions)
+    tiles = sum(s.total_tiles for s in sessions)
+
+    # Parity + reuse statistics: one instrumented pass against a cold
+    # reference, outside the timed rounds.
+    cold = GeoBrowsingService(estimator, grid)
+    instruments = BrowseInstrumentation()
+    tracker = DeltaTracker()
+    delta = GeoBrowsingService(estimator, grid, delta=tracker, instruments=instruments)
+    _, cold_rasters = _replay(cold, sessions, collect=True)
+    _, delta_rasters = _replay(delta, sessions, collect=True)
+    for step_index, (plain, reused) in enumerate(zip(cold_rasters, delta_rasters)):
+        if not np.array_equal(plain, reused):
+            raise AssertionError(
+                f"delta raster diverged from cold raster at step {step_index} on {dataset}"
+            )
+    outcomes = {
+        outcome: int(
+            instruments.delta_rasters.labels(service="plain", outcome=outcome).value
+        )
+        for outcome in ("reused", "incompatible", "cold")
+    }
+    tiles_reused = int(instruments.delta_tiles_reused.labels(service="plain").value)
+
+    # Timing: uninstrumented services, interleaved rounds, fresh tracker
+    # per round so reuse within a round comes only from the trace itself.
+    timed_delta = GeoBrowsingService(estimator, grid, delta=tracker)
+    cold_times: list[float] = []
+    delta_times: list[float] = []
+    for _ in range(rounds):
+        cold_times.append(_replay(cold, sessions)[0])
+        tracker.clear()
+        delta_times.append(_replay(timed_delta, sessions)[0])
+    cold_median = statistics.median(cold_times)
+    delta_median = statistics.median(delta_times)
+
+    entry = {
+        "dataset": dataset,
+        "sessions": len(sessions),
+        "interactions": interactions,
+        "tiles": tiles,
+        "pan_prob": pan_prob,
+        "pan_fraction": pan_fraction,
+        "min_partition": min_partition,
+        "max_partition": max_partition,
+        "rounds": rounds,
+        "cold_seconds_median": round(cold_median, 6),
+        "delta_seconds_median": round(delta_median, 6),
+        "delta_speedup": round(cold_median / delta_median, 2),
+        "rasters": outcomes,
+        "tiles_reused": tiles_reused,
+        "tile_reuse_fraction": round(tiles_reused / max(tiles, 1), 4),
+    }
+    print(
+        f"{dataset:>8} pan replay ({interactions:>3} steps, {tiles:>7} tiles): "
+        f"cold {cold_median * 1000:8.2f} ms  delta {delta_median * 1000:8.2f} ms  "
+        f"-> {entry['delta_speedup']:.1f}x "
+        f"({100 * entry['tile_reuse_fraction']:.0f}% tiles reused)"
+    )
+    return entry
+
+
+def run_generation_bumps(
+    workbench: Workbench,
+    dataset: str,
+    *,
+    max_depth: int,
+    pan_fraction: float,
+    max_partition: int,
+    seed: int,
+) -> dict:
+    """Inserts between interactions must disable reuse, with parity."""
+    grid = workbench.grid
+    maintained = MaintainedEulerHistogram(grid, workbench.dataset(dataset))
+    estimator = SEulerApprox(maintained)
+    sessions = generate_sessions(
+        grid,
+        num_sessions=1,
+        max_depth=max_depth,
+        seed=seed,
+        pan_prob=1.0,
+        pan_fraction=pan_fraction,
+        max_partition=max_partition,
+    )
+    instruments = BrowseInstrumentation()
+    delta = GeoBrowsingService(
+        estimator, grid, delta=DeltaTracker(), instruments=instruments
+    )
+    cold = GeoBrowsingService(estimator, grid)
+    extent = grid.extent
+    inserts = 0
+    interactions = 0
+    for session in sessions:
+        for step in session:
+            reused = delta.browse(step.region, step.rows, step.cols, step.relation)
+            reference = cold.browse(step.region, step.rows, step.cols, step.relation)
+            if not np.array_equal(reused.counts, reference.counts):
+                raise AssertionError(
+                    f"delta raster diverged after a generation bump on {dataset}"
+                )
+            interactions += 1
+            # Mutate the summary between interactions: the generation bump
+            # must make the previous raster's delta scope unreachable.
+            maintained.insert(
+                Rect(extent.x_lo, extent.x_lo + 1.0, extent.y_lo, extent.y_lo + 1.0)
+            )
+            inserts += 1
+    outcomes = {
+        outcome: int(
+            instruments.delta_rasters.labels(service="plain", outcome=outcome).value
+        )
+        for outcome in ("reused", "incompatible", "cold")
+    }
+    if outcomes["reused"] != 0:
+        raise AssertionError("delta reuse survived a generation bump")
+    if interactions > 1 and outcomes["incompatible"] == 0:
+        raise AssertionError("generation bumps never produced an incompatible outcome")
+    entry = {
+        "dataset": dataset,
+        "interactions": interactions,
+        "inserts": inserts,
+        "rasters": outcomes,
+        "parity": "ok",
+    }
+    print(
+        f"{dataset:>8} generation bumps: {interactions} interactions, "
+        f"{inserts} inserts, {outcomes['incompatible']} incompatible, "
+        f"0 reused (parity ok)"
+    )
+    return entry
+
+
+def run(
+    datasets: tuple[str, ...],
+    *,
+    scale: float | None = None,
+    num_sessions: int = 6,
+    max_depth: int = 40,
+    pan_prob: float = 0.97,
+    pan_fraction: float = 0.05,
+    min_partition: int = 96,
+    max_partition: int = 120,
+    rounds: int = 5,
+) -> dict:
+    """Run both benchmarks and return the result document."""
+    config = ExperimentConfig() if scale is None else ExperimentConfig(scale=scale)
+    workbench = Workbench(config)
+    document = {
+        "benchmark": "bench_browse_delta",
+        "estimator": "S-EulerApprox",
+        "grid": f"{workbench.grid.n1}x{workbench.grid.n2}",
+        "scale": workbench.config.scale,
+        "pan_replay": [
+            run_pan_replay(
+                workbench,
+                name,
+                num_sessions=num_sessions,
+                max_depth=max_depth,
+                pan_prob=pan_prob,
+                pan_fraction=pan_fraction,
+                min_partition=min_partition,
+                max_partition=max_partition,
+                rounds=rounds,
+                seed=11,
+            )
+            for name in datasets
+        ],
+        "generation_bumps": run_generation_bumps(
+            workbench,
+            datasets[0],
+            max_depth=6,
+            pan_fraction=pan_fraction,
+            max_partition=32,
+            seed=11,
+        ),
+    }
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: one dataset, reduced scale, relaxed gates",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        document = run(
+            ("adl",),
+            scale=0.02,
+            num_sessions=3,
+            max_depth=8,
+            rounds=2,
+        )
+    else:
+        document = run(("sp_skew", "adl"))
+
+    args.out.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    speedup_floor = 1.0 if args.quick else 3.0
+    if any(
+        entry["delta_speedup"] < speedup_floor for entry in document["pan_replay"]
+    ):
+        print(f"FAIL: delta session replay below the {speedup_floor:g}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

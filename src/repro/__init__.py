@@ -31,6 +31,8 @@ from repro.browse import (
     AttributeCatalog,
     BrowseResult,
     CircuitBreaker,
+    DeltaSource,
+    DeltaTracker,
     FallbackChain,
     GeoBrowsingService,
     ResilientBrowsingService,
@@ -174,10 +176,12 @@ __all__ = [
     "FallbackChain",
     "CircuitBreaker",
     "RetryPolicy",
-    # cache & sharding
+    # cache, sharding & viewport deltas
     "TileResultCache",
     "CacheKey",
     "ShardPool",
+    "DeltaTracker",
+    "DeltaSource",
     "BrowseError",
     "InvalidRegionError",
     "DeadlineExceededError",

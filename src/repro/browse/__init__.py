@@ -2,6 +2,7 @@
 resilient serving layer."""
 
 from repro.browse.catalog import AttributeCatalog, SummedEstimator
+from repro.browse.delta import DeltaPlan, DeltaSource, DeltaTracker, plan_delta
 from repro.browse.resilience import (
     CircuitBreaker,
     EstimatorTier,
@@ -30,4 +31,8 @@ __all__ = [
     "ShardPool",
     "band_slices",
     "batch_subset",
+    "DeltaPlan",
+    "DeltaSource",
+    "DeltaTracker",
+    "plan_delta",
 ]

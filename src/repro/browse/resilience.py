@@ -43,6 +43,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.browse.delta import DeltaPlan, DeltaSource, DeltaTracker, plan_delta
 from repro.browse.service import BrowseResult, resolve_browse_request
 from repro.browse.sharding import ShardPool, batch_subset
 from repro.cache import CacheKey, TileResultCache, backing_summary, summary_generation, summary_token
@@ -453,6 +454,16 @@ class ResilientBrowsingService:
         deadline is checked between waves (a wave in flight is never
         abandoned), which generalises the sequential per-chunk check;
         with the default 1 the behaviour is exactly the sequential one.
+    delta:
+        An optional :class:`~repro.browse.delta.DeltaTracker`.  Tiles of
+        the session's previous raster that coincide with this request's
+        tiles (same scope/generation, tile extents and lattice-aligned
+        offset) are copied and marked valid *before* any deadline check
+        runs, so a pan's overlap survives even a zero budget; only the
+        fresh band walks the cache-probe/fallback-chain path.  Only tiles
+        answered by the primary tier (or copied from ones that were) are
+        ever reused -- a degraded tier's counts must not outlive the
+        interaction that produced them.
     """
 
     def __init__(
@@ -471,6 +482,7 @@ class ResilientBrowsingService:
         instruments: BrowseInstrumentation | None = None,
         cache: TileResultCache | None = None,
         num_shards: int = 1,
+        delta: DeltaTracker | None = None,
     ) -> None:
         if chunk_rows < 1:
             raise ValueError("chunk_rows must be at least 1")
@@ -496,8 +508,9 @@ class ResilientBrowsingService:
         self._obs = instruments
         self._cache = cache
         self._pool = ShardPool(num_shards) if num_shards > 1 else None
+        self._delta = delta
         self._summary = backing_summary(chain.tiers[0].estimator)
-        self._summary_token = summary_token(self._summary) if cache is not None else 0
+        self._summary_token = summary_token(self._summary)
 
     @property
     def grid(self) -> Grid:
@@ -524,6 +537,11 @@ class ResilientBrowsingService:
         """Row chunks dispatched concurrently per wave (1 = sequential)."""
         return self._pool.num_shards if self._pool is not None else 1
 
+    @property
+    def delta(self) -> DeltaTracker | None:
+        """The viewport-delta tracker, when one was configured."""
+        return self._delta
+
     def cache_key(self, field_name: str) -> CacheKey:
         """The cache key for this service's *primary-tier* answers: the
         primary summary's identity token and current generation plus the
@@ -549,6 +567,8 @@ class ResilientBrowsingService:
         *,
         deadline: float | None = None,
         on_deadline: str = "partial",
+        previous: BrowseResult | None = None,
+        session: str = "default",
     ) -> BrowseResult:
         """Run one browsing interaction with resilience semantics.
 
@@ -567,6 +587,12 @@ class ResilientBrowsingService:
             unanswered tiles NaN and marked ``False`` in the result's
             validity mask; ``"raise"`` raises
             :class:`~repro.errors.DeadlineExceededError` instead.
+        previous:
+            An explicit viewport-delta hint (see
+            :mod:`repro.browse.delta`); overrides the tracker.
+        session:
+            The session key under the service's
+            :class:`~repro.browse.delta.DeltaTracker`, when configured.
         """
         if on_deadline not in ("partial", "raise"):
             raise ValueError(
@@ -593,24 +619,62 @@ class ResilientBrowsingService:
             valid = np.zeros((rows, cols), dtype=bool)
             counts_flat = counts.reshape(-1)
             valid_flat = valid.reshape(-1)
-
-            # Vectorised cache probe: one gather answers every
-            # previously-seen tile before any chunk (or deadline) runs.
-            cache = self._cache
-            cache_key = None
+            # Tiles whose value the primary path stands behind (cache
+            # hits, delta copies, primary-tier chunks): only these are
+            # reusable by later viewport deltas.
+            primary_flat = np.zeros(rows * cols, dtype=bool)
             miss_flat = np.ones(rows * cols, dtype=bool)
+            scope = self.cache_key(field_name)
+
+            # Viewport-delta probe: tiles coinciding with the session's
+            # previous raster are copied and marked valid before any
+            # deadline check runs, so a pan's overlap survives even a
+            # zero budget.
+            candidate = previous
+            if candidate is None and self._delta is not None:
+                candidate = self._delta.lookup(session)
+            plan: DeltaPlan | None = None
+            if candidate is not None:
+                plan = plan_delta(candidate, region, rows, cols, scope)
+            if plan is not None:
+                with span("delta_fill", tiles=plan.n_reused):
+                    plan.fill(counts_flat, candidate.counts)
+                    valid_flat[plan.reused] = True
+                    primary_flat[plan.reused] = True
+                    miss_flat[plan.reused] = False
+            if obs is not None and (previous is not None or self._delta is not None):
+                if plan is not None:
+                    outcome = "reused"
+                    obs.delta_tiles_reused.labels(service="resilient").inc(plan.n_reused)
+                else:
+                    outcome = "incompatible" if candidate is not None else "cold"
+                obs.delta_rasters.labels(service="resilient", outcome=outcome).inc()
+
+            # Vectorised cache probe over the tiles the delta could not
+            # cover: one gather answers every previously-seen tile before
+            # any chunk (or deadline) runs.
+            cache = self._cache
+            cache_key = scope if cache is not None else None
             if cache is not None:
-                cache_key = self.cache_key(field_name)
-                with span("cache_probe"):
-                    cached_values, hit = cache.probe(cache_key, batch)
-                n_hit = int(np.count_nonzero(hit))
-                if obs is not None:
-                    obs.cache_hits.labels(service="resilient").inc(n_hit)
-                    obs.cache_misses.labels(service="resilient").inc(rows * cols - n_hit)
-                if n_hit:
-                    counts_flat[hit] = cached_values[hit]
-                    valid_flat[hit] = True
-                    miss_flat = ~hit
+                remaining = np.flatnonzero(miss_flat)
+                if remaining.size:
+                    probe_batch = (
+                        batch if remaining.size == rows * cols else batch_subset(batch, remaining)
+                    )
+                    with span("cache_probe"):
+                        cached_values, hit = cache.probe(cache_key, probe_batch)
+                    n_hit = int(np.count_nonzero(hit))
+                    if obs is not None:
+                        obs.cache_hits.labels(service="resilient").inc(n_hit)
+                        obs.cache_misses.labels(service="resilient").inc(
+                            remaining.size - n_hit
+                        )
+                    if n_hit:
+                        pos = remaining[hit]
+                        counts_flat[pos] = cached_values[hit]
+                        valid_flat[pos] = True
+                        primary_flat[pos] = True
+                        miss_flat[pos] = False
 
             # Row chunks that still have unanswered tiles, answered in
             # waves of up to ``num_shards`` concurrent chunks.  The
@@ -665,11 +729,13 @@ class ResilientBrowsingService:
                         ).observe(chunk_seconds)
                     counts_flat[idx] = values
                     valid_flat[idx] = True
-                    # Only authoritative answers are cached: a degraded
-                    # tier's counts must not keep serving once the
-                    # primary recovers.
-                    if cache_key is not None and tier is self._chain.tiers[0]:
-                        cache.store(cache_key, sub, values)
+                    # Only authoritative answers are cached or reused by
+                    # later viewport deltas: a degraded tier's counts
+                    # must not keep serving once the primary recovers.
+                    if tier is self._chain.tiers[0]:
+                        primary_flat[idx] = True
+                        if cache_key is not None:
+                            cache.store(cache_key, sub, values)
 
         if obs is not None:
             elapsed = self._clock() - started
@@ -684,14 +750,29 @@ class ResilientBrowsingService:
             trace_attrs = trace.spans[0].attrs
             trace_attrs["valid_fraction"] = float(valid.mean()) if valid.size else 1.0
             trace_attrs["deadline_expired"] = expired
+        reusable = (valid_flat & primary_flat).reshape(rows, cols)
+        delta_source = DeltaSource(
+            scope=scope, reusable=None if bool(reusable.all()) else reusable
+        )
         if valid.all():
             result = BrowseResult(
-                region=region, relation=relation, counts=counts, telemetry=trace
+                region=region,
+                relation=relation,
+                counts=counts,
+                telemetry=trace,
+                delta=delta_source,
             )
         else:
             result = BrowseResult(
-                region=region, relation=relation, counts=counts, valid=valid, telemetry=trace
+                region=region,
+                relation=relation,
+                counts=counts,
+                valid=valid,
+                telemetry=trace,
+                delta=delta_source,
             )
+        if self._delta is not None:
+            self._delta.remember(session, result)
         if obs is not None and obs.accuracy is not None:
             obs.accuracy.observe(result, trace=trace)
         return result

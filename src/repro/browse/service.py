@@ -31,7 +31,14 @@ bit-identical rasters:
   row bands dispatched across a
   :class:`~repro.browse.sharding.ShardPool` -- numpy kernels release the
   GIL, so shards overlap on multi-core hosts and band-blocking keeps
-  the single-core case ahead too.
+  the single-core case ahead too;
+- a :class:`~repro.browse.delta.DeltaTracker` (``delta=``, or an explicit
+  ``previous=`` hint per call) overlays *viewport deltas*: when the new
+  raster is tile-compatible with the session's previous one (same
+  scope/generation, same tile extents, lattice-aligned offset -- see
+  :mod:`repro.browse.delta`), the overlapping tiles are copied from the
+  previous result and only the fresh band reaches the cache/estimator
+  path at all.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.browse.delta import DeltaPlan, DeltaSource, DeltaTracker, plan_delta
 from repro.browse.sharding import ShardPool, band_slices, batch_subset
 from repro.cache import CacheKey, TileResultCache, backing_summary, summary_generation, summary_token
 from repro.errors import InvalidRegionError
@@ -53,7 +61,11 @@ from repro.grid.grid import Grid
 from repro.grid.tiles_math import TileQuery, aligned_query_cells
 from repro.obs.instruments import BrowseInstrumentation
 from repro.obs.trace import RequestTrace
-from repro.workloads.tiles import browsing_tile_batch, browsing_tiles
+from repro.workloads.tiles import (
+    browsing_tile_batch,
+    browsing_tile_batch_subset,
+    browsing_tiles,
+)
 
 __all__ = ["GeoBrowsingService", "BrowseResult", "RELATION_FIELDS"]
 
@@ -85,6 +97,12 @@ class BrowseResult:
     estimator attempts and outcomes, readable via
     ``result.telemetry.render()``.  It is excluded from equality so
     result comparison stays about the raster.
+
+    ``delta`` records the scope this raster was answered under (summary
+    identity and generation, estimator, relation field) plus which tiles
+    are safe to copy, enabling :mod:`repro.browse.delta` reuse when the
+    result is passed back as the ``previous=`` hint of a later browse.
+    Like ``telemetry`` it is excluded from equality.
     """
 
     region: TileQuery
@@ -92,6 +110,7 @@ class BrowseResult:
     counts: np.ndarray
     valid: np.ndarray | None = field(default=None)
     telemetry: RequestTrace | None = field(default=None, compare=False, repr=False)
+    delta: DeltaSource | None = field(default=None, compare=False, repr=False)
 
     @property
     def rows(self) -> int:
@@ -190,10 +209,13 @@ class GeoBrowsingService:
 
     Pass a :class:`~repro.cache.TileResultCache` as ``cache`` to reuse
     tile counts across requests (hit/miss counts are recorded when
-    instrumented), and ``num_shards > 1`` to execute large rasters as
-    row-band shards on a thread pool.  Both default off, leaving the
-    single-batch fast path untouched; both are exact -- cached, sharded
-    and plain rasters are bit-identical.
+    instrumented), ``num_shards > 1`` to execute large rasters as
+    row-band shards on a thread pool, and a
+    :class:`~repro.browse.delta.DeltaTracker` as ``delta`` to answer each
+    session's overlapping tiles by copying them from the session's
+    previous raster.  All default off, leaving the single-batch fast path
+    untouched; all are exact -- cached, sharded, delta-assembled and
+    plain rasters are bit-identical.
     """
 
     def __init__(
@@ -204,6 +226,7 @@ class GeoBrowsingService:
         instruments: BrowseInstrumentation | None = None,
         cache: TileResultCache | None = None,
         num_shards: int = 1,
+        delta: DeltaTracker | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
@@ -212,8 +235,9 @@ class GeoBrowsingService:
         self._grid = grid
         self._obs = instruments
         self._cache = cache
+        self._delta = delta
         self._summary = backing_summary(estimator)
-        self._summary_token = summary_token(self._summary) if cache is not None else 0
+        self._summary_token = summary_token(self._summary)
         self._pool = ShardPool(num_shards) if num_shards > 1 else None
 
     @property
@@ -235,6 +259,11 @@ class GeoBrowsingService:
     def num_shards(self) -> int:
         """Requested raster fan-out (1 = monolithic batches)."""
         return self._pool.num_shards if self._pool is not None else 1
+
+    @property
+    def delta(self) -> DeltaTracker | None:
+        """The viewport-delta tracker, when one was configured."""
+        return self._delta
 
     def cache_key(self, field_name: str) -> CacheKey:
         """The cache key scoping this service's answers for one relation
@@ -260,6 +289,8 @@ class GeoBrowsingService:
         relation: str = "overlap",
         *,
         use_batch: bool = True,
+        previous: BrowseResult | None = None,
+        session: str = "default",
     ) -> BrowseResult:
         """Run one browsing interaction.
 
@@ -278,6 +309,16 @@ class GeoBrowsingService:
             vectorised ``estimate_batch`` path; ``False`` forces the
             legacy per-tile scalar loop.  Both produce bit-identical
             rasters -- the flag exists for parity tests and benchmarks.
+        previous:
+            An explicit viewport-delta hint: a result whose overlapping
+            tiles are copied when it is tile-compatible with this request
+            (see :mod:`repro.browse.delta`).  Overrides the tracker.
+        session:
+            The session key under the service's
+            :class:`~repro.browse.delta.DeltaTracker` (when one is
+            configured): the session's last raster is the implicit
+            ``previous``, and this result replaces it.  Delta reuse rides
+            the batch path only; ``use_batch=False`` always recomputes.
         """
         obs = self._obs
         trace = obs.new_trace() if obs is not None else None
@@ -289,11 +330,43 @@ class GeoBrowsingService:
         with span("browse", relation=relation, rows=rows, cols=cols):
             with span("resolve"):
                 region, field_name = resolve_browse_request(self._grid, region, relation)
+            scope = self.cache_key(field_name)
 
             if use_batch:
-                with span("build_batch"):
-                    batch = browsing_tile_batch(region, rows, cols)
-                counts = self._answer_batch(batch, field_name, span).reshape(rows, cols)
+                candidate = previous
+                if candidate is None and self._delta is not None:
+                    candidate = self._delta.lookup(session)
+                plan: DeltaPlan | None = None
+                if candidate is not None:
+                    plan = plan_delta(candidate, region, rows, cols, scope)
+                if plan is not None:
+                    # Copy the overlap and build tile queries for the
+                    # fresh band only -- never materialise the full batch
+                    # for tiles answered from the previous raster.
+                    with span("delta_fill", tiles=plan.n_reused):
+                        counts_flat = np.empty(rows * cols, dtype=np.float64)
+                        plan.fill(counts_flat, candidate.counts)
+                    fresh = np.flatnonzero(~plan.reused)
+                    if fresh.size:
+                        with span("build_batch"):
+                            fresh_batch = browsing_tile_batch_subset(
+                                region, rows, cols, fresh
+                            )
+                        counts_flat[fresh] = self._answer_batch(
+                            fresh_batch, field_name, span
+                        )
+                    counts = counts_flat.reshape(rows, cols)
+                else:
+                    with span("build_batch"):
+                        batch = browsing_tile_batch(region, rows, cols)
+                    counts = self._answer_batch(batch, field_name, span).reshape(rows, cols)
+                if obs is not None and (previous is not None or self._delta is not None):
+                    if plan is not None:
+                        outcome = "reused"
+                        obs.delta_tiles_reused.labels(service="plain").inc(plan.n_reused)
+                    else:
+                        outcome = "incompatible" if candidate is not None else "cold"
+                    obs.delta_rasters.labels(service="plain", outcome=outcome).inc()
             else:
                 with span("estimate", tier=self._estimator.name, path="scalar"):
                     tiles = browsing_tiles(region, rows, cols)
@@ -307,14 +380,23 @@ class GeoBrowsingService:
             obs.requests.labels(service="plain", relation=relation).inc()
             obs.request_seconds.labels(service="plain").observe(elapsed)
             for stage_span in (trace.spans if trace is not None else ()):
-                if stage_span.name in ("resolve", "build_batch", "cache_probe", "estimate"):
+                if stage_span.name in (
+                    "resolve", "build_batch", "cache_probe", "delta_fill", "estimate"
+                ):
                     obs.stage_seconds.labels(
                         service="plain", stage=stage_span.name
                     ).observe(stage_span.seconds)
             obs.tiles.labels(service="plain", outcome="answered").inc(rows * cols)
-        return BrowseResult(
-            region=region, relation=relation, counts=counts, telemetry=trace
+        result = BrowseResult(
+            region=region,
+            relation=relation,
+            counts=counts,
+            telemetry=trace,
+            delta=DeltaSource(scope=scope),
         )
+        if self._delta is not None:
+            self._delta.remember(session, result)
+        return result
 
     # ------------------------------------------------------------------ #
     # batch execution (cache probe + sharded estimation)

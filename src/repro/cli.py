@@ -92,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="serve the request this many times (shows cache warm-up)",
     )
+    browse.add_argument(
+        "--delta",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse overlapping tiles from the previous raster of the "
+        "session (--no-delta recomputes every raster from scratch)",
+    )
 
     stats = sub.add_parser(
         "stats",
@@ -134,6 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="serve the request this many times (shows cache hit counters)",
+    )
+    stats.add_argument(
+        "--delta",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse overlapping tiles from the previous raster of the "
+        "session (--no-delta recomputes every raster from scratch)",
     )
     stats.add_argument(
         "--format",
@@ -194,7 +208,9 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_browse(args: argparse.Namespace) -> int:
+    from repro.browse.delta import DeltaTracker
     from repro.cache import TileResultCache
+    from repro.obs import BrowseInstrumentation
 
     if args.shards < 1:
         print("error: --shards must be positive", file=sys.stderr)
@@ -208,8 +224,15 @@ def _cmd_browse(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     cache = TileResultCache(int(args.cache_mb * (1 << 20))) if args.cache_mb > 0 else None
+    tracker = DeltaTracker() if args.delta else None
+    instruments = BrowseInstrumentation() if args.delta else None
     service = GeoBrowsingService(
-        SEulerApprox(histogram), histogram.grid, cache=cache, num_shards=args.shards
+        SEulerApprox(histogram),
+        histogram.grid,
+        cache=cache,
+        num_shards=args.shards,
+        delta=tracker,
+        instruments=instruments,
     )
     region = Rect(args.region[0], args.region[1], args.region[2], args.region[3])
     try:
@@ -235,10 +258,18 @@ def _cmd_browse(args: argparse.Namespace) -> int:
             f"# cache: {s['hits']} hits / {s['misses']} misses, "
             f"{s['entries']} entries ({s['nbytes']:,} bytes)"
         )
+    if instruments is not None:
+        reused = instruments.delta_rasters.labels(service="plain", outcome="reused").value
+        tiles = instruments.delta_tiles_reused.labels(service="plain").value
+        print(
+            f"# delta: {reused:g} rasters reused a previous result, "
+            f"{tiles:g} tiles copied"
+        )
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.browse.delta import DeltaTracker
     from repro.browse.resilience import ResilientBrowsingService
     from repro.errors import BrowseError
     from repro.exact.evaluator import ExactEvaluator
@@ -292,6 +323,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             instruments=instruments,
             cache=cache,
             num_shards=args.shards,
+            delta=DeltaTracker() if args.delta else None,
         )
         region = Rect(args.region[0], args.region[1], args.region[2], args.region[3])
         try:

@@ -145,6 +145,36 @@ class EulerHistogramBuilder:
         self._diff.add_box(span.a_lo, span.a_hi, span.b_lo, span.b_hi, weight)
         self._num_objects += weight
 
+    def add_spans(
+        self,
+        a_lo: np.ndarray,
+        a_hi: np.ndarray,
+        b_lo: np.ndarray,
+        b_hi: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        """Vectorised bulk insert of pre-snapped lattice spans with
+        per-span weights.
+
+        The maintained histogram's merge path: folds its whole pending
+        delta into the accumulator with one difference-array scatter
+        (:meth:`DifferenceArray2D.add_boxes`) instead of one
+        ``add_box`` per span.  A net weight that would drive the object
+        count negative raises ``ValueError`` before the accumulator is
+        touched, like :meth:`add`.
+        """
+        weights = np.asarray(weights, dtype=np.int64)
+        if weights.size == 0:
+            return
+        total = int(weights.sum())
+        if self._num_objects + total < 0:
+            raise ValueError(
+                f"removing a net {-total} object(s) from a builder holding "
+                f"{self._num_objects} would make the count negative"
+            )
+        self._diff.add_boxes(a_lo, a_hi, b_lo, b_hi, weights)
+        self._num_objects += total
+
     def add_dataset(self, dataset: RectDataset) -> None:
         """Vectorised bulk insert of a whole dataset."""
         if len(dataset) == 0:

@@ -7,7 +7,9 @@ array, maintenance can be layered without touching the algorithms:
 
 - a **base** :class:`~repro.euler.histogram.EulerHistogram` holds the bulk
   of the data behind its prefix-sum cube;
-- updates accumulate in a **pending delta list** of snapped footprints;
+- updates accumulate in a **pending delta** of snapped footprints, stored
+  as structure-of-arrays columns (:class:`_PendingSpans`) so query-time
+  folding is numpy broadcasting, never a Python loop per span;
 - a region sum is the base cube's answer plus each pending footprint's
   closed-form contribution, which is O(1) per pending object: the signed
   sum of an axis-aligned coverage box over an axis-aligned lattice box
@@ -15,7 +17,8 @@ array, maintenance can be layered without touching the algorithms:
   coordinate), ``-1`` (odd length starting on an edge coordinate) or
   ``0`` (even length);
 - when the delta grows past ``merge_threshold``, it is folded into a
-  rebuilt base (an O(buckets) pass), keeping query cost bounded.
+  rebuilt base (one vectorised difference-array scatter for the whole
+  delta plus an O(buckets) pass), keeping query cost bounded.
 
 :class:`MaintainedEulerHistogram` exposes the same query surface as
 :class:`EulerHistogram`, so ``SEulerApprox(MaintainedEulerHistogram(...))``
@@ -56,15 +59,66 @@ def _axis_factor(span_lo: int, span_hi: int, box_lo: int, box_hi: int) -> int:
     return 1 if lo % 2 == 0 else -1
 
 
-def _axis_factor_batch(
-    span_lo: int, span_hi: int, box_lo: np.ndarray, box_hi: np.ndarray
-) -> np.ndarray:
-    """Vectorised :func:`_axis_factor` over arrays of lattice boxes."""
+def _axis_factor_batch(span_lo, span_hi, box_lo, box_hi) -> np.ndarray:
+    """Vectorised :func:`_axis_factor` under numpy broadcasting.
+
+    The factor is symmetric in its two intervals, so either side may be
+    the array: scalar span against a batch of query boxes, a column of
+    pending spans against one scalar box, or a ``(P, 1)`` span column
+    against a ``(Q,)`` query batch for an all-pairs ``(P, Q)`` matrix.
+    """
     lo = np.maximum(span_lo, box_lo)
     hi = np.minimum(span_hi, box_hi)
     length = hi - lo + 1
     sign = np.where(lo % 2 == 0, 1, -1)
     return np.where((length > 0) & (length % 2 == 1), sign, 0)
+
+
+#: Bound on elements per (pending spans x queries) factor matrix; span
+#: chunks are sized so the broadcast temporaries stay a few megabytes.
+_DELTA_BROADCAST_ELEMENTS = 1 << 21
+
+
+class _PendingSpans:
+    """Growable structure-of-arrays store of snapped pending updates.
+
+    One ``(5, capacity)`` int64 block holding ``a_lo``/``a_hi``/``b_lo``/
+    ``b_hi``/``weight`` columns, doubled on overflow.  Compared to a list
+    of ``(LatticeSpan, weight)`` tuples, the query paths read the live
+    columns directly and fold the whole delta with a handful of numpy
+    broadcasts instead of a Python loop per span.
+    """
+
+    __slots__ = ("_data", "_n")
+
+    def __init__(self, capacity: int = 64) -> None:
+        self._data = np.empty((5, max(capacity, 1)), dtype=np.int64)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def append(self, span: LatticeSpan, weight: int) -> None:
+        if self._n == self._data.shape[1]:
+            self._data = np.concatenate([self._data, np.empty_like(self._data)], axis=1)
+        self._data[:, self._n] = (span.a_lo, span.a_hi, span.b_lo, span.b_hi, weight)
+        self._n += 1
+
+    def clear(self) -> None:
+        self._n = 0
+
+    @property
+    def columns(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Views of the live ``(a_lo, a_hi, b_lo, b_hi, weight)`` columns."""
+        live = self._data[:, : self._n]
+        return live[0], live[1], live[2], live[3], live[4]
+
+    @property
+    def weight_sum(self) -> int:
+        """Net weight of the pending delta (inserts minus deletes)."""
+        return int(self._data[4, : self._n].sum())
 
 
 class MaintainedEulerHistogram(BatchRegionSums):
@@ -91,8 +145,8 @@ class MaintainedEulerHistogram(BatchRegionSums):
         if dataset is not None:
             self._builder.add_dataset(dataset)
         self._base: EulerHistogram = self._builder.build()
-        #: Snapped pending updates as (span, weight), weight in {+1, -1}.
-        self._pending: list[tuple[LatticeSpan, int]] = []
+        #: Snapped pending updates (SoA columns), weights in {+1, -1}.
+        self._pending = _PendingSpans()
         self._pending_objects = 0
         self._generation = 0
 
@@ -140,18 +194,29 @@ class MaintainedEulerHistogram(BatchRegionSums):
         self._apply(rect, -1)
 
     def _apply(self, rect: Rect, weight: int) -> None:
+        if self.num_objects + weight < 0:
+            raise ValueError(
+                f"removing {-weight} object(s) from a histogram holding "
+                f"{self.num_objects} would make the count negative"
+            )
         span = snap_rect(*self._grid.rect_to_cell_units(rect), self._grid.n1, self._grid.n2)
-        self._builder.add(rect, weight)
         self._generation += 1
-        self._pending.append((span, weight))
+        self._pending.append(span, weight)
         self._pending_objects += weight
         if len(self._pending) >= self._merge_threshold:
             self.merge()
 
     def merge(self) -> None:
-        """Fold the pending delta into a rebuilt base cube."""
-        if not self._pending:
+        """Fold the pending delta into a rebuilt base cube.
+
+        The shadow builder receives the whole delta as one vectorised
+        :meth:`~repro.euler.histogram.EulerHistogramBuilder.add_spans`
+        scatter (not one ``add_box`` per span) and rebuilds the base.
+        """
+        if not len(self._pending):
             return
+        a_lo, a_hi, b_lo, b_hi, weights = self._pending.columns
+        self._builder.add_spans(a_lo, a_hi, b_lo, b_hi, weights)
         self._base = self._builder.build()
         self._pending.clear()
         self._pending_objects = 0
@@ -165,33 +230,52 @@ class MaintainedEulerHistogram(BatchRegionSums):
         return self._base.total_sum + self._pending_objects
 
     def lattice_range_sum(self, a_lo: int, a_hi: int, b_lo: int, b_hi: int) -> int:
-        """Inclusive lattice-box sum: base cube plus pending deltas."""
+        """Inclusive lattice-box sum: base cube plus pending deltas.
+
+        The delta is one broadcast over the pending-span columns (the
+        axis factor is symmetric, so the scalar query plays the "span"
+        argument) -- no Python loop per pending update.
+        """
         base = self._base.lattice_range_sum(a_lo, a_hi, b_lo, b_hi)
-        delta = 0
-        for span, weight in self._pending:
-            delta += weight * (
-                _axis_factor(span.a_lo, span.a_hi, a_lo, a_hi)
-                * _axis_factor(span.b_lo, span.b_hi, b_lo, b_hi)
-            )
-        return base + delta
+        if not len(self._pending):
+            return base
+        p_a_lo, p_a_hi, p_b_lo, p_b_hi, weights = self._pending.columns
+        factors = _axis_factor_batch(a_lo, a_hi, p_a_lo, p_a_hi) * _axis_factor_batch(
+            b_lo, b_hi, p_b_lo, p_b_hi
+        )
+        return base + int((weights * factors).sum())
 
     def lattice_range_sum_batch(
         self, a_lo: np.ndarray, a_hi: np.ndarray, b_lo: np.ndarray, b_hi: np.ndarray
     ) -> np.ndarray:
         """Batch inclusive lattice-box sums: base-cube gathers plus the
-        vectorised pending-delta contribution (O(1) numpy ops per pending
-        update, each over the whole batch)."""
+        pending-delta contribution as all-pairs ``(spans x queries)``
+        factor broadcasts.
+
+        Span chunks bound the broadcast temporaries
+        (:data:`_DELTA_BROADCAST_ELEMENTS`); integer arithmetic makes the
+        chunked accumulation bit-identical to the per-span loop it
+        replaces.
+        """
         sums = self._base.lattice_range_sum_batch(a_lo, a_hi, b_lo, b_hi)
-        if self._pending:
-            a_lo = np.asarray(a_lo)
-            a_hi = np.asarray(a_hi)
-            b_lo = np.asarray(b_lo)
-            b_hi = np.asarray(b_hi)
-            for span, weight in self._pending:
-                sums = sums + weight * (
-                    _axis_factor_batch(span.a_lo, span.a_hi, a_lo, a_hi)
-                    * _axis_factor_batch(span.b_lo, span.b_hi, b_lo, b_hi)
-                )
+        if not len(self._pending):
+            return sums
+        a_lo = np.asarray(a_lo)
+        a_hi = np.asarray(a_hi)
+        b_lo = np.asarray(b_lo)
+        b_hi = np.asarray(b_hi)
+        p_a_lo, p_a_hi, p_b_lo, p_b_hi, weights = self._pending.columns
+        # Spans get a fresh leading axis; chunks of it cap temp memory.
+        expand = (slice(None),) + (None,) * a_lo.ndim
+        step = max(_DELTA_BROADCAST_ELEMENTS // max(a_lo.size, 1), 1)
+        for start in range(0, len(self._pending), step):
+            chunk = slice(start, start + step)
+            factors = _axis_factor_batch(
+                p_a_lo[chunk][expand], p_a_hi[chunk][expand], a_lo, a_hi
+            ) * _axis_factor_batch(
+                p_b_lo[chunk][expand], p_b_hi[chunk][expand], b_lo, b_hi
+            )
+            sums = sums + (weights[chunk][expand] * factors).sum(axis=0)
         return sums
 
     def intersect_count(self, region: TileQuery) -> int:
@@ -240,16 +324,17 @@ class MaintainedEulerHistogram(BatchRegionSums):
         """
         try:
             self._base.verify()
-            weight_sum = sum(weight for _, weight in self._pending)
+            weight_sum = self._pending.weight_sum
             if weight_sum != self._pending_objects:
                 raise SummaryCorruptError(
                     f"pending weights sum to {weight_sum} but the pending object "
                     f"count is {self._pending_objects}"
                 )
-            if self._builder.num_objects != self.num_objects:
+            if self._builder.num_objects + weight_sum != self.num_objects:
                 raise SummaryCorruptError(
-                    f"shadow builder holds {self._builder.num_objects} objects but "
-                    f"the maintained count is {self.num_objects}"
+                    f"shadow builder holds {self._builder.num_objects} objects "
+                    f"plus {weight_sum} pending but the maintained count is "
+                    f"{self.num_objects}"
                 )
             shape = self._grid.lattice_shape
             full_sum = self.lattice_range_sum(0, shape[0] - 1, 0, shape[1] - 1)

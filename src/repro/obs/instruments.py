@@ -23,6 +23,8 @@ name                                                   type       labels
 ``repro_browse_fallback_depth``                        histogram  --
 ``repro_cache_hits_total``                             counter    service
 ``repro_cache_misses_total``                           counter    service
+``repro_delta_rasters_total``                          counter    service, outcome
+``repro_delta_tiles_reused_total``                     counter    service
 ``repro_browse_shard_seconds``                         histogram  service
 ``repro_tier_attempts_total``                          counter    tier
 ``repro_tier_retries_total``                           counter    tier
@@ -141,6 +143,16 @@ class BrowseInstrumentation:
         self.cache_misses = r.counter(
             "repro_cache_misses_total",
             help="Raster tiles probed but not found in the tile-result cache",
+            labels=("service",),
+        )
+        self.delta_rasters = r.counter(
+            "repro_delta_rasters_total",
+            help="Delta-eligible rasters by outcome (reused, incompatible, cold)",
+            labels=("service", "outcome"),
+        )
+        self.delta_tiles_reused = r.counter(
+            "repro_delta_tiles_reused_total",
+            help="Raster tiles copied from the session's previous raster",
             labels=("service",),
         )
         self.shard_seconds = r.histogram(

@@ -24,6 +24,7 @@ __all__ = [
     "paper_query_sets",
     "browsing_tiles",
     "browsing_tile_batch",
+    "browsing_tile_batch_subset",
 ]
 
 #: Tile sizes of the paper's eleven query sets, largest first.
@@ -112,4 +113,30 @@ def browsing_tile_batch(region: TileQuery, rows: int, cols: int) -> TileQueryBat
     # Row-major (r, c) flattening: the row coordinate varies slowest.
     qx_lo = np.broadcast_to(x_lo[None, :], (rows, cols)).reshape(-1)
     qy_lo = np.broadcast_to(y_lo[:, None], (rows, cols)).reshape(-1)
+    return TileQueryBatch(qx_lo, qx_lo + tile_w, qy_lo, qy_lo + tile_h)
+
+
+def browsing_tile_batch_subset(
+    region: TileQuery, rows: int, cols: int, flat_indices: np.ndarray
+) -> TileQueryBatch:
+    """The tiles at ``flat_indices`` (row-major positions) of the
+    :func:`browsing_tile_batch` tiling, without materialising the rest.
+
+    Equivalent to ``batch_subset(browsing_tile_batch(...), flat_indices)``
+    but O(len(flat_indices)): the viewport-delta path uses it to build
+    queries for only the fresh band of a panned raster.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be positive")
+    if region.width % cols or region.height % rows:
+        raise ValueError(
+            f"region {region.width}x{region.height} cells cannot be split "
+            f"into {cols}x{rows} equal aligned tiles"
+        )
+    tile_w = region.width // cols
+    tile_h = region.height // rows
+    idx = np.asarray(flat_indices, dtype=np.intp)
+    r, c = np.divmod(idx, cols)
+    qx_lo = region.qx_lo + tile_w * c
+    qy_lo = region.qy_lo + tile_h * r
     return TileQueryBatch(qx_lo, qx_lo + tile_w, qy_lo, qy_lo + tile_h)

@@ -75,6 +75,86 @@ def test_validation(grid):
         generate_sessions(grid, max_depth=0)
 
 
+def test_pan_free_traces_are_unchanged_by_the_pan_parameters(grid):
+    """pan_prob=0 must reproduce the original zoom-only traces draw for
+    draw -- the pan machinery may not perturb existing workloads."""
+    baseline = generate_sessions(grid, num_sessions=6, max_depth=5, seed=12)
+    explicit = generate_sessions(
+        grid, num_sessions=6, max_depth=5, seed=12, pan_prob=0.0, pan_fraction=0.5
+    )
+    assert baseline == explicit
+
+
+def test_pans_keep_tiling_and_shift_by_whole_tiles(grid):
+    """A panned step keeps the previous viewport size, tiling and
+    relation, and its offset is a whole number of tiles per axis."""
+    sessions = generate_sessions(
+        grid, num_sessions=12, max_depth=8, seed=13, pan_prob=0.9
+    )
+    pans = 0
+    for session in sessions:
+        prev = None
+        for step in session:
+            if (
+                prev is not None
+                and step.region != prev.region
+                and step.region.width == prev.region.width
+                and step.region.height == prev.region.height
+            ):
+                pans += 1
+                assert (step.rows, step.cols, step.relation) == (
+                    prev.rows,
+                    prev.cols,
+                    prev.relation,
+                )
+                tile_w = prev.region.width // prev.cols
+                tile_h = prev.region.height // prev.rows
+                assert (step.region.qx_lo - prev.region.qx_lo) % tile_w == 0
+                assert (step.region.qy_lo - prev.region.qy_lo) % tile_h == 0
+            prev = step
+    assert pans > 0, "a pan_prob=0.9 trace produced no pans"
+
+
+def test_pans_stay_inside_the_grid(grid):
+    for session in generate_sessions(
+        grid, num_sessions=12, max_depth=8, seed=14, pan_prob=0.9
+    ):
+        for step in session:
+            assert 0 <= step.region.qx_lo < step.region.qx_hi <= grid.n1
+            assert 0 <= step.region.qy_lo < step.region.qy_hi <= grid.n2
+
+
+def test_start_region_is_respected(grid):
+    start = TileQuery(60, 300, 30, 150)
+    for session in generate_sessions(
+        grid, num_sessions=5, seed=15, start_region=start
+    ):
+        assert session.interactions[0].region == start
+
+
+def test_min_partition_bounds_the_tiling(grid):
+    for session in generate_sessions(
+        grid, num_sessions=5, seed=16, min_partition=4, max_partition=8
+    ):
+        for step in session:
+            # 1 appears only as the fallback when no divisor fits.
+            assert step.rows == 1 or 4 <= step.rows <= 8
+            assert step.cols == 1 or 4 <= step.cols <= 8
+
+
+def test_pan_parameter_validation(grid):
+    with pytest.raises(ValueError):
+        generate_sessions(grid, pan_prob=1.5)
+    with pytest.raises(ValueError):
+        generate_sessions(grid, pan_fraction=0.0)
+    with pytest.raises(ValueError):
+        generate_sessions(grid, min_partition=1)
+    with pytest.raises(ValueError):
+        generate_sessions(grid, min_partition=8, max_partition=4)
+    with pytest.raises(ValueError):
+        generate_sessions(grid, start_region=TileQuery(0, 361, 0, 180))
+
+
 def test_interaction_expansion():
     step = BrowseInteraction(region=TileQuery(0, 4, 0, 4), rows=2, cols=2, relation="overlap")
     tiles = step.tile_queries()
