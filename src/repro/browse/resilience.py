@@ -58,6 +58,11 @@ from repro.grid.grid import Grid
 from repro.grid.tiles_math import TileQuery, TileQueryBatch
 from repro.obs.instruments import BrowseInstrumentation, classify_failure
 from repro.obs.trace import RequestTrace
+from repro.parallel.executor import (
+    ParallelConfig,
+    ParallelExecutor,
+    ProcessBackedEstimator,
+)
 from repro.workloads.tiles import browsing_tile_batch
 
 __all__ = [
@@ -294,10 +299,28 @@ class FallbackChain:
         """Tier labels, primary first."""
         return tuple(tier.name for tier in self.tiers)
 
-    def _attempt(self, tier: EstimatorTier, batch: TileQueryBatch, field_name: str) -> np.ndarray:
-        """One attempt on one tier; raises on any injected/real failure."""
+    def _attempt(
+        self,
+        tier: EstimatorTier,
+        batch: TileQueryBatch,
+        field_name: str,
+        timeout: float | None = None,
+    ) -> np.ndarray:
+        """One attempt on one tier; raises on any injected/real failure.
+
+        ``timeout`` is the request budget remaining when the attempt
+        started.  Tiers that can bound their own execution (the
+        process-backed primary exposes ``estimate_batch_within``)
+        receive it so a slow worker wave degrades inside the pool
+        instead of blocking past the deadline; plain tiers ignore it and
+        rely on the post-hoc ``attempt_timeout`` check.
+        """
         started = self._clock()
-        estimates = tier.estimator.estimate_batch(batch)
+        estimator = tier.estimator
+        if timeout is not None and hasattr(estimator, "estimate_batch_within"):
+            estimates = estimator.estimate_batch_within(batch, timeout)
+        else:
+            estimates = estimator.estimate_batch(batch)
         elapsed = self._clock() - started
         if self._attempt_timeout is not None and elapsed > self._attempt_timeout:
             raise TimeoutError(
@@ -323,6 +346,7 @@ class FallbackChain:
         field_name: str,
         *,
         trace: RequestTrace | None = None,
+        timeout: float | None = None,
     ) -> np.ndarray:
         """Answer one chunk of tile queries, falling through the chain.
 
@@ -330,8 +354,12 @@ class FallbackChain:
         Raises :class:`~repro.errors.EstimatorFailedError` when no tier
         can answer.  When a trace is given, every tier attempt is
         recorded as an ``attempt:<tier>`` span with its outcome.
+        ``timeout`` is forwarded to deadline-aware tiers (see
+        :meth:`_attempt`).
         """
-        values, _tier = self.estimate_chunk_tiered(batch, field_name, trace=trace)
+        values, _tier = self.estimate_chunk_tiered(
+            batch, field_name, trace=trace, timeout=timeout
+        )
         return values
 
     def estimate_chunk_tiered(
@@ -340,6 +368,7 @@ class FallbackChain:
         field_name: str,
         *,
         trace: RequestTrace | None = None,
+        timeout: float | None = None,
     ) -> tuple[np.ndarray, EstimatorTier]:
         """Like :meth:`estimate_chunk`, but also returns the tier that
         answered -- callers caching results need to know whether the
@@ -369,7 +398,7 @@ class FallbackChain:
                 )
                 try:
                     with span_cm:
-                        values = self._attempt(tier, batch, field_name)
+                        values = self._attempt(tier, batch, field_name, timeout)
                 except Exception as exc:
                     tier.note_failure()
                     tier.breaker.record_failure()
@@ -483,11 +512,33 @@ class ResilientBrowsingService:
         cache: TileResultCache | None = None,
         num_shards: int = 1,
         delta: DeltaTracker | None = None,
+        parallel: ParallelConfig | str | None = None,
     ) -> None:
         if chunk_rows < 1:
             raise ValueError("chunk_rows must be at least 1")
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
+        # Process parallelism wraps the *primary* estimator in a
+        # ProcessBackedEstimator before the chain is built, so it only
+        # composes with the estimators form of construction.
+        self._parallel: ParallelExecutor | None = None
+        if parallel is not None:
+            if chain is not None:
+                raise ValueError(
+                    "parallel cannot be combined with a prebuilt chain; "
+                    "pass the estimators sequence instead"
+                )
+            if isinstance(estimators, Level2Estimator):
+                estimators = [estimators]
+            estimators = list(estimators)
+            self._parallel = ParallelExecutor(
+                estimators[0],
+                parallel,
+                num_shards=num_shards,
+                instruments=instruments,
+                service="resilient",
+            )
+            estimators[0] = ProcessBackedEstimator(estimators[0], self._parallel)
         if chain is None:
             if isinstance(estimators, Level2Estimator):
                 estimators = [estimators]
@@ -553,10 +604,20 @@ class ResilientBrowsingService:
             field=field_name,
         )
 
+    @property
+    def parallel_executor(self) -> "ParallelExecutor | None":
+        """The primary tier's parallel router, when ``parallel`` was
+        configured (tests and diagnostics)."""
+        return self._parallel
+
     def close(self) -> None:
-        """Release the shard pool's threads (no-op when unsharded)."""
+        """Release the wave pool's threads and, when process
+        parallelism is configured, the primary tier's worker processes
+        and shared segments (no-op when unsharded)."""
         if self._pool is not None:
             self._pool.close()
+        if self._parallel is not None:
+            self._parallel.close()
 
     def browse(
         self,
@@ -694,9 +755,20 @@ class ResilientBrowsingService:
                 row_lo, row_hi, idx = job
                 sub = batch_subset(batch, idx)
                 chunk_started = self._clock()
+                # Budget remaining at chunk start, for deadline-aware
+                # tiers (the process-backed primary): a slow worker wave
+                # degrades inside the pool instead of overrunning the
+                # request deadline.  Floored so a chunk admitted just
+                # before expiry still gets a sliver rather than a
+                # nonsensical non-positive budget.
+                remaining = (
+                    None
+                    if deadline is None
+                    else max(deadline - (chunk_started - started), 0.01)
+                )
                 with span(f"chunk[{row_lo}:{row_hi})", tiles=len(idx)):
                     values, tier = self._chain.estimate_chunk_tiered(
-                        sub, field_name, trace=trace
+                        sub, field_name, trace=trace, timeout=remaining
                     )
                 return idx, sub, values, tier, self._clock() - chunk_started
 

@@ -28,10 +28,12 @@ bit-identical rasters:
   the backing summary's identity *and generation*, so maintained
   histograms invalidate stale entries for free;
 - a shard count (``num_shards=``) splits the miss-set into contiguous
-  row bands dispatched across a
-  :class:`~repro.browse.sharding.ShardPool` -- numpy kernels release the
-  GIL, so shards overlap on multi-core hosts and band-blocking keeps
-  the single-core case ahead too;
+  row bands dispatched through a
+  :class:`~repro.parallel.executor.ParallelExecutor` -- thread bands by
+  default (numpy kernels release the GIL, so shards overlap on
+  multi-core hosts and band-blocking keeps the single-core case ahead
+  too), or true process parallelism over shared-memory summaries via
+  ``parallel="process"``/``"auto"`` (:mod:`repro.parallel`);
 - a :class:`~repro.browse.delta.DeltaTracker` (``delta=``, or an explicit
   ``previous=`` hint per call) overlays *viewport deltas*: when the new
   raster is tile-compatible with the session's previous one (same
@@ -51,7 +53,7 @@ from functools import cached_property
 import numpy as np
 
 from repro.browse.delta import DeltaPlan, DeltaSource, DeltaTracker, plan_delta
-from repro.browse.sharding import ShardPool, band_slices, batch_subset
+from repro.browse.sharding import batch_subset
 from repro.cache import CacheKey, TileResultCache, backing_summary, summary_generation, summary_token
 from repro.errors import InvalidRegionError
 from repro.euler.base import Level2BatchEstimator, Level2Estimator, as_batch_estimator
@@ -61,6 +63,7 @@ from repro.grid.grid import Grid
 from repro.grid.tiles_math import TileQuery, aligned_query_cells
 from repro.obs.instruments import BrowseInstrumentation
 from repro.obs.trace import RequestTrace
+from repro.parallel.executor import ParallelConfig, ParallelExecutor
 from repro.workloads.tiles import (
     browsing_tile_batch,
     browsing_tile_batch_subset,
@@ -227,6 +230,7 @@ class GeoBrowsingService:
         cache: TileResultCache | None = None,
         num_shards: int = 1,
         delta: DeltaTracker | None = None,
+        parallel: ParallelConfig | str | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
@@ -238,7 +242,19 @@ class GeoBrowsingService:
         self._delta = delta
         self._summary = backing_summary(estimator)
         self._summary_token = summary_token(self._summary)
-        self._pool = ShardPool(num_shards) if num_shards > 1 else None
+        # ``parallel`` selects the shard execution strategy ("thread",
+        # "process", "auto" or a full ParallelConfig); the default thread
+        # mode reproduces the pre-executor behaviour exactly.
+        if num_shards > 1 or parallel is not None:
+            self._parallel: ParallelExecutor | None = ParallelExecutor(
+                estimator,
+                parallel,
+                num_shards=num_shards,
+                instruments=instruments,
+                service="plain",
+            )
+        else:
+            self._parallel = None
 
     @property
     def grid(self) -> Grid:
@@ -258,7 +274,12 @@ class GeoBrowsingService:
     @property
     def num_shards(self) -> int:
         """Requested raster fan-out (1 = monolithic batches)."""
-        return self._pool.num_shards if self._pool is not None else 1
+        return self._parallel.num_shards if self._parallel is not None else 1
+
+    @property
+    def parallel_executor(self) -> ParallelExecutor | None:
+        """The shard-execution router, when sharding is configured."""
+        return self._parallel
 
     @property
     def delta(self) -> DeltaTracker | None:
@@ -277,9 +298,11 @@ class GeoBrowsingService:
         )
 
     def close(self) -> None:
-        """Release the shard pool's threads (no-op when unsharded)."""
-        if self._pool is not None:
-            self._pool.close()
+        """Release the shard pools (threads and, when process
+        parallelism is configured, worker processes plus their shared
+        segments; no-op when unsharded)."""
+        if self._parallel is not None:
+            self._parallel.close()
 
     def browse(
         self,
@@ -431,27 +454,11 @@ class GeoBrowsingService:
         return values
 
     def _estimate_field(self, batch, field_name: str) -> np.ndarray:
-        """The requested field's counts for ``batch``, split into
-        row-band shards on the pool when that is configured and the
-        batch is big enough to be worth it.  A sharded service always
-        records per-shard timings, even when a small batch collapses to
-        one band."""
-        pool = self._pool
-        if pool is not None:
-            slices = band_slices(len(batch), pool.num_shards)
-            if len(slices) > 1:
-                return np.concatenate(
-                    pool.map(lambda sl: self._estimate_shard(batch, sl, field_name), slices)
-                )
-            return self._estimate_shard(batch, slice(0, len(batch)), field_name)
+        """The requested field's counts for ``batch``, routed through
+        the parallel executor when sharding is configured (thread bands,
+        process workers or the auto policy -- all bit-identical to the
+        monolithic batch)."""
+        if self._parallel is not None:
+            return self._parallel.estimate_field(batch, field_name)
         estimates = self._batch.estimate_batch(batch)
         return np.asarray(getattr(estimates, field_name), dtype=np.float64)
-
-    def _estimate_shard(self, batch, sl: slice, field_name: str) -> np.ndarray:
-        obs = self._obs
-        started = obs.clock() if obs is not None else 0.0
-        estimates = self._batch.estimate_batch(batch_subset(batch, sl))
-        values = np.asarray(getattr(estimates, field_name), dtype=np.float64)
-        if obs is not None:
-            obs.shard_seconds.labels(service="plain").observe(obs.clock() - started)
-        return values

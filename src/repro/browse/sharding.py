@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Callable, Sequence, TypeVar
 
 import numpy as np
@@ -76,6 +76,7 @@ class ShardPool:
             max_workers = os.cpu_count() or 1
         self._workers = max(1, min(num_shards, max_workers))
         self._executor: ThreadPoolExecutor | None = None
+        self._closed = False
         self._lock = threading.Lock()
 
     @property
@@ -85,25 +86,51 @@ class ShardPool:
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Run ``fn`` over ``items``, in order, using the pool when it
-        helps; exceptions propagate (the first one, after all items in
-        flight have settled)."""
+        helps.
+
+        On failure the *first* exception (in submission order) is
+        re-raised as soon as it is observed: still-pending shards are
+        cancelled rather than run to completion, and shards already
+        executing are awaited so no work is in flight when this returns.
+
+        Safe to race with :meth:`close`: shards the executor refuses to
+        accept mid-shutdown (and every ``map`` after close) run inline
+        on the calling thread, so callers always get their results.
+        """
         if self._workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
-        futures = [self._get_executor().submit(fn, item) for item in items]
-        results: list[R] = []
+        executor = self._get_executor()
+        if executor is None:  # closed: degrade to inline execution
+            return [fn(item) for item in items]
+        futures = []
+        submitted = len(items)
+        for i, item in enumerate(items):
+            try:
+                futures.append(executor.submit(fn, item))
+            except RuntimeError:
+                # close() won the race and shut the executor down after
+                # we fetched it; whatever did not get in runs inline.
+                submitted = i
+                break
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
         first_exc: BaseException | None = None
         for future in futures:
-            try:
-                results.append(future.result())
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                if first_exc is None:
-                    first_exc = exc
+            if future in done and (exc := future.exception()) is not None:
+                first_exc = exc
+                break
         if first_exc is not None:
+            for future in not_done:
+                future.cancel()
+            wait(not_done)  # let already-running shards settle
             raise first_exc
+        results: list[R] = [future.result() for future in futures]
+        results.extend(fn(item) for item in items[submitted:])
         return results
 
-    def _get_executor(self) -> ThreadPoolExecutor:
+    def _get_executor(self) -> ThreadPoolExecutor | None:
         with self._lock:
+            if self._closed:
+                return None
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self._workers, thread_name_prefix="repro-shard"
@@ -111,8 +138,11 @@ class ShardPool:
             return self._executor
 
     def close(self) -> None:
-        """Shut the pool down (idempotent; the pool is unusable after)."""
+        """Shut the pool down (idempotent).  Shards already submitted
+        finish first; ``map`` calls racing or following the close fall
+        back to inline execution instead of erroring."""
         with self._lock:
+            self._closed = True
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)

@@ -81,6 +81,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="row-band shards per raster (default: 1, sequential)",
     )
     browse.add_argument(
+        "--parallel",
+        choices=("thread", "process", "auto"),
+        default="thread",
+        help="shard execution strategy: GIL-overlapped threads (default), "
+        "worker processes over shared-memory summaries, or auto "
+        "(processes for large rasters only); needs --shards > 1",
+    )
+    browse.add_argument(
+        "--start-method",
+        choices=("spawn", "fork"),
+        default="spawn",
+        help="multiprocessing start method for --parallel=process/auto",
+    )
+    browse.add_argument(
         "--cache-mb",
         type=float,
         default=0.0,
@@ -129,6 +143,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="row chunks dispatched concurrently per wave (default: 1)",
+    )
+    stats.add_argument(
+        "--parallel",
+        choices=("thread", "process", "auto"),
+        default="thread",
+        help="primary-tier shard execution strategy (see browse --parallel)",
+    )
+    stats.add_argument(
+        "--start-method",
+        choices=("spawn", "fork"),
+        default="spawn",
+        help="multiprocessing start method for --parallel=process/auto",
     )
     stats.add_argument(
         "--cache-mb",
@@ -207,6 +233,17 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parallel_config(args: argparse.Namespace):
+    """The executor config for ``--parallel``/``--start-method``, or
+    ``None`` for the plain thread default (keeps single-shard services
+    on the unsharded fast path)."""
+    from repro.parallel import ParallelConfig
+
+    if args.parallel == "thread":
+        return None
+    return ParallelConfig(mode=args.parallel, start_method=args.start_method)
+
+
 def _cmd_browse(args: argparse.Namespace) -> int:
     from repro.browse.delta import DeltaTracker
     from repro.cache import TileResultCache
@@ -217,6 +254,9 @@ def _cmd_browse(args: argparse.Namespace) -> int:
         return 2
     if args.repeat < 1:
         print("error: --repeat must be positive", file=sys.stderr)
+        return 2
+    if args.parallel == "process" and args.shards < 2:
+        print("error: --parallel=process needs --shards > 1", file=sys.stderr)
         return 2
     try:
         histogram = EulerHistogram.load(args.histogram)
@@ -233,6 +273,7 @@ def _cmd_browse(args: argparse.Namespace) -> int:
         num_shards=args.shards,
         delta=tracker,
         instruments=instruments,
+        parallel=_parallel_config(args),
     )
     region = Rect(args.region[0], args.region[1], args.region[2], args.region[3])
     try:
@@ -293,6 +334,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.repeat < 1:
         print("error: --repeat must be positive", file=sys.stderr)
         return 2
+    if args.parallel == "process" and args.shards < 2:
+        print("error: --parallel=process needs --shards > 1", file=sys.stderr)
+        return 2
     instruments = BrowseInstrumentation()
     # Route the persistence layer's load/verify counters into the same
     # registry the services record into, so the snapshot shows the whole
@@ -324,6 +368,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             cache=cache,
             num_shards=args.shards,
             delta=DeltaTracker() if args.delta else None,
+            parallel=_parallel_config(args),
         )
         region = Rect(args.region[0], args.region[1], args.region[2], args.region[3])
         try:

@@ -112,6 +112,44 @@ class MEulerApprox:
         self._full = [EulerApprox(h, edge) for h in self._histograms]
         self._num_objects = len(dataset)
 
+    @classmethod
+    def from_histograms(
+        cls,
+        histograms: Sequence[EulerHistogram],
+        grid: Grid,
+        area_thresholds: Sequence[float],
+        num_objects: int,
+        *,
+        edge: QueryEdge = QueryEdge.LEFT,
+    ) -> "MEulerApprox":
+        """Assemble the estimator from prebuilt per-group histograms.
+
+        The dataset-free constructor: ``histograms[i]`` must be the Euler
+        histogram of area group ``i`` under ``area_thresholds`` (one per
+        threshold) and ``num_objects`` the total object count across
+        groups.  Query answers are identical to building from the dataset
+        -- this is the reconstruction path process-pool workers use after
+        attaching the group histograms over shared memory
+        (:mod:`repro.parallel.spec`).
+        """
+        thresholds = validate_thresholds(area_thresholds)
+        histograms = list(histograms)
+        if len(histograms) != len(thresholds):
+            raise ValueError(
+                f"expected {len(thresholds)} group histogram(s) for "
+                f"{len(thresholds)} threshold(s), got {len(histograms)}"
+            )
+        if num_objects < 0:
+            raise ValueError("num_objects must be non-negative")
+        self = cls.__new__(cls)
+        self._grid = grid
+        self._thresholds = thresholds
+        self._histograms = histograms
+        self._simple = [SEulerApprox(h) for h in histograms]
+        self._full = [EulerApprox(h, edge) for h in histograms]
+        self._num_objects = int(num_objects)
+        return self
+
     @property
     def name(self) -> str:
         return f"M-EulerApprox(m={self.num_histograms})"
@@ -123,6 +161,12 @@ class MEulerApprox:
     @property
     def area_thresholds(self) -> tuple[float, ...]:
         return self._thresholds
+
+    @property
+    def edge(self) -> QueryEdge:
+        """The Region A/B split edge forwarded to the per-group
+        EulerApprox instances."""
+        return self._full[0].edge
 
     @property
     def histograms(self) -> tuple[EulerHistogram, ...]:

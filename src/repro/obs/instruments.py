@@ -26,6 +26,9 @@ name                                                   type       labels
 ``repro_delta_rasters_total``                          counter    service, outcome
 ``repro_delta_tiles_reused_total``                     counter    service
 ``repro_browse_shard_seconds``                         histogram  service
+``repro_shard_pool_workers``                           gauge      service
+``repro_parallel_dispatch_seconds``                    histogram  service
+``repro_parallel_worker_crashes_total``                counter    service, reason
 ``repro_tier_attempts_total``                          counter    tier
 ``repro_tier_retries_total``                           counter    tier
 ``repro_tier_successes_total``                         counter    tier
@@ -160,6 +163,22 @@ class BrowseInstrumentation:
             help="Per-shard raster estimation latency",
             labels=("service",),
             buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.shard_pool_workers = r.gauge(
+            "repro_shard_pool_workers",
+            help="Worker processes configured in the process shard pool (0 = thread-only)",
+            labels=("service",),
+        )
+        self.parallel_dispatch_seconds = r.histogram(
+            "repro_parallel_dispatch_seconds",
+            help="End-to-end process-pool dispatch latency per raster batch",
+            labels=("service",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.worker_crashes = r.counter(
+            "repro_parallel_worker_crashes_total",
+            help="Pool workers lost and respawned, by reason (crash, init_error, timeout)",
+            labels=("service", "reason"),
         )
         self.fallback_depth = r.histogram(
             "repro_browse_fallback_depth",

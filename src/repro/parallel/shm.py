@@ -1,0 +1,355 @@
+"""Name-keyed shared-memory segments for read-only summary arrays.
+
+:class:`SharedSummaryStore` is the owner side: ``put(key, array)``
+copies an array into a fresh ``multiprocessing.shared_memory`` segment
+prefixed with a small int64 header (magic, format version, generation,
+refcount, dtype code, shape) and data at a 64-byte-aligned offset.  The
+store's :attr:`~SharedSummaryStore.manifest` -- a plain ``{key: segment
+name}`` dict -- is all a worker needs to find everything.
+
+:func:`attach_store` is the worker side: map each segment by name,
+validate the header, refuse a generation mismatch
+(:class:`StaleSummaryError` -- a worker holding yesterday's summary
+must never answer today's queries), bump the refcount, and expose the
+payloads as read-only numpy views.
+
+Lifecycle rules (DESIGN.md section 14):
+
+- the **owner** unlinks.  :meth:`SharedSummaryStore.close` detaches and
+  unlinks every segment; a ``weakref.finalize`` runs the same cleanup
+  at garbage collection or interpreter exit, so a process that dies
+  without closing does not leak ``/dev/shm`` entries.
+- **attachers** only detach.  :meth:`AttachedSummaryStore.close`
+  decrements the header refcount and closes the mapping; it never
+  unlinks.
+- the refcount is advisory -- diagnostics and leak tests read it, and
+  the owner logs nothing if stragglers remain, because POSIX keeps an
+  unlinked segment alive for every process still holding a mapping.
+  Crash recovery therefore needs no coordination: the owner's unlink is
+  always safe.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "AttachedSummaryStore",
+    "SegmentFormatError",
+    "SharedSummaryStore",
+    "StaleSummaryError",
+    "attach_store",
+]
+
+#: Arbitrary magic marking a segment as one of ours ("RPROSHM" packed).
+_MAGIC = 0x5250524F53484D
+#: Header format version; bumped on any layout change.
+_VERSION = 1
+#: Header slots (int64 each): magic, version, generation, refcount,
+#: dtype code, ndim, then up to ``_MAX_NDIM`` shape entries.
+_H_MAGIC, _H_VERSION, _H_GENERATION, _H_REFCOUNT, _H_DTYPE, _H_NDIM = range(6)
+_MAX_NDIM = 8
+_HEADER_INTS = 6 + _MAX_NDIM
+#: Data offset: past the header, rounded up to a 64-byte cache line.
+_DATA_OFFSET = ((8 * _HEADER_INTS + 63) // 64) * 64
+
+#: Supported payload dtypes <-> header codes.
+_DTYPE_CODES: dict[str, int] = {"int64": 1, "float64": 2, "int32": 3, "bool": 4}
+_CODE_DTYPES: dict[int, np.dtype] = {
+    code: np.dtype(name) for name, code in _DTYPE_CODES.items()
+}
+
+
+class SegmentFormatError(RuntimeError):
+    """A segment's header is not one of ours (bad magic, unknown version
+    or dtype code, oversized shape) -- attaching to it would misread
+    arbitrary bytes as summary data."""
+
+
+class StaleSummaryError(RuntimeError):
+    """The segment's generation does not match the attacher's
+    expectation: the summary was re-exported (or mutated) since this
+    manifest was issued, and answering from the stale copy would be
+    silently wrong."""
+
+
+def _header_view(shm: shared_memory.SharedMemory) -> np.ndarray:
+    if shm.size < _DATA_OFFSET:
+        raise SegmentFormatError(
+            f"segment {shm.name!r} is {shm.size} bytes, smaller than the "
+            f"{_DATA_OFFSET}-byte header"
+        )
+    return np.ndarray((_HEADER_INTS,), dtype=np.int64, buffer=shm.buf)
+
+
+def _validate_header(shm: shared_memory.SharedMemory) -> tuple[np.ndarray, np.dtype, tuple[int, ...]]:
+    """Check magic/version/dtype/shape; return (header, dtype, shape)."""
+    header = _header_view(shm)
+    if int(header[_H_MAGIC]) != _MAGIC:
+        raise SegmentFormatError(
+            f"segment {shm.name!r} does not carry the summary magic"
+        )
+    if int(header[_H_VERSION]) != _VERSION:
+        raise SegmentFormatError(
+            f"segment {shm.name!r} has header version {int(header[_H_VERSION])}, "
+            f"expected {_VERSION}"
+        )
+    code = int(header[_H_DTYPE])
+    dtype = _CODE_DTYPES.get(code)
+    if dtype is None:
+        raise SegmentFormatError(
+            f"segment {shm.name!r} declares unknown dtype code {code}"
+        )
+    ndim = int(header[_H_NDIM])
+    if not 0 <= ndim <= _MAX_NDIM:
+        raise SegmentFormatError(
+            f"segment {shm.name!r} declares {ndim} dimensions (max {_MAX_NDIM})"
+        )
+    shape = tuple(int(header[6 + k]) for k in range(ndim))
+    if any(s < 0 for s in shape):
+        raise SegmentFormatError(f"segment {shm.name!r} declares shape {shape}")
+    nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize if shape else dtype.itemsize
+    if shm.size < _DATA_OFFSET + nbytes:
+        raise SegmentFormatError(
+            f"segment {shm.name!r} is {shm.size} bytes but its header "
+            f"declares {nbytes} payload bytes"
+        )
+    return header, dtype, shape
+
+
+def _payload_view(
+    shm: shared_memory.SharedMemory, dtype: np.dtype, shape: tuple[int, ...], *, writable: bool
+) -> np.ndarray:
+    view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=_DATA_OFFSET)
+    if not writable:
+        view = view.view()
+        view.setflags(write=False)
+    return view
+
+
+def _cleanup_segments(segments: dict) -> None:
+    """Close and unlink every owned segment (finalizer-safe: references
+    only the dict, never the store)."""
+    for shm in segments.values():
+        try:
+            shm.close()
+        except OSError:  # pragma: no cover - mapping already gone
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError:  # pragma: no cover - platform-specific races
+            pass
+    segments.clear()
+
+
+class SharedSummaryStore:
+    """Owner side of the shared-summary protocol (see module docstring).
+
+    Parameters
+    ----------
+    generation:
+        The summary generation stamped into every segment header;
+        attachers refuse a mismatch.  Callers exporting an estimator pass
+        the backing summary's current generation.
+    name_prefix:
+        Prefix for the generated segment names (diagnostics; leak tests
+        filter ``/dev/shm`` listings on it).
+    """
+
+    def __init__(self, *, generation: int = 0, name_prefix: str = "repro-sum") -> None:
+        if generation < 0:
+            raise ValueError("generation must be non-negative")
+        self._generation = int(generation)
+        self._prefix = name_prefix
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _cleanup_segments, self._segments)
+
+    @property
+    def generation(self) -> int:
+        """The generation stamped into every segment of this store."""
+        return self._generation
+
+    @property
+    def manifest(self) -> dict[str, str]:
+        """Picklable ``{key: segment name}`` map, the attach handle."""
+        with self._lock:
+            return {key: shm.name for key, shm in self._segments.items()}
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def put(self, key: str, array: np.ndarray) -> str:
+        """Copy ``array`` into a fresh named segment; returns the name.
+
+        The array must use one of the supported dtypes (int64, float64,
+        int32, bool -- intp folds into int64 on 64-bit platforms) and at
+        most 8 dimensions.  ``key`` must be new to this store.
+        """
+        array = np.ascontiguousarray(array)
+        if array.dtype == np.intp:
+            array = array.astype(np.int64, copy=False)
+        code = _DTYPE_CODES.get(array.dtype.name)
+        if code is None:
+            raise ValueError(
+                f"dtype {array.dtype} is not exportable; supported: "
+                f"{sorted(_DTYPE_CODES)}"
+            )
+        if array.ndim > _MAX_NDIM:
+            raise ValueError(f"arrays above {_MAX_NDIM} dimensions are not exportable")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot put() into a closed SharedSummaryStore")
+            if key in self._segments:
+                raise ValueError(f"store already holds a segment for key {key!r}")
+            name = f"{self._prefix}-{secrets.token_hex(6)}"
+            shm = shared_memory.SharedMemory(
+                create=True, name=name, size=_DATA_OFFSET + max(array.nbytes, 1)
+            )
+            header = _header_view(shm)
+            header[_H_MAGIC] = _MAGIC
+            header[_H_VERSION] = _VERSION
+            header[_H_GENERATION] = self._generation
+            header[_H_REFCOUNT] = 1  # the owner's own reference
+            header[_H_DTYPE] = code
+            header[_H_NDIM] = array.ndim
+            for k, s in enumerate(array.shape):
+                header[6 + k] = s
+            _payload_view(shm, array.dtype, array.shape, writable=True)[...] = array
+            self._segments[key] = shm
+            return name
+
+    def get(self, key: str) -> np.ndarray:
+        """The owner's read-only view of one payload."""
+        with self._lock:
+            shm = self._segments[key]
+        _, dtype, shape = _validate_header(shm)
+        return _payload_view(shm, dtype, shape, writable=False)
+
+    def segment_refcount(self, key: str) -> int:
+        """The segment's current (advisory) refcount."""
+        with self._lock:
+            shm = self._segments[key]
+        return int(_header_view(shm)[_H_REFCOUNT])
+
+    def close(self) -> None:
+        """Detach and unlink every segment (idempotent).
+
+        This is the refcounted unlink's owner step: the owner drops its
+        reference and removes the names.  Attachers still holding
+        mappings keep reading valid memory (POSIX keeps the segment
+        alive until the last mapping closes), so a crashed or straggling
+        worker can never turn cleanup into a use-after-free.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for shm in self._segments.values():
+                header = _header_view(shm)
+                header[_H_REFCOUNT] = int(header[_H_REFCOUNT]) - 1
+            _cleanup_segments(self._segments)
+        self._finalizer.detach()
+
+    def __enter__(self) -> "SharedSummaryStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AttachedSummaryStore:
+    """Worker side: read-only views over an owner's segments.
+
+    Build via :func:`attach_store`.  ``arrays[key]`` is the read-only
+    payload view; :meth:`close` detaches (decrements refcounts, closes
+    mappings) and invalidates the views -- it never unlinks.
+    """
+
+    def __init__(
+        self, segments: dict[str, shared_memory.SharedMemory], generation: int
+    ) -> None:
+        self._segments = segments
+        self._closed = False
+        #: The generation every attached segment carried.
+        self.generation = generation
+        #: Read-only payload views, keyed like the manifest.
+        self.arrays: dict[str, np.ndarray] = {}
+        for key, shm in segments.items():
+            _, dtype, shape = _validate_header(shm)
+            self.arrays[key] = _payload_view(shm, dtype, shape, writable=False)
+
+    def close(self) -> None:
+        """Detach every segment (idempotent); the views die with it."""
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays.clear()
+        for shm in self._segments.values():
+            try:
+                header = _header_view(shm)
+                header[_H_REFCOUNT] = int(header[_H_REFCOUNT]) - 1
+            except (OSError, SegmentFormatError):  # pragma: no cover
+                pass
+            try:
+                shm.close()
+            except OSError:  # pragma: no cover - mapping already gone
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "AttachedSummaryStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def attach_store(
+    manifest: dict[str, str], *, expected_generation: int | None = None
+) -> AttachedSummaryStore:
+    """Attach to every segment of a :class:`SharedSummaryStore` manifest.
+
+    Validates each header (:class:`SegmentFormatError` on corruption),
+    checks that all segments agree on one generation and -- when
+    ``expected_generation`` is given -- that it matches
+    (:class:`StaleSummaryError` otherwise, after detaching), bumps each
+    refcount, and returns the read-only views.
+    """
+    segments: dict[str, shared_memory.SharedMemory] = {}
+    generation: int | None = None
+    try:
+        for key, name in manifest.items():
+            shm = shared_memory.SharedMemory(name=name)
+            segments[key] = shm
+            header, _, _ = _validate_header(shm)
+            seg_generation = int(header[_H_GENERATION])
+            if generation is None:
+                generation = seg_generation
+            elif seg_generation != generation:
+                raise StaleSummaryError(
+                    f"segment {name!r} carries generation {seg_generation}, "
+                    f"other segments carry {generation}"
+                )
+            if expected_generation is not None and seg_generation != expected_generation:
+                raise StaleSummaryError(
+                    f"segment {name!r} carries generation {seg_generation}, "
+                    f"expected {expected_generation}; refusing to answer from "
+                    "a stale summary"
+                )
+            header[_H_REFCOUNT] = int(header[_H_REFCOUNT]) + 1
+    except BaseException:
+        for shm in segments.values():
+            try:
+                shm.close()
+            except OSError:  # pragma: no cover
+                pass
+        raise
+    return AttachedSummaryStore(segments, generation if generation is not None else 0)

@@ -1,0 +1,195 @@
+"""Picklable estimator specs: segment keys in, estimator out.
+
+A worker process cannot receive an estimator directly -- the interesting
+ones hold multi-megabyte summary arrays that pickling would copy into
+every worker, defeating the shared-memory design.  Instead the parent
+calls :func:`export_estimator`, which
+
+1. ``put``\\ s each hot array (prefix-sum cubes, snapped object columns)
+   into a :class:`~repro.parallel.shm.SharedSummaryStore`, and
+2. returns a small frozen *spec* dataclass carrying only segment keys
+   plus the cheap scalars (grid, thresholds, edge, object count).
+
+The spec pickles in a few hundred bytes.  On the worker side,
+``spec.build(attached.arrays)`` reconstructs the estimator over the
+read-only shared views via the dataset-free constructors
+(:meth:`EulerHistogram.from_prefix_cube`,
+:meth:`ExactEvaluator.from_snapped`, ...), so every worker answers from
+the *same physical pages* as the parent -- which is also why parallel
+results are bit-identical to inline execution.
+
+Specs are ordinary importable classes, not registry entries: anything
+with ``build(arrays)`` works, which is how the fault harness injects
+crashing estimators into real worker processes
+(:class:`repro.testing.faults.WorkerCrashSpec`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.cube.prefix_sum import PrefixSumCube
+from repro.euler.full import EulerApprox, QueryEdge
+from repro.euler.histogram import EulerHistogram
+from repro.euler.multi import MEulerApprox
+from repro.euler.simple import SEulerApprox
+from repro.exact.evaluator import ExactEvaluator
+from repro.grid.grid import Grid
+from repro.parallel.shm import SharedSummaryStore
+
+__all__ = [
+    "EstimatorSpec",
+    "EulerSpec",
+    "ExactSpec",
+    "HistogramSpec",
+    "MEulerSpec",
+    "SEulerSpec",
+    "UnsupportedEstimatorError",
+    "export_estimator",
+]
+
+
+class UnsupportedEstimatorError(TypeError):
+    """The estimator cannot be exported to shared memory -- either its
+    type has no spec (custom estimators, fault-injection wrappers) or its
+    summary is mutable (a maintained histogram's buckets change under
+    the workers' feet; only immutable generation-0 summaries export)."""
+
+
+@runtime_checkable
+class EstimatorSpec(Protocol):
+    """What the worker loop needs from a spec: rebuild the estimator
+    from the attached shared arrays."""
+
+    def build(self, arrays: Mapping[str, np.ndarray]) -> object: ...
+
+
+@dataclass(frozen=True)
+class HistogramSpec:
+    """One Euler histogram: ``key`` names its prefix-sum cube segment."""
+
+    key: str
+    grid: Grid
+    num_objects: int
+
+    def build(self, arrays: Mapping[str, np.ndarray]) -> EulerHistogram:
+        cube = PrefixSumCube.from_cumulative(arrays[self.key], self.grid.lattice_shape)
+        return EulerHistogram.from_prefix_cube(self.grid, cube, self.num_objects)
+
+
+@dataclass(frozen=True)
+class SEulerSpec:
+    """S-EulerApprox over one shared histogram."""
+
+    hist: HistogramSpec
+
+    def build(self, arrays: Mapping[str, np.ndarray]) -> SEulerApprox:
+        return SEulerApprox(self.hist.build(arrays))
+
+
+@dataclass(frozen=True)
+class EulerSpec:
+    """EulerApprox over one shared histogram (``edge`` is the
+    :class:`QueryEdge` value string -- enums pickle fine, but the string
+    keeps the spec's repr and equality trivially stable)."""
+
+    hist: HistogramSpec
+    edge: str
+
+    def build(self, arrays: Mapping[str, np.ndarray]) -> EulerApprox:
+        return EulerApprox(self.hist.build(arrays), QueryEdge(self.edge))
+
+
+@dataclass(frozen=True)
+class MEulerSpec:
+    """M-EulerApprox over per-area-group shared histograms."""
+
+    hists: tuple[HistogramSpec, ...]
+    thresholds: tuple[float, ...]
+    num_objects: int
+    edge: str
+
+    def build(self, arrays: Mapping[str, np.ndarray]) -> MEulerApprox:
+        return MEulerApprox.from_histograms(
+            [h.build(arrays) for h in self.hists],
+            self.hists[0].grid,
+            self.thresholds,
+            self.num_objects,
+            edge=QueryEdge(self.edge),
+        )
+
+
+@dataclass(frozen=True)
+class ExactSpec:
+    """ExactEvaluator over shared snapped columns; ``keys`` names the
+    ``(a_lo, a_hi, b_lo, b_hi)`` segments in that order."""
+
+    keys: tuple[str, str, str, str]
+    grid: Grid
+    num_objects: int
+
+    def build(self, arrays: Mapping[str, np.ndarray]) -> ExactEvaluator:
+        a_lo, a_hi, b_lo, b_hi = (arrays[k] for k in self.keys)
+        return ExactEvaluator.from_snapped(
+            self.grid, a_lo, a_hi, b_lo, b_hi, self.num_objects
+        )
+
+
+def _export_histogram(
+    hist: EulerHistogram, store: SharedSummaryStore, key: str
+) -> HistogramSpec:
+    # Subclasses (the maintained variant) mutate buckets in place and
+    # re-derive the cube lazily; a worker holding yesterday's pages would
+    # answer wrong without any error.  Only the immutable base type with
+    # a settled generation is safe to share.
+    if type(hist) is not EulerHistogram:
+        raise UnsupportedEstimatorError(
+            f"cannot export mutable summary type {type(hist).__name__}; "
+            "freeze it into a plain EulerHistogram first"
+        )
+    if hist.generation != 0:
+        raise UnsupportedEstimatorError(
+            f"cannot export a summary at generation {hist.generation}; "
+            "shared segments are immutable snapshots"
+        )
+    store.put(key, hist.prefix_cube.cumulative)
+    return HistogramSpec(key=key, grid=hist.grid, num_objects=hist.num_objects)
+
+
+def export_estimator(estimator: object, store: SharedSummaryStore) -> EstimatorSpec:
+    """Export ``estimator``'s hot arrays into ``store``; return its spec.
+
+    Supports the four batch estimators (S-EulerApprox, EulerApprox,
+    M-EulerApprox, Exact).  Raises :class:`UnsupportedEstimatorError`
+    for anything else -- callers (the auto policy) treat that as "stay
+    on threads", a forced ``--parallel=process`` surfaces it.
+    """
+    if isinstance(estimator, SEulerApprox):
+        return SEulerSpec(hist=_export_histogram(estimator.histogram, store, "hist"))
+    if isinstance(estimator, EulerApprox):
+        return EulerSpec(
+            hist=_export_histogram(estimator.histogram, store, "hist"),
+            edge=estimator.edge.value,
+        )
+    if isinstance(estimator, MEulerApprox):
+        hists = tuple(
+            _export_histogram(h, store, f"hist-{i}")
+            for i, h in enumerate(estimator.histograms)
+        )
+        return MEulerSpec(
+            hists=hists,
+            thresholds=estimator.area_thresholds,
+            num_objects=estimator.num_objects,
+            edge=estimator.edge.value,
+        )
+    if isinstance(estimator, ExactEvaluator):
+        keys = ("exact-a_lo", "exact-a_hi", "exact-b_lo", "exact-b_hi")
+        for key, column in zip(keys, estimator.snapped_columns):
+            store.put(key, column)
+        return ExactSpec(keys=keys, grid=estimator.grid, num_objects=estimator.num_objects)
+    raise UnsupportedEstimatorError(
+        f"no shared-memory spec for estimator type {type(estimator).__name__}"
+    )

@@ -1,0 +1,133 @@
+"""The process-pool worker loop: attach once, answer offset messages.
+
+A worker's whole life:
+
+1. attach the summary segments named in the manifest (refusing a stale
+   generation) and ``spec.build`` the estimator over the shared views;
+2. attach the pool's shared *query* buffer (four int64 corner rows) and
+   *result* buffer (four float64 count rows);
+3. send ``("ready", index, pid)`` and loop on the pipe:
+
+   - ``("task", task_id, lo, hi, generation)`` -- zero-copy a
+     :class:`TileQueryBatch` out of the query-buffer columns
+     ``[lo, hi)``, run ``estimate_batch``, write the four count rows
+     into the result buffer at the same columns, reply
+     ``("done", task_id, lo, hi)``.  A generation mismatch replies
+     ``("stale", task_id, ...)`` instead -- a stale worker must refuse
+     to answer, never guess.
+   - ``("stop",)`` -- detach and exit.
+
+Per-task traffic is therefore a handful of integers each way; the
+queries and results themselves never cross the pipe.  The parent owns
+both buffers and slices results out *after* the ``done`` reply, so a
+worker that dies mid-write can never corrupt an acknowledged result.
+
+This module must stay importable with no side effects: ``spawn``
+workers re-import it by qualified name.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+from multiprocessing.connection import Connection
+from typing import Mapping
+
+import numpy as np
+
+from repro.euler.base import as_batch_estimator
+from repro.grid.tiles_math import TileQueryBatch
+from repro.parallel.shm import attach_store
+
+__all__ = ["worker_main"]
+
+#: Rows of the shared query buffer, in order.
+QUERY_ROWS = ("qx_lo", "qx_hi", "qy_lo", "qy_hi")
+#: Rows of the shared result buffer, in order.
+RESULT_ROWS = ("n_d", "n_cs", "n_cd", "n_o")
+
+
+def _attach_plain(name: str, dtype: np.dtype, shape: tuple[int, ...]):
+    """Attach one of the pool's plain (headerless) I/O buffers."""
+    shm = shared_memory.SharedMemory(name=name)
+    return shm, np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+
+
+def worker_main(
+    worker_index: int,
+    conn: Connection,
+    manifest: Mapping[str, str],
+    spec: object,
+    generation: int,
+    query_name: str,
+    result_name: str,
+    capacity: int,
+) -> None:
+    """Entry point of one pool worker process (see module docstring)."""
+    attached = None
+    query_shm = result_shm = None
+    try:
+        try:
+            attached = attach_store(dict(manifest), expected_generation=generation)
+            estimator = as_batch_estimator(spec.build(attached.arrays))
+            query_shm, queries = _attach_plain(
+                query_name, np.dtype(np.int64), (len(QUERY_ROWS), capacity)
+            )
+            result_shm, results = _attach_plain(
+                result_name, np.dtype(np.float64), (len(RESULT_ROWS), capacity)
+            )
+        except BaseException as exc:
+            conn.send(("init_error", worker_index, repr(exc)))
+            return
+        conn.send(("ready", worker_index, os.getpid()))
+
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                # Parent vanished; exit quietly.
+                return
+            if message[0] == "stop":
+                return
+            if message[0] != "task":  # pragma: no cover - protocol guard
+                conn.send(("error", None, f"unknown message {message[0]!r}"))
+                continue
+            _, task_id, lo, hi, task_generation = message
+            try:
+                if task_generation != attached.generation:
+                    conn.send(
+                        (
+                            "stale",
+                            task_id,
+                            f"worker holds generation {attached.generation}, "
+                            f"task expects {task_generation}",
+                        )
+                    )
+                    continue
+                batch = TileQueryBatch(
+                    queries[0, lo:hi], queries[1, lo:hi], queries[2, lo:hi], queries[3, lo:hi]
+                )
+                counts = estimator.estimate_batch(batch)
+                results[0, lo:hi] = counts.n_d
+                results[1, lo:hi] = counts.n_cs
+                results[2, lo:hi] = counts.n_cd
+                results[3, lo:hi] = counts.n_o
+                conn.send(("done", task_id, lo, hi))
+            except BaseException as exc:
+                try:
+                    conn.send(("error", task_id, repr(exc)))
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    return
+    finally:
+        if attached is not None:
+            attached.close()
+        for shm in (query_shm, result_shm):
+            if shm is not None:
+                try:
+                    shm.close()
+                except OSError:  # pragma: no cover
+                    pass
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass

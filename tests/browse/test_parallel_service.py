@@ -1,0 +1,200 @@
+"""Process parallelism wired through the browsing services.
+
+These tests pin down the *service-level* contract of
+:mod:`repro.parallel`: a ``parallel=`` policy must never change what a
+raster contains -- only where the arithmetic runs -- and misconfigured
+policies must fail loudly at construction, not degrade silently at
+request time.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.browse.resilience import ResilientBrowsingService
+from repro.browse.service import GeoBrowsingService
+from repro.euler.histogram import EulerHistogram
+from repro.euler.maintained import MaintainedEulerHistogram
+from repro.euler.simple import SEulerApprox
+from repro.exact.evaluator import ExactEvaluator
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+from repro.obs.instruments import BrowseInstrumentation
+from repro.parallel.executor import ParallelConfig, ProcessBackedEstimator
+
+from tests.conftest import random_dataset
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="POSIX shared memory not available"
+)
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid.world_1deg()
+
+
+@pytest.fixture(scope="module")
+def dataset(grid):
+    return random_dataset(np.random.default_rng(7), grid, 400, max_size_cells=30.0)
+
+
+@pytest.fixture(scope="module")
+def estimator(grid, dataset):
+    return SEulerApprox(EulerHistogram.from_dataset(dataset, grid))
+
+
+@pytest.fixture(scope="module")
+def baseline(grid, estimator):
+    service = GeoBrowsingService(estimator, grid)
+    try:
+        return service.browse(TileQuery(0, grid.n1, 0, grid.n2), 90, 120, "overlap")
+    finally:
+        service.close()
+
+
+def process_config(**overrides):
+    overrides.setdefault("mode", "process")
+    overrides.setdefault("max_workers", 2)
+    overrides.setdefault("start_method", "fork")
+    return ParallelConfig(**overrides)
+
+
+class TestGeoBrowsingService:
+    def test_forced_process_raster_matches_plain(self, grid, estimator, baseline):
+        service = GeoBrowsingService(
+            estimator, grid, num_shards=4, parallel=process_config()
+        )
+        try:
+            assert service.parallel_executor.mode == "process"
+            result = service.browse(
+                TileQuery(0, grid.n1, 0, grid.n2), 90, 120, "overlap"
+            )
+            np.testing.assert_array_equal(result.counts, baseline.counts)
+        finally:
+            service.close()
+
+    def test_auto_policy_routes_large_rasters_to_processes(
+        self, grid, estimator, baseline
+    ):
+        service = GeoBrowsingService(
+            estimator,
+            grid,
+            num_shards=4,
+            parallel=process_config(mode="auto", process_threshold=1024),
+        )
+        try:
+            pool = service.parallel_executor.process_pool
+            assert pool is not None
+            pool.ensure_ready(20.0)
+            result = service.browse(
+                TileQuery(0, grid.n1, 0, grid.n2), 90, 120, "overlap"
+            )
+            np.testing.assert_array_equal(result.counts, baseline.counts)
+        finally:
+            service.close()
+
+    def test_auto_with_unexportable_estimator_stays_on_threads(self, grid, dataset):
+        # MaintainedEulerHistogram summaries are mutable and refuse
+        # shared-memory export; auto mode must quietly keep threads.
+        maintained = SEulerApprox(MaintainedEulerHistogram(grid, dataset))
+        service = GeoBrowsingService(
+            maintained, grid, num_shards=4, parallel="auto"
+        )
+        try:
+            assert service.parallel_executor.process_pool is None
+            result = service.browse(TileQuery(0, grid.n1, 0, grid.n2), 30, 40)
+            assert result.counts.shape == (30, 40)
+        finally:
+            service.close()
+
+    def test_forced_process_with_unexportable_estimator_raises(self, grid, dataset):
+        maintained = SEulerApprox(MaintainedEulerHistogram(grid, dataset))
+        with pytest.raises(ValueError, match="process"):
+            GeoBrowsingService(
+                maintained, grid, num_shards=4, parallel=process_config()
+            )
+
+    def test_worker_gauge_tracks_pool(self, grid, estimator):
+        obs = BrowseInstrumentation()
+        service = GeoBrowsingService(
+            estimator,
+            grid,
+            num_shards=4,
+            parallel=process_config(),
+            instruments=obs,
+        )
+        try:
+            assert obs.shard_pool_workers.labels(service="plain").value == 2
+        finally:
+            service.close()
+        assert obs.shard_pool_workers.labels(service="plain").value == 0
+
+
+class TestResilientBrowsingService:
+    def test_process_raster_matches_plain(self, grid, estimator, baseline):
+        service = ResilientBrowsingService(
+            estimator, grid, chunk_rows=16, num_shards=4, parallel=process_config()
+        )
+        try:
+            primary = service.chain.tiers[0]
+            assert isinstance(primary.estimator, ProcessBackedEstimator)
+            result = service.browse(
+                TileQuery(0, grid.n1, 0, grid.n2), 90, 120, "overlap"
+            )
+            assert result.is_complete
+            np.testing.assert_array_equal(result.counts, baseline.counts)
+        finally:
+            service.close()
+
+    def test_fallback_chain_is_preserved(self, grid, dataset, estimator, baseline):
+        # The process wrapper applies to the primary tier only; the
+        # fallback tiers answer exactly as before.
+        fallback = ExactEvaluator(dataset, grid)
+        service = ResilientBrowsingService(
+            [estimator, fallback],
+            grid,
+            chunk_rows=16,
+            num_shards=2,
+            parallel=process_config(),
+        )
+        try:
+            assert len(service.chain.tiers) == 2
+            assert not isinstance(
+                service.chain.tiers[1].estimator, ProcessBackedEstimator
+            )
+            result = service.browse(
+                TileQuery(0, grid.n1, 0, grid.n2), 90, 120, "overlap"
+            )
+            np.testing.assert_array_equal(result.counts, baseline.counts)
+        finally:
+            service.close()
+
+    def test_parallel_rejects_prebuilt_chain(self, grid, estimator):
+        from repro.browse.resilience import FallbackChain
+
+        chain = FallbackChain([estimator])
+        with pytest.raises(ValueError, match="chain"):
+            ResilientBrowsingService(
+                estimator, grid, chain=chain, parallel=process_config()
+            )
+
+    def test_deadline_still_enforced_with_process_pool(self, grid, estimator):
+        # A zero budget must degrade (partial raster), never block on
+        # the pool: wave dispatch checks the deadline between waves.
+        service = ResilientBrowsingService(
+            estimator,
+            grid,
+            chunk_rows=8,
+            num_shards=2,
+            parallel=process_config(),
+        )
+        try:
+            result = service.browse(
+                TileQuery(0, grid.n1, 0, grid.n2), 90, 120, deadline=0.0
+            )
+            assert not result.is_complete
+        finally:
+            service.close()

@@ -1,0 +1,139 @@
+"""ShardPool failure and shutdown semantics.
+
+Regression coverage for two promises in :meth:`ShardPool.map`:
+
+- the *first* exception (in submission order) aborts the raster and
+  cancels still-pending shards rather than running them to completion;
+- ``close()`` is safe to call concurrently with ``map`` -- racing
+  callers always get complete, correct results via inline fallback.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.browse.sharding import ShardPool, band_slices
+
+
+class DeliberateFailure(RuntimeError):
+    pass
+
+
+class TestFirstExceptionCancelsPending:
+    def test_pending_shards_are_cancelled_after_failure(self):
+        # One worker serialises execution, so everything queued behind
+        # the failing shard is still pending (cancellable) when the
+        # exception surfaces.  Two items are forced through the pool
+        # path by len > 1; worker=1 would inline, so use 2 workers and
+        # a barrier to hold both workers busy while the queue fills.
+        executed = []
+        gate = threading.Barrier(3)
+
+        def shard(i):
+            if i < 2:
+                gate.wait(timeout=5.0)  # occupy both workers...
+            executed.append(i)
+            if i == 0:
+                raise DeliberateFailure(f"shard {i}")
+            time.sleep(0.01)
+            return i
+
+        pool = ShardPool(8, max_workers=2)
+        try:
+            # Release the gate from the side once both workers hold it,
+            # guaranteeing items 2..7 are queued (not started) first.
+            releaser = threading.Timer(0.05, gate.wait)
+            releaser.start()
+            with pytest.raises(DeliberateFailure):
+                pool.map(shard, list(range(8)))
+            releaser.join()
+        finally:
+            pool.close()
+        # The failing shard ran; the queued tail was cancelled, not run.
+        assert 0 in executed
+        assert len(executed) < 8
+
+    def test_earliest_observed_failure_wins(self):
+        # Both shards fail; the earliest-submitted failure *observed*
+        # is the one reported (the later one is still sleeping when the
+        # first surfaces and never shadows it).
+        start = threading.Barrier(2)
+
+        def shard(i):
+            start.wait(timeout=5.0)
+            if i == 1:
+                time.sleep(0.2)  # fails long after shard 0 surfaced
+            raise DeliberateFailure(f"shard {i}")
+
+        with ShardPool(2, max_workers=2) as pool:
+            with pytest.raises(DeliberateFailure, match="shard 0"):
+                pool.map(shard, [0, 1])
+
+    def test_no_work_in_flight_when_map_raises(self):
+        # A still-running shard must be awaited before the exception
+        # propagates, so callers can safely tear down shared state.
+        in_flight = threading.Event()
+        finished = threading.Event()
+
+        def shard(i):
+            if i == 1:
+                in_flight.set()
+                time.sleep(0.1)
+                finished.set()
+                return i
+            in_flight.wait(timeout=5.0)
+            raise DeliberateFailure("shard 0")
+
+        with ShardPool(2, max_workers=2) as pool:
+            with pytest.raises(DeliberateFailure):
+                pool.map(shard, [0, 1])
+            assert finished.is_set()
+
+
+class TestCloseRacesMap:
+    def test_map_after_close_runs_inline(self):
+        pool = ShardPool(4, max_workers=2)
+        pool.close()
+        assert pool.map(lambda x: x * x, [1, 2, 3]) == [1, 4, 9]
+
+    def test_close_is_idempotent_and_reentrant(self):
+        pool = ShardPool(4, max_workers=2)
+        pool.map(lambda x: x, [1, 2])
+        pool.close()
+        pool.close()
+
+    def test_concurrent_close_never_loses_results(self):
+        # Hammer map from one thread while close() lands mid-stream:
+        # every map call must return the full, ordered result list --
+        # via the pool before the close, inline after it.
+        for _ in range(20):
+            pool = ShardPool(8, max_workers=2)
+            items = list(range(16))
+            expected = [i * 3 for i in items]
+            outcomes = []
+
+            def run_maps():
+                for _ in range(10):
+                    outcomes.append(pool.map(lambda x: x * 3, items))
+
+            mapper = threading.Thread(target=run_maps)
+            mapper.start()
+            time.sleep(0.001)
+            pool.close()
+            mapper.join(timeout=30.0)
+            assert not mapper.is_alive()
+            assert len(outcomes) == 10
+            assert all(outcome == expected for outcome in outcomes)
+
+
+class TestBandSlices:
+    def test_slices_cover_exactly_once(self):
+        for n, shards in ((1, 4), (100, 3), (64800, 8), (7, 16)):
+            slices = band_slices(n, shards, min_shard=1)
+            covered = []
+            for s in slices:
+                covered.extend(range(s.start, s.stop))
+            assert covered == list(range(n))

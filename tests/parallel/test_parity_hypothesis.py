@@ -1,0 +1,127 @@
+"""Property suite: process-sharded rasters are bit-identical to inline.
+
+One pool per (estimator, start method) is built once at module scope --
+pools are persistent by design, and Hypothesis re-invokes the test body
+many times against the same workers, which doubles as a soak test of
+buffer reuse across dispatches.  Every example draws a fresh random
+raster plus a random boolean mask, and checks both the full batch and
+the masked (restricted) batch that the resilience layer's retry path
+produces via :func:`batch_subset`.
+
+``spawn`` coverage matters beyond the start method itself: spawn is the
+only path that round-trips the manifest and estimator spec through
+pickling into a fresh interpreter, so it would catch any state that
+sneaks into a spec object without being picklable or rebuildable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.browse.sharding import batch_subset
+from repro.euler.full import EulerApprox, QueryEdge
+from repro.euler.histogram import EulerHistogram
+from repro.euler.multi import MEulerApprox
+from repro.euler.simple import SEulerApprox
+from repro.exact.evaluator import ExactEvaluator
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQueryBatch
+from repro.parallel.pool import ProcessShardPool
+
+from tests.conftest import random_dataset
+
+FIELDS = ("n_d", "n_cs", "n_cd", "n_o")
+ESTIMATOR_KEYS = ("s_euler", "euler", "m_euler", "exact")
+START_METHODS = ("fork", "spawn")
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="POSIX shared memory not available"
+)
+
+_GRID = Grid.world_1deg()
+_DATASET = random_dataset(
+    np.random.default_rng(2026), _GRID, 400, max_size_cells=40.0
+)
+_HIST = EulerHistogram.from_dataset(_DATASET, _GRID)
+
+_ESTIMATORS = {
+    "s_euler": SEulerApprox(_HIST),
+    "euler": EulerApprox(_HIST, QueryEdge.LEFT),
+    "m_euler": MEulerApprox(_DATASET, _GRID, [1.0, 16.0], edge=QueryEdge.RIGHT),
+    "exact": ExactEvaluator(_DATASET, _GRID),
+}
+
+_POOLS: dict[tuple[str, str], ProcessShardPool] = {}
+
+
+@pytest.fixture(scope="module")
+def pools():
+    try:
+        yield _POOLS
+    finally:
+        for pool in _POOLS.values():
+            pool.close()
+        _POOLS.clear()
+
+
+def _pool_for(key: str, start_method: str) -> ProcessShardPool:
+    pool = _POOLS.get((key, start_method))
+    if pool is None:
+        pool = ProcessShardPool(
+            _ESTIMATORS[key],
+            num_shards=4,
+            max_workers=2,
+            start_method=start_method,
+            min_shard=1,
+        )
+        assert pool.ensure_ready(30.0) >= 1
+        _POOLS[(key, start_method)] = pool
+    return pool
+
+
+@st.composite
+def rasters(draw):
+    """A random raster over random sub-viewports of the world grid, with
+    a mask selecting a restricted sub-batch."""
+    n = draw(st.integers(min_value=1, max_value=400))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**32 - 1)))
+    qx_lo = rng.integers(0, _GRID.n1, size=n)
+    qy_lo = rng.integers(0, _GRID.n2, size=n)
+    qx_hi = qx_lo + 1 + rng.integers(0, _GRID.n1 - qx_lo, size=n)
+    qy_hi = qy_lo + 1 + rng.integers(0, _GRID.n2 - qy_lo, size=n)
+    batch = TileQueryBatch(
+        qx_lo, np.minimum(qx_hi, _GRID.n1), qy_lo, np.minimum(qy_hi, _GRID.n2)
+    )
+    mask = rng.random(n) < draw(st.floats(min_value=0.0, max_value=1.0))
+    return batch, mask
+
+
+@pytest.mark.parametrize("start_method", START_METHODS)
+@pytest.mark.parametrize("key", ESTIMATOR_KEYS)
+@given(data=rasters())
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_process_raster_bit_identical_to_inline(pools, key, start_method, data):
+    batch, mask = data
+    pool = _pool_for(key, start_method)
+    inline = _ESTIMATORS[key].estimate_batch(batch)
+    sharded = pool.estimate_batch(batch)
+    for field in FIELDS:
+        np.testing.assert_array_equal(getattr(sharded, field), getattr(inline, field))
+
+    if mask.any():
+        restricted = batch_subset(batch, mask)
+        inline_r = _ESTIMATORS[key].estimate_batch(restricted)
+        sharded_r = pool.estimate_batch(restricted)
+        for field in FIELDS:
+            np.testing.assert_array_equal(
+                getattr(sharded_r, field), getattr(inline_r, field)
+            )

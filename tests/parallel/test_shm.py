@@ -1,0 +1,172 @@
+"""Shared-memory summary store: layout, attach protocol, leak-freedom.
+
+The leak tests enumerate ``/dev/shm`` directly -- segment hygiene is an
+acceptance criterion of the process-parallel stack, not an
+implementation detail: a leaked segment survives the process and eats
+tmpfs until reboot.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import (
+    SegmentFormatError,
+    SharedSummaryStore,
+    StaleSummaryError,
+    attach_store,
+)
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="POSIX shared memory not available"
+)
+
+
+def shm_entries() -> set[str]:
+    return set(glob.glob("/dev/shm/*"))
+
+
+def test_put_get_roundtrip_and_manifest():
+    store = SharedSummaryStore(generation=3)
+    arrays = {
+        "cube": np.arange(24, dtype=np.int64).reshape(4, 6),
+        "floats": np.linspace(0.0, 1.0, 7),
+        "flags": np.array([True, False, True]),
+    }
+    with store:
+        for key, arr in arrays.items():
+            store.put(key, arr)
+        assert set(store.manifest) == set(arrays)
+        assert store.generation == 3
+        for key, arr in arrays.items():
+            view = store.get(key)
+            assert view.dtype == (np.int64 if key == "cube" else arr.dtype)
+            np.testing.assert_array_equal(view, arr)
+            assert not view.flags.writeable
+
+
+def test_attach_sees_identical_bytes_and_generation():
+    with SharedSummaryStore(generation=7) as store:
+        cube = np.arange(30, dtype=np.int64).reshape(5, 6)
+        store.put("cube", cube)
+        attached = attach_store(store.manifest, expected_generation=7)
+        try:
+            np.testing.assert_array_equal(attached.arrays["cube"], cube)
+            assert attached.generation == 7
+            assert not attached.arrays["cube"].flags.writeable
+        finally:
+            attached.close()
+
+
+def test_attach_refuses_stale_generation():
+    with SharedSummaryStore(generation=1) as store:
+        store.put("a", np.zeros(4, dtype=np.int64))
+        with pytest.raises(StaleSummaryError):
+            attach_store(store.manifest, expected_generation=2)
+
+
+def test_attach_refuses_corrupt_magic():
+    from multiprocessing import shared_memory
+
+    store = SharedSummaryStore()
+    try:
+        name = store.put("a", np.zeros(4, dtype=np.int64))
+        raw = shared_memory.SharedMemory(name=name)
+        try:
+            np.ndarray((1,), dtype=np.int64, buffer=raw.buf)[0] = 0xBAD
+            with pytest.raises(SegmentFormatError):
+                attach_store(store.manifest)
+        finally:
+            raw.close()
+    finally:
+        store.close()
+
+
+def test_refcount_tracks_attachers():
+    with SharedSummaryStore() as store:
+        store.put("a", np.zeros(4, dtype=np.int64))
+        assert store.segment_refcount("a") == 1  # owner
+        first = attach_store(store.manifest)
+        second = attach_store(store.manifest)
+        assert store.segment_refcount("a") == 3
+        first.close()
+        assert store.segment_refcount("a") == 2
+        first.close()  # idempotent: no double decrement
+        assert store.segment_refcount("a") == 2
+        second.close()
+        assert store.segment_refcount("a") == 1
+
+
+def test_unsupported_dtype_and_duplicate_key_rejected():
+    with SharedSummaryStore() as store:
+        with pytest.raises(ValueError, match="not exportable"):
+            store.put("complex", np.zeros(3, dtype=np.complex128))
+        store.put("a", np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError, match="already holds"):
+            store.put("a", np.zeros(3, dtype=np.int64))
+
+
+def test_close_unlinks_every_segment_and_is_idempotent():
+    before = shm_entries()
+    store = SharedSummaryStore()
+    store.put("a", np.zeros(1024, dtype=np.int64))
+    store.put("b", np.zeros(1024, dtype=np.float64))
+    assert len(shm_entries() - before) == 2
+    store.close()
+    assert shm_entries() - before == set()
+    store.close()  # idempotent
+    with pytest.raises(RuntimeError):
+        store.put("c", np.zeros(3, dtype=np.int64))
+
+
+def test_unlink_under_live_attachment_keeps_views_valid():
+    # POSIX semantics: the owner's unlink removes the name, not the
+    # pages; an attached mapping keeps reading valid data.
+    store = SharedSummaryStore()
+    payload = np.arange(64, dtype=np.int64)
+    store.put("a", payload)
+    attached = attach_store(store.manifest)
+    store.close()
+    try:
+        np.testing.assert_array_equal(attached.arrays["a"], payload)
+    finally:
+        attached.close()
+
+
+def test_garbage_collected_store_does_not_leak():
+    before = shm_entries()
+    store = SharedSummaryStore()
+    store.put("a", np.zeros(4096, dtype=np.int64))
+    assert len(shm_entries() - before) == 1
+    del store  # finalizer must unlink without an explicit close()
+    assert shm_entries() - before == set()
+
+
+def test_process_exit_without_close_does_not_leak(tmp_path):
+    # The weakref.finalize cleanup must also run at interpreter exit:
+    # a process that dies holding an open store leaves /dev/shm clean.
+    script = tmp_path / "leaker.py"
+    script.write_text(
+        "import numpy as np\n"
+        "from repro.parallel.shm import SharedSummaryStore\n"
+        "store = SharedSummaryStore()\n"
+        "print(store.put('a', np.zeros(4096, dtype=np.int64)))\n"
+        # no close(): exit with the store open
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, env=env
+    )
+    assert proc.returncode == 0, proc.stderr
+    name = proc.stdout.strip()
+    assert name
+    assert not os.path.exists(f"/dev/shm/{name}")

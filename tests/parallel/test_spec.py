@@ -1,0 +1,129 @@
+"""Estimator export/rebuild specs: parity, size, refusal rules."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.euler.full import EulerApprox, QueryEdge
+from repro.euler.histogram import EulerHistogram
+from repro.euler.maintained import MaintainedEulerHistogram
+from repro.euler.multi import MEulerApprox
+from repro.euler.simple import SEulerApprox
+from repro.exact.evaluator import ExactEvaluator
+from repro.parallel.shm import SharedSummaryStore, attach_store
+from repro.parallel.spec import UnsupportedEstimatorError, export_estimator
+
+from tests.conftest import random_dataset
+
+
+@pytest.fixture(scope="module")
+def setup(world_grid_module):
+    grid = world_grid_module
+    rng = np.random.default_rng(99)
+    dataset = random_dataset(rng, grid, 400, max_size_cells=25.0)
+    return grid, dataset, EulerHistogram.from_dataset(dataset, grid)
+
+
+@pytest.fixture(scope="module")
+def world_grid_module():
+    from repro.grid.grid import Grid
+
+    return Grid.world_1deg()
+
+
+def _random_batch(grid, n=300, seed=7):
+    from repro.grid.tiles_math import TileQueryBatch
+
+    rng = np.random.default_rng(seed)
+    qx_lo = rng.integers(0, grid.n1 - 1, size=n)
+    qy_lo = rng.integers(0, grid.n2 - 1, size=n)
+    qx_hi = qx_lo + 1 + rng.integers(0, np.maximum(grid.n1 - qx_lo - 1, 1))
+    qy_hi = qy_lo + 1 + rng.integers(0, np.maximum(grid.n2 - qy_lo - 1, 1))
+    return TileQueryBatch(qx_lo, np.minimum(qx_hi, grid.n1), qy_lo, np.minimum(qy_hi, grid.n2))
+
+
+def _estimators(setup):
+    grid, dataset, hist = setup
+    return {
+        "s_euler": SEulerApprox(hist),
+        "euler": EulerApprox(hist, QueryEdge.RIGHT),
+        "m_euler": MEulerApprox(dataset, grid, [1.0, 9.0, 100.0], edge=QueryEdge.TOP),
+        "exact": ExactEvaluator(dataset, grid),
+    }
+
+
+@pytest.mark.parametrize("key", ["s_euler", "euler", "m_euler", "exact"])
+def test_export_rebuild_bit_parity(setup, key):
+    grid, _, _ = setup
+    estimator = _estimators(setup)[key]
+    batch = _random_batch(grid)
+    expected = estimator.estimate_batch(batch)
+
+    store = SharedSummaryStore()
+    try:
+        spec = export_estimator(estimator, store)
+        # The spec must travel as a small pickle: keys and scalars only,
+        # never the summary arrays themselves.
+        payload = pickle.dumps(spec)
+        assert len(payload) < 4096
+        attached = attach_store(store.manifest)
+        try:
+            rebuilt = pickle.loads(payload).build(attached.arrays)
+            got = rebuilt.estimate_batch(batch)
+            for field in ("n_d", "n_cs", "n_cd", "n_o"):
+                np.testing.assert_array_equal(
+                    getattr(got, field), getattr(expected, field)
+                )
+            assert rebuilt.name == estimator.name
+        finally:
+            attached.close()
+    finally:
+        store.close()
+
+
+def test_rebuilt_estimators_preserve_configuration(setup):
+    grid, dataset, hist = setup
+    store = SharedSummaryStore()
+    try:
+        euler = EulerApprox(hist, QueryEdge.BOTTOM)
+        spec = export_estimator(euler, store)
+        attached = attach_store(store.manifest)
+        try:
+            rebuilt = spec.build(attached.arrays)
+            assert rebuilt.edge is QueryEdge.BOTTOM
+            assert rebuilt.histogram.num_objects == hist.num_objects
+        finally:
+            attached.close()
+    finally:
+        store.close()
+
+
+def test_maintained_histogram_refuses_export(setup):
+    grid, dataset, _ = setup
+    maintained = MaintainedEulerHistogram(grid, dataset)
+    store = SharedSummaryStore()
+    try:
+        with pytest.raises(UnsupportedEstimatorError):
+            export_estimator(SEulerApprox(maintained), store)
+    finally:
+        store.close()
+
+
+def test_unknown_estimator_refuses_export(setup):
+    class Custom:
+        name = "custom"
+
+        def estimate(self, query):  # pragma: no cover - never called
+            raise NotImplementedError
+
+    store = SharedSummaryStore()
+    try:
+        with pytest.raises(UnsupportedEstimatorError):
+            export_estimator(Custom(), store)
+        # A refused export must not leave half a manifest behind.
+        assert store.manifest == {}
+    finally:
+        store.close()
