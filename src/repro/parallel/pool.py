@@ -30,6 +30,10 @@ Failure model (exercised by the fault harness, ``testing/faults.py``):
 - **staleness** -- a worker whose attached generation does not match a
   task's refuses with a ``stale`` reply; the parent answers that band
   inline.  Wrong answers are structurally impossible, not just unlikely.
+- **estimator error** -- an ``error`` reply propagates as
+  :class:`WorkerEstimateError`, but first the round's other in-flight
+  workers are terminated (and respawned) exactly like timed-out
+  stragglers, so no abandoned task can write into a reused buffer.
 
 Results concatenate in band order from the same elementwise kernels the
 inline path runs, so process-sharded rasters are bit-identical to
@@ -253,21 +257,28 @@ class ProcessShardPool:
 
     def ensure_ready(self, timeout: float = 10.0) -> int:
         """Wait up to ``timeout`` for starting workers to report ready;
-        returns the number currently ready.  A worker whose startup
-        failed (``init_error``) is counted as a crash and respawned
-        once; persistent failures just leave it not-ready."""
+        returns the number currently ready.  A ``timeout`` of zero still
+        performs one non-blocking poll, so pending ``ready`` messages
+        (fresh startup or post-crash respawns) are always drained -- the
+        auto routing policy relies on this.  A worker whose startup
+        failed (``init_error``) or died before reporting is counted as a
+        crash and respawned; persistent failures leave it not-ready."""
         with self._lock:
             return self._ensure_ready_locked(timeout)
 
     def _ensure_ready_locked(self, timeout: float) -> int:
         deadline = time.monotonic() + timeout
         while True:
-            starting = [w for w in self._workers if not w.ready and w.process.is_alive()]
+            # Dead not-ready workers stay in the scan: their pipe reads
+            # EOF below and they are respawned, instead of being
+            # silently lost for the pool's lifetime.
+            starting = [w for w in self._workers if not w.ready and not w.conn.closed]
             if not starting:
                 break
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                break
+            # Clamp instead of breaking: even past the deadline (or with
+            # timeout=0) one non-blocking connection_wait pass runs, so
+            # already-pending messages are always consumed.
+            remaining = max(deadline - time.monotonic(), 0.0)
             ready_objs = connection_wait([w.conn for w in starting], timeout=remaining)
             if not ready_objs:
                 break
@@ -358,6 +369,10 @@ class ProcessShardPool:
         with self._lock:
             if self._closed:
                 raise PoolUnavailableError("pool is closed")
+            # Non-blocking drain of pending "ready" messages, so workers
+            # respawned after a crash rejoin the fan-out instead of the
+            # pool silently decaying to inline execution.
+            self._ensure_ready_locked(0.0)
             for lo in range(0, max(n, 1), self._capacity):
                 hi = min(lo + self._capacity, n)
                 self._dispatch_round(batch, lo, hi, out, timeout)
@@ -472,6 +487,16 @@ class ProcessShardPool:
                         del sentinel_owner[worker.process.sentinel]
                         inline_slices.append(band)
                     elif kind == "error":
+                        del pending[conn]
+                        del sentinel_owner[worker.process.sentinel]
+                        # The error aborts the round, but other bands
+                        # are still in flight: terminate those workers
+                        # (as the timeout branch does) so a straggler's
+                        # late write can never land in the reused result
+                        # buffer of a subsequent dispatch.
+                        for _, (straggler, _sid, _sband) in list(pending.items()):
+                            self._respawn(straggler, "abort")
+                        pending.clear()
                         raise WorkerEstimateError(
                             f"worker {worker.index} failed on tiles "
                             f"[{lo + band.start}, {lo + band.stop}): {message[2]}"

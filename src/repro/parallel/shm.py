@@ -324,6 +324,7 @@ def attach_store(
     refcount, and returns the read-only views.
     """
     segments: dict[str, shared_memory.SharedMemory] = {}
+    bumped: set[str] = set()
     generation: int | None = None
     try:
         for key, name in manifest.items():
@@ -345,8 +346,18 @@ def attach_store(
                     "a stale summary"
                 )
             header[_H_REFCOUNT] = int(header[_H_REFCOUNT]) + 1
+            bumped.add(key)
     except BaseException:
-        for shm in segments.values():
+        # Roll back before detaching: refcounts bumped on the segments
+        # already validated must not survive a failed attach, or the
+        # advisory count diagnostics read would skew upward forever.
+        for key, shm in segments.items():
+            if key in bumped:
+                try:
+                    header = _header_view(shm)
+                    header[_H_REFCOUNT] = int(header[_H_REFCOUNT]) - 1
+                except (OSError, SegmentFormatError):  # pragma: no cover
+                    pass
             try:
                 shm.close()
             except OSError:  # pragma: no cover

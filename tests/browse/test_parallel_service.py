@@ -10,6 +10,7 @@ request time.
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
 import pytest
@@ -88,11 +89,19 @@ class TestGeoBrowsingService:
         try:
             pool = service.parallel_executor.process_pool
             assert pool is not None
-            pool.ensure_ready(20.0)
+            # Auto never blocks on startup: it polls with a zero-timeout
+            # ensure_ready on each routing.  Wait the same way here (no
+            # blocking ensure_ready) so this test exercises the exact
+            # path that decides whether a raster reaches the processes.
+            deadline = time.monotonic() + 20.0
+            while pool.ensure_ready(0.0) == 0:
+                assert time.monotonic() < deadline, "auto-mode poll never saw readiness"
+                time.sleep(0.01)
             result = service.browse(
                 TileQuery(0, grid.n1, 0, grid.n2), 90, 120, "overlap"
             )
             np.testing.assert_array_equal(result.counts, baseline.counts)
+            assert pool.ready_count() > 0
         finally:
             service.close()
 

@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import glob
 import os
+import time
 
 import numpy as np
 import pytest
 
+from repro.euler.base import as_batch_estimator
 from repro.euler.histogram import EulerHistogram
 from repro.euler.simple import SEulerApprox
 from repro.grid.grid import Grid
@@ -107,6 +109,119 @@ def test_capacity_chunking_preserves_parity(estimator, raster, inline):
     with make_pool(estimator, capacity=1024) as pool:
         pool.ensure_ready(20.0)
         assert_parity(pool.estimate_batch(raster), inline)
+
+
+def test_zero_timeout_ensure_ready_drains_pending_messages(estimator):
+    # The auto routing policy polls with ensure_ready(0.0); a zero
+    # timeout must still perform one non-blocking drain of pending
+    # "ready" messages, or the pool looks empty forever.
+    with make_pool(estimator) as pool:
+        deadline = time.monotonic() + 20.0
+        while pool.ensure_ready(0.0) < 2:
+            assert time.monotonic() < deadline, "0-timeout polls never saw readiness"
+            time.sleep(0.01)
+        assert pool.ready_count() == 2
+
+
+def test_dispatch_remarks_respawned_workers_ready(estimator, raster, inline):
+    # After a crash, the replacement workers' "ready" messages must be
+    # picked up by dispatch itself -- with no explicit ensure_ready call
+    # -- or a long-lived pool silently decays to inline execution.
+    with make_pool(
+        estimator, spec_transform=lambda spec: WorkerCrashSpec(spec, crash_on_call=2)
+    ) as pool:
+        pool.ensure_ready(20.0)
+        assert_parity(pool.estimate_batch(raster), inline)  # call 1: clean
+        assert_parity(pool.estimate_batch(raster), inline)  # call 2: both crash
+        assert pool.crashes == 2
+        deadline = time.monotonic() + 20.0
+        while pool.ready_count() < 2:
+            assert time.monotonic() < deadline, "dispatch never re-marked respawns ready"
+            time.sleep(0.01)
+            assert_parity(pool.estimate_batch(raster), inline)
+
+
+def test_worker_dead_before_ready_is_respawned(estimator, raster, inline, tmp_path):
+    # A worker dying during startup *before* sending any message (so
+    # neither "ready" nor "init_error" ever arrives) must be detected
+    # and respawned by ensure_ready, not silently dropped from the pool.
+    flag = tmp_path / "died-once"
+
+    class _DieOnceSpec:
+        # Fork-only (inherited, never pickled): exactly one worker wins
+        # the O_EXCL race, dies without a word, and its replacement --
+        # seeing the flag -- comes up normally.
+        def __init__(self, inner):
+            self.inner = inner
+
+        def build(self, arrays):
+            try:
+                os.close(os.open(flag, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                os._exit(1)
+            except FileExistsError:
+                pass
+            return self.inner.build(arrays)
+
+    with make_pool(estimator, spec_transform=_DieOnceSpec) as pool:
+        assert pool.ensure_ready(20.0) == 2
+        assert pool.crashes == 1
+        assert_parity(pool.estimate_batch(raster), inline)
+
+
+def test_worker_error_terminates_in_flight_stragglers(estimator, raster):
+    # An "error" reply aborts the round; the other worker is still
+    # sleeping on its band and must be terminated like a timed-out
+    # straggler -- left alive, its late write into the shared result
+    # buffer could corrupt a subsequent dispatch.
+    obs = BrowseInstrumentation()
+    first = (
+        int(raster.qx_lo[0]),
+        int(raster.qx_hi[0]),
+        int(raster.qy_lo[0]),
+        int(raster.qy_hi[0]),
+    )
+
+    class _FirstBandErrorElseSleep:
+        # Fork-only: the worker holding the raster's first band raises
+        # immediately; every other band sleeps well past the test.
+        def __init__(self, inner):
+            self._inner = as_batch_estimator(inner)
+
+        name = "first-band-error"
+
+        def estimate(self, query):
+            return self._inner.estimate(query)
+
+        def estimate_batch(self, queries):
+            corner = (
+                int(queries.qx_lo[0]),
+                int(queries.qx_hi[0]),
+                int(queries.qy_lo[0]),
+                int(queries.qy_hi[0]),
+            )
+            if corner == first:
+                raise ValueError("deliberate estimator bug")
+            time.sleep(30.0)
+            return self._inner.estimate_batch(queries)
+
+    class _Spec:
+        def __init__(self, inner):
+            self.inner = inner
+
+        def build(self, arrays):
+            return _FirstBandErrorElseSleep(self.inner.build(arrays))
+
+    with make_pool(estimator, spec_transform=_Spec, instruments=obs) as pool:
+        pool.ensure_ready(20.0)
+        pids = set(pool.worker_pids())
+        with pytest.raises(WorkerEstimateError, match="deliberate estimator bug"):
+            pool.estimate_batch(raster)
+        assert obs.worker_crashes.labels(service="plain", reason="abort").value == 1
+        assert pool.crashes == 1
+        # The erroring worker (healthy) survives; the straggler's pid is
+        # gone, replaced by a fresh worker.
+        assert pool.ensure_ready(20.0) == 2
+        assert len(set(pool.worker_pids()) & pids) == 1
 
 
 def test_worker_crash_recovers_and_is_counted(estimator, raster, inline):

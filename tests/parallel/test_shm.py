@@ -103,6 +103,25 @@ def test_refcount_tracks_attachers():
         assert store.segment_refcount("a") == 1
 
 
+def test_failed_attach_rolls_back_refcounts():
+    # Attaching bumps refcounts segment by segment; a validation failure
+    # on a *later* segment must undo the earlier bumps, or every failed
+    # attach skews the advisory count diagnostics read.
+    from multiprocessing import shared_memory
+
+    with SharedSummaryStore() as store:
+        store.put("a", np.zeros(4, dtype=np.int64))
+        name_b = store.put("b", np.zeros(4, dtype=np.int64))
+        raw = shared_memory.SharedMemory(name=name_b)
+        try:
+            np.ndarray((1,), dtype=np.int64, buffer=raw.buf)[0] = 0xBAD
+            with pytest.raises(SegmentFormatError):
+                attach_store(store.manifest)
+            assert store.segment_refcount("a") == 1  # owner only, rolled back
+        finally:
+            raw.close()
+
+
 def test_unsupported_dtype_and_duplicate_key_rejected():
     with SharedSummaryStore() as store:
         with pytest.raises(ValueError, match="not exportable"):
