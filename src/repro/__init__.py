@@ -81,7 +81,18 @@ from repro.errors import (
     DeadlineExceededError,
     EstimatorFailedError,
     InvalidRegionError,
+    OverloadedError,
     SummaryCorruptError,
+    TenantQuotaExceededError,
+)
+from repro.gateway import (
+    AdmissionController,
+    Gateway,
+    GatewayResponse,
+    GatewayServer,
+    ServiceTimeWindow,
+    TenantCatalog,
+    TileRequest,
 )
 from repro.geometry import (
     Level1Relation,
@@ -187,6 +198,16 @@ __all__ = [
     "DeadlineExceededError",
     "EstimatorFailedError",
     "SummaryCorruptError",
+    "OverloadedError",
+    "TenantQuotaExceededError",
+    # serving gateway
+    "Gateway",
+    "GatewayResponse",
+    "GatewayServer",
+    "TileRequest",
+    "TenantCatalog",
+    "AdmissionController",
+    "ServiceTimeWindow",
     # index & query optimization
     "GridBucketIndex",
     "SelectivityEstimator",

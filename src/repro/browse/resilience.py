@@ -562,6 +562,8 @@ class ResilientBrowsingService:
         self._delta = delta
         self._summary = backing_summary(chain.tiers[0].estimator)
         self._summary_token = summary_token(self._summary)
+        self._close_lock = threading.Lock()
+        self._closed = False
 
     @property
     def grid(self) -> Grid:
@@ -610,10 +612,31 @@ class ResilientBrowsingService:
         configured (tests and diagnostics)."""
         return self._parallel
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (or is running)."""
+        with self._close_lock:
+            return self._closed
+
     def close(self) -> None:
         """Release the wave pool's threads and, when process
         parallelism is configured, the primary tier's worker processes
-        and shared segments (no-op when unsharded)."""
+        and shared segments (no-op when unsharded).
+
+        Idempotent and safe to race: gateway shutdown paths close the
+        service from the event loop while executor threads may still be
+        inside :meth:`browse`, and double-close (e.g. an explicit close
+        followed by a ``finally`` close) must not error.  The first
+        caller performs the teardown; every later or concurrent caller
+        returns immediately.  In-flight waves survive the race because
+        :class:`~repro.browse.sharding.ShardPool` degrades to inline
+        execution after close and the process pool drains its dispatch
+        lock before releasing segments.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         if self._pool is not None:
             self._pool.close()
         if self._parallel is not None:

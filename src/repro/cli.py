@@ -189,6 +189,98 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="dataset .npz path; enables the exact-truth accuracy probe",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant JSON-lines gateway over a histogram",
+    )
+    serve.add_argument("histogram", help="histogram .npz path")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8787, help="TCP port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--dataset-name",
+        default="default",
+        help="dataset name tenants address in requests (default: 'default')",
+    )
+    serve.add_argument(
+        "--tenant",
+        action="append",
+        default=None,
+        metavar="NAME[:QUOTA]",
+        help="register a tenant, optionally with a concurrency quota; "
+        "repeatable (default: one unlimited tenant 'public')",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="executor threads (default: 2)"
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admission queue bound; arrivals beyond it are shed (default: 64)",
+    )
+    serve.add_argument(
+        "--chunk-rows", type=int, default=4, help="raster rows answered per chunk"
+    )
+    serve.add_argument(
+        "--cache-mb",
+        type=float,
+        default=8.0,
+        help="shared tile-result cache capacity in MiB (default: 8, 0 disables)",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay closed-loop tenant sessions against an in-process gateway",
+    )
+    loadgen.add_argument("histogram", help="histogram .npz path")
+    loadgen.add_argument(
+        "--tenant",
+        action="append",
+        default=None,
+        metavar="NAME[:QUOTA]",
+        help="tenants to replay as; repeatable (default: 'public')",
+    )
+    loadgen.add_argument(
+        "--sessions",
+        type=int,
+        default=16,
+        help="concurrent sessions per tenant (default: 16)",
+    )
+    loadgen.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request client budget in seconds (default: unbounded)",
+    )
+    loadgen.add_argument(
+        "--dataset-name", default="default", help=argparse.SUPPRESS
+    )
+    loadgen.add_argument("--workers", type=int, default=2)
+    loadgen.add_argument("--max-pending", type=int, default=64)
+    loadgen.add_argument("--chunk-rows", type=int, default=4)
+    loadgen.add_argument("--cache-mb", type=float, default=8.0)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--max-depth", type=int, default=4, help="max interactions per session"
+    )
+    loadgen.add_argument(
+        "--pan-prob",
+        type=float,
+        default=0.4,
+        help="probability a step pans instead of zooming (default: 0.4)",
+    )
+    loadgen.add_argument(
+        "--think-time",
+        type=float,
+        default=0.0,
+        help="pause between a response and the session's next request",
+    )
+    loadgen.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
     return parser
 
 
@@ -413,12 +505,146 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         set_default_registry(previous)
 
 
+def _parse_tenants(specs: list[str] | None) -> list[tuple[str, int]]:
+    """``NAME[:QUOTA]`` specs -> (name, quota) pairs (0 = unlimited)."""
+    if not specs:
+        return [("public", 0)]
+    tenants = []
+    for spec in specs:
+        name, _, quota = spec.partition(":")
+        if not name:
+            raise ValueError(f"empty tenant name in {spec!r}")
+        tenants.append((name, int(quota) if quota else 0))
+    return tenants
+
+
+def _build_catalog(args: argparse.Namespace, instruments=None):
+    """The tenant catalog both gateway commands build from their flags."""
+    from repro.cache import TileResultCache
+    from repro.gateway import TenantCatalog
+
+    histogram = EulerHistogram.load(args.histogram)
+    cache = (
+        TileResultCache(int(args.cache_mb * (1 << 20))) if args.cache_mb > 0 else None
+    )
+    catalog = TenantCatalog(instruments=instruments)
+    catalog.register_dataset(
+        args.dataset_name,
+        SEulerApprox(histogram),
+        histogram.grid,
+        cache=cache,
+        chunk_rows=args.chunk_rows,
+    )
+    tenants = _parse_tenants(args.tenant)
+    for name, quota in tenants:
+        catalog.add_tenant(name, quota=quota)
+    return catalog, histogram, tenants
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.gateway import Gateway, GatewayServer
+
+    if args.workers < 1 or args.max_pending < 1 or args.chunk_rows < 1:
+        print(
+            "error: --workers, --max-pending and --chunk-rows must be positive",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        catalog, _, tenants = _build_catalog(args)
+    except (SummaryCorruptError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def run() -> None:
+        gateway = Gateway(
+            catalog, workers=args.workers, max_pending=args.max_pending
+        )
+        server = GatewayServer(gateway, host=args.host, port=args.port)
+        await server.start()
+        names = ", ".join(
+            f"{n} (quota {q})" if q else n for n, q in tenants
+        )
+        print(
+            f"serving dataset {args.dataset_name!r} on "
+            f"{args.host}:{server.port} for tenants: {names}",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+            await gateway.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.gateway import Gateway
+    from repro.workloads import generate_tenant_sessions, run_loadgen
+
+    if args.sessions < 1 or args.workers < 1 or args.max_pending < 1:
+        print(
+            "error: --sessions, --workers and --max-pending must be positive",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        catalog, histogram, tenants = _build_catalog(args)
+    except (SummaryCorruptError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    plans = generate_tenant_sessions(
+        histogram.grid,
+        tenants=[name for name, _ in tenants],
+        dataset=args.dataset_name,
+        sessions_per_tenant=args.sessions,
+        seed=args.seed,
+        max_depth=args.max_depth,
+        pan_prob=args.pan_prob,
+    )
+
+    async def run():
+        gateway = Gateway(
+            catalog, workers=args.workers, max_pending=args.max_pending
+        )
+        try:
+            return await run_loadgen(
+                gateway,
+                plans,
+                deadline_s=args.deadline,
+                think_time_s=args.think_time,
+            )
+        finally:
+            await gateway.close()
+
+    report = asyncio.run(run())
+    doc = report.to_dict()
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        for key, value in doc.items():
+            print(f"{key:>22}: {value}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "describe": _cmd_describe,
     "build": _cmd_build,
     "browse": _cmd_browse,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -25,6 +25,8 @@ __all__ = [
     "DeadlineExceededError",
     "EstimatorFailedError",
     "SummaryCorruptError",
+    "OverloadedError",
+    "TenantQuotaExceededError",
 ]
 
 
@@ -66,6 +68,48 @@ class EstimatorFailedError(BrowseError):
         super().__init__(message)
         #: The underlying per-estimator exceptions, in chain order.
         self.causes = causes
+
+
+class OverloadedError(BrowseError):
+    """The serving gateway shed this request instead of running it.
+
+    Raised (or returned as a structured error response) when admission
+    control decides the request cannot be served within its deadline --
+    the queue is full, the remaining budget cannot cover the observed
+    service time, or the budget expired while the request waited for a
+    worker.  Shedding at admission is deliberate: a request that would
+    only time out in queue wastes capacity every other request needs.
+
+    ``retry_after_s`` is the backpressure hint: an estimate of when the
+    queue will have drained enough for a retry to be admitted (``None``
+    when the gateway cannot estimate, e.g. at shutdown).
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        #: Suggested client backoff in seconds before retrying.
+        self.retry_after_s = retry_after_s
+
+
+class TenantQuotaExceededError(OverloadedError):
+    """The tenant's concurrency quota is exhausted.
+
+    A per-tenant failure, not a gateway-wide one: other tenants are
+    unaffected, which is the point of the quota.  Subclasses
+    :class:`OverloadedError` so retry-aware clients handle both kinds of
+    backpressure with one ``except`` clause.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after_s: float | None = None,
+        tenant: str = "",
+    ) -> None:
+        super().__init__(message, retry_after_s=retry_after_s)
+        #: The tenant whose quota was exhausted.
+        self.tenant = tenant
 
 
 class SummaryCorruptError(BrowseError, ValueError):

@@ -1,0 +1,43 @@
+"""The async multi-tenant serving gateway (DESIGN.md §15).
+
+:mod:`repro.gateway` is the layer that turns the single-caller
+browsing library into a shared service: a
+:class:`~repro.gateway.catalog.TenantCatalog` isolating per-tenant
+serving state over shared summaries, an
+:class:`~repro.gateway.admission.AdmissionController` that degrades
+before it sheds, an asyncio :class:`~repro.gateway.gateway.Gateway`
+coalescing identical in-flight computations, and a stdlib JSON-lines
+:class:`~repro.gateway.server.GatewayServer` for real concurrent
+clients.  Pure stdlib + the existing stack; no new dependencies.
+"""
+
+from repro.gateway.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    ServiceTimeWindow,
+)
+from repro.gateway.catalog import DatasetBlueprint, TenantCatalog, TenantState
+from repro.gateway.gateway import (
+    Gateway,
+    GatewayResponse,
+    TileRequest,
+    decode_error,
+    encode_error,
+)
+from repro.gateway.server import GatewayServer, parse_request
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "DatasetBlueprint",
+    "Gateway",
+    "GatewayResponse",
+    "GatewayServer",
+    "ServiceTimeWindow",
+    "TenantCatalog",
+    "TenantState",
+    "TileRequest",
+    "decode_error",
+    "encode_error",
+    "parse_request",
+]

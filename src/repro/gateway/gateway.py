@@ -1,0 +1,592 @@
+"""The asyncio multi-tenant serving gateway.
+
+Everything below this module is a synchronous in-process library with
+exactly one caller; :class:`Gateway` is the front door that keeps the
+library's guarantees when thousands of concurrent sessions contend for
+the same summaries.  One request's life:
+
+1. **Resolve + validate.**  The tenant/dataset pair is looked up in the
+   :class:`~repro.gateway.catalog.TenantCatalog` and the region is
+   validated against the dataset's grid -- malformed requests bounce
+   with :class:`~repro.errors.InvalidRegionError` before they cost a
+   queue slot.
+2. **Quota.**  The tenant's concurrency quota is taken (non-blocking);
+   exhaustion raises :class:`~repro.errors.TenantQuotaExceededError`
+   with a retry hint, leaving other tenants untouched.
+3. **Admission triage.**  The
+   :class:`~repro.gateway.admission.AdmissionController` predicts the
+   queue wait from a sliding window of observed service times.  Requests
+   whose budget cannot cover it are shed *now* with
+   :class:`~repro.errors.OverloadedError` (retry-after hint attached)
+   instead of being admitted to time out; under pressure short of
+   shedding, the effective deadline is shrunk so the resilience layer
+   degrades (partial rasters with validity masks) rather than rejects.
+4. **Coalescing.**  Concurrent identical computations -- same answering
+   scope (summary identity *and generation*, estimator, relation field),
+   same region cells, same tiling -- share one in-flight task via keyed
+   futures.  Followers ride the leader's computation; estimators are
+   deterministic, so the shared raster is bit-identical to what each
+   follower would have computed.  The shared task is owned by the
+   gateway, not by any single waiter: a cancelled (or shed) leader never
+   tears the computation out from under its followers.
+5. **Dispatch backstop.**  Queue-wait prediction can be wrong; when a
+   request reaches its worker with its client budget already spent, it
+   is shed there (still a structured ``OverloadedError``) rather than
+   allowed to run to a result nobody is waiting for.  "Admitted, then
+   timed out in queue" is therefore not an outcome this gateway has.
+
+The blocking ``browse`` calls run on a bounded thread-pool executor;
+all gateway bookkeeping (pending counts, coalescing map, stats) is
+touched only from the event loop, so it needs no locks.  The clock is
+injectable, like the rest of the serving stack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.browse.resilience import ResilientBrowsingService
+from repro.browse.service import BrowseResult, resolve_browse_request
+from repro.errors import (
+    BrowseError,
+    DeadlineExceededError,
+    EstimatorFailedError,
+    InvalidRegionError,
+    OverloadedError,
+    SummaryCorruptError,
+    TenantQuotaExceededError,
+)
+from repro.gateway.admission import AdmissionController, AdmissionDecision, ServiceTimeWindow
+from repro.gateway.catalog import TenantCatalog
+from repro.geometry.rect import Rect
+from repro.grid.tiles_math import TileQuery
+from repro.obs.instruments import BrowseInstrumentation
+
+__all__ = [
+    "Gateway",
+    "GatewayResponse",
+    "TileRequest",
+    "decode_error",
+    "encode_error",
+]
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class TileRequest:
+    """One client request: a tenant's tiled relation query.
+
+    ``deadline_s`` is the client's *total* budget in seconds, queue wait
+    included (``None`` = unbounded; ``0.0`` = answer only what is free
+    -- cache hits and viewport-delta copies).  ``session`` keys the
+    viewport-delta tracker; the gateway namespaces it per tenant, so two
+    tenants' ``"default"`` sessions never share reuse state.
+    """
+
+    tenant: str
+    dataset: str
+    region: Rect | TileQuery
+    rows: int
+    cols: int
+    relation: str = "overlap"
+    deadline_s: float | None = None
+    session: str = "default"
+
+
+@dataclass(frozen=True)
+class GatewayResponse:
+    """The gateway's structured answer to one :class:`TileRequest`.
+
+    ``status`` is ``"ok"`` (complete raster), ``"degraded"`` (partial
+    raster -- some tiles NaN under the validity mask) or ``"error"``
+    (no raster; ``error`` holds the wire form of the taxonomy failure,
+    see :func:`encode_error`).  ``coalesced`` marks responses served by
+    another request's in-flight computation.  ``degrade_factor`` is the
+    fraction of the client budget admission control preserved (1.0 =
+    full quality), ``queue_wait_s``/``service_s`` the dispatch split,
+    and ``total_s`` the end-to-end gateway latency.
+    """
+
+    status: str
+    request: TileRequest
+    result: BrowseResult | None = None
+    error: dict | None = field(default=None)
+    coalesced: bool = False
+    degrade_factor: float = 1.0
+    estimated_wait_s: float = 0.0
+    queue_wait_s: float = 0.0
+    service_s: float = 0.0
+    total_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether a raster came back (complete or degraded)."""
+        return self.error is None
+
+    @property
+    def shed(self) -> bool:
+        """Whether the request was rejected by load-shedding or quota."""
+        return self.error is not None and self.error.get("code") in (
+            "overloaded",
+            "tenant_quota_exceeded",
+        )
+
+    @property
+    def valid_fraction(self) -> float:
+        """Fraction of tiles answered (0.0 for error responses)."""
+        if self.result is None:
+            return 0.0
+        return self.result.valid_fraction
+
+    def to_wire(self) -> dict:
+        """A JSON-safe rendering (the TCP server's response line)."""
+        doc: dict = {
+            "status": self.status,
+            "coalesced": self.coalesced,
+            "degrade_factor": round(self.degrade_factor, 4),
+            "queue_wait_s": round(self.queue_wait_s, 6),
+            "service_s": round(self.service_s, 6),
+            "total_s": round(self.total_s, 6),
+        }
+        if self.result is not None:
+            counts = self.result.counts
+            doc["counts"] = [
+                [None if not np.isfinite(v) else float(v) for v in row]
+                for row in counts
+            ]
+            doc["valid_fraction"] = round(self.result.valid_fraction, 4)
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+# --------------------------------------------------------------------- #
+# the error wire codec (taxonomy <-> structured responses)
+# --------------------------------------------------------------------- #
+
+#: Wire code -> taxonomy class, most specific first (encode walks this
+#: with ``isinstance``, so a subclass never degrades to its parent code).
+_WIRE_CODES: tuple[tuple[str, type[BrowseError]], ...] = (
+    ("tenant_quota_exceeded", TenantQuotaExceededError),
+    ("overloaded", OverloadedError),
+    ("deadline_exceeded", DeadlineExceededError),
+    ("estimator_failed", EstimatorFailedError),
+    ("summary_corrupt", SummaryCorruptError),
+    ("invalid_region", InvalidRegionError),
+    ("browse_error", BrowseError),
+)
+
+
+def encode_error(exc: BrowseError) -> dict:
+    """The taxonomy failure as a JSON-safe wire document.
+
+    Carries the code, the message, and the subclass's structured fields
+    (``retry_after_s``, ``tenant``, ``answered_rows``/``total_rows``);
+    :func:`decode_error` reverses it exactly, which is what lets a
+    remote client re-raise the same taxonomy type the gateway caught.
+    """
+    for code, cls in _WIRE_CODES:
+        if isinstance(exc, cls):
+            break
+    else:  # pragma: no cover - BrowseError is the universal fallback
+        code = "browse_error"
+    doc: dict = {"code": code, "message": str(exc)}
+    if isinstance(exc, OverloadedError):
+        doc["retry_after_s"] = exc.retry_after_s
+    if isinstance(exc, TenantQuotaExceededError):
+        doc["tenant"] = exc.tenant
+    if isinstance(exc, DeadlineExceededError):
+        doc["answered_rows"] = exc.answered_rows
+        doc["total_rows"] = exc.total_rows
+    return doc
+
+
+def decode_error(doc: dict) -> BrowseError:
+    """Rebuild the taxonomy exception a wire document encodes."""
+    code = doc.get("code", "browse_error")
+    message = doc.get("message", "")
+    if code == "tenant_quota_exceeded":
+        return TenantQuotaExceededError(
+            message,
+            retry_after_s=doc.get("retry_after_s"),
+            tenant=doc.get("tenant", ""),
+        )
+    if code == "overloaded":
+        return OverloadedError(message, retry_after_s=doc.get("retry_after_s"))
+    if code == "deadline_exceeded":
+        return DeadlineExceededError(
+            message,
+            answered_rows=doc.get("answered_rows", 0),
+            total_rows=doc.get("total_rows", 0),
+        )
+    if code == "estimator_failed":
+        return EstimatorFailedError(message)
+    if code == "summary_corrupt":
+        return SummaryCorruptError(message)
+    if code == "invalid_region":
+        return InvalidRegionError(message)
+    return BrowseError(message)
+
+
+class Gateway:
+    """The asyncio serving gateway (see the module docstring).
+
+    Parameters
+    ----------
+    catalog:
+        The tenant catalog supplying per-``(tenant, dataset)`` services
+        and per-tenant quotas.
+    workers:
+        Executor threads running the blocking ``browse`` calls; also the
+        divisor of the admission controller's wait estimates.
+    max_pending:
+        Bound on concurrently admitted computations (the admission
+        queue); arrivals beyond it are shed.
+    coalesce:
+        Share one in-flight computation between concurrent identical
+        requests (on by default).
+    instruments:
+        Optional :class:`~repro.obs.instruments.BrowseInstrumentation`;
+        records the ``repro_gateway_*`` metric families.
+    clock:
+        Injectable monotonic seconds.
+    admission:
+        A prebuilt controller (tests); overrides ``max_pending`` and the
+        default window.
+    """
+
+    def __init__(
+        self,
+        catalog: TenantCatalog,
+        *,
+        workers: int = 2,
+        max_pending: int = 64,
+        coalesce: bool = True,
+        instruments: BrowseInstrumentation | None = None,
+        clock: Clock = time.monotonic,
+        admission: AdmissionController | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self._catalog = catalog
+        self._workers = workers
+        self._clock = clock
+        self._obs = instruments
+        self._coalesce = coalesce
+        if admission is None:
+            window = ServiceTimeWindow(clock=clock)
+            admission = AdmissionController(
+                workers=workers, max_pending=max_pending, window=window
+            )
+        self._admission = admission
+        self._window = admission.window
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-gateway"
+        )
+        self._pending = 0
+        self._inflight: dict[tuple, asyncio.Task] = {}
+        self._closed = False
+        #: Plain counters for the load generator and benchmarks (event
+        #: loop only, so no locking): admissions, sheds by site, etc.
+        self.stats: dict[str, int] = {
+            "requests": 0,
+            "admitted": 0,
+            "completed": 0,
+            "shed_queue_full": 0,
+            "shed_deadline": 0,
+            "shed_dispatch": 0,
+            "shed_shutdown": 0,
+            "quota_rejections": 0,
+            "coalesced_leaders": 0,
+            "coalesced_followers": 0,
+            "degraded_admissions": 0,
+            "errors": 0,
+        }
+
+    @property
+    def catalog(self) -> TenantCatalog:
+        """The tenant catalog behind this gateway."""
+        return self._catalog
+
+    @property
+    def pending(self) -> int:
+        """Computations admitted and not yet completed."""
+        return self._pending
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (or is running)."""
+        return self._closed
+
+    # ------------------------------------------------------------------ #
+    # the serving surface
+    # ------------------------------------------------------------------ #
+
+    async def submit(self, request: TileRequest) -> GatewayResponse:
+        """Serve one request, always returning a structured response.
+
+        Taxonomy failures (invalid requests, shedding, quota, estimator
+        exhaustion) come back as ``status="error"`` responses with the
+        wire-encoded exception -- they never raise.  Anything *outside*
+        the taxonomy escaping here is a bug, exactly as for the layers
+        below.
+        """
+        started = self._clock()
+        self.stats["requests"] += 1
+        obs = self._obs
+        try:
+            result, meta = await self._browse(request)
+        except asyncio.CancelledError:
+            raise
+        except BrowseError as exc:
+            self._note_error(exc)
+            if obs is not None:
+                obs.gateway_requests.labels(
+                    tenant=request.tenant, outcome=self._outcome_of(exc)
+                ).inc()
+            return GatewayResponse(
+                status="error",
+                request=request,
+                error=encode_error(exc),
+                total_s=self._clock() - started,
+            )
+        total = self._clock() - started
+        complete = result.is_complete
+        status = "ok" if complete else "degraded"
+        if obs is not None:
+            obs.gateway_requests.labels(
+                tenant=request.tenant, outcome=status
+            ).inc()
+        return GatewayResponse(
+            status=status,
+            request=request,
+            result=result,
+            coalesced=meta["coalesced"],
+            degrade_factor=meta["degrade_factor"],
+            estimated_wait_s=meta["estimated_wait_s"],
+            queue_wait_s=meta["queue_wait_s"],
+            service_s=meta["service_s"],
+            total_s=total,
+        )
+
+    def _outcome_of(self, exc: BrowseError) -> str:
+        if isinstance(exc, TenantQuotaExceededError):
+            return "quota"
+        if isinstance(exc, OverloadedError):
+            return "shed"
+        return "error"
+
+    def _note_error(self, exc: BrowseError) -> None:
+        if isinstance(exc, TenantQuotaExceededError):
+            self.stats["quota_rejections"] += 1
+        elif not isinstance(exc, OverloadedError):
+            self.stats["errors"] += 1
+        # OverloadedError shed sites are counted where they are raised.
+
+    async def _browse(self, request: TileRequest) -> tuple[BrowseResult, dict]:
+        """The raising core of :meth:`submit` (tests drive it directly
+        to assert taxonomy types)."""
+        if self._closed:
+            raise OverloadedError("gateway is shut down", retry_after_s=None)
+        service = self._catalog.service(request.tenant, request.dataset)
+        region, field_name = resolve_browse_request(
+            service.grid, request.region, request.relation
+        )
+        tenant = self._catalog.tenant(request.tenant)
+        if not tenant.try_acquire():
+            p50 = self._window.p50()
+            raise TenantQuotaExceededError(
+                f"tenant {request.tenant!r} is at its quota of "
+                f"{tenant.quota} concurrent request(s)",
+                retry_after_s=round(p50, 4),
+                tenant=request.tenant,
+            )
+        try:
+            return await self._admit_and_run(request, service, region, field_name)
+        finally:
+            tenant.release()
+
+    async def _admit_and_run(
+        self,
+        request: TileRequest,
+        service: ResilientBrowsingService,
+        region: TileQuery,
+        field_name: str,
+    ) -> tuple[BrowseResult, dict]:
+        obs = self._obs
+        decision = self._admission.triage(
+            budget=request.deadline_s, pending=self._pending
+        )
+        if not decision.admitted:
+            self.stats[f"shed_{decision.reason}"] += 1
+            if obs is not None:
+                obs.gateway_shed.labels(reason=decision.reason).inc()
+            raise OverloadedError(
+                f"request shed at admission ({decision.reason}): estimated "
+                f"queue wait {decision.estimated_wait_s:.3f}s exceeds the "
+                f"budget of "
+                + (
+                    "0s"
+                    if request.deadline_s is None
+                    else f"{request.deadline_s:.3f}s"
+                ),
+                retry_after_s=decision.retry_after_s,
+            )
+        self.stats["admitted"] += 1
+        if decision.degrade_factor < 1.0:
+            self.stats["degraded_admissions"] += 1
+        if obs is not None:
+            obs.gateway_degrade_factor.set(decision.degrade_factor)
+
+        # Coalescing: identical in-flight computations share one task.
+        # The key is the full answering scope (summary identity and
+        # generation, estimator, relation field -- via the service's
+        # cache key) plus the canonical region cells and the tiling, so
+        # a maintained summary's generation bump splits the key and two
+        # tenants over the *same* summary may legitimately share work.
+        key = (
+            service.cache_key(field_name),
+            region,
+            request.rows,
+            request.cols,
+            request.relation,
+        )
+        task = self._inflight.get(key) if self._coalesce else None
+        if task is None or task.done():
+            coalesced = False
+            task = asyncio.get_running_loop().create_task(
+                self._run(request, service, region, decision)
+            )
+            self._pending += 1
+            if obs is not None:
+                obs.gateway_queue_depth.set(self._pending)
+            task.add_done_callback(lambda t, k=key: self._on_done(k, t))
+            if self._coalesce:
+                self._inflight[key] = task
+                self.stats["coalesced_leaders"] += 1
+                if obs is not None:
+                    obs.gateway_coalesced.labels(role="leader").inc()
+        else:
+            coalesced = True
+            self.stats["coalesced_followers"] += 1
+            if obs is not None:
+                obs.gateway_coalesced.labels(role="follower").inc()
+
+        # Shield: the computation belongs to the gateway, not to any one
+        # waiter.  Cancelling this request (client gone) must not cancel
+        # a leader computation other followers are riding.
+        try:
+            result, queue_wait, service_s = await asyncio.shield(task)
+        except asyncio.CancelledError:
+            if task.cancelled():
+                # The *task* was cancelled (gateway shutdown), not us.
+                self.stats["shed_shutdown"] += 1
+                raise OverloadedError(
+                    "gateway shut down while the request was in flight",
+                    retry_after_s=None,
+                ) from None
+            raise
+        return result, {
+            "coalesced": coalesced,
+            "degrade_factor": decision.degrade_factor,
+            "estimated_wait_s": decision.estimated_wait_s,
+            "queue_wait_s": queue_wait,
+            "service_s": service_s,
+        }
+
+    async def _run(
+        self,
+        request: TileRequest,
+        service: ResilientBrowsingService,
+        region: TileQuery,
+        decision: AdmissionDecision,
+    ) -> tuple[BrowseResult, float, float]:
+        """The shared (leader) computation: one executor dispatch."""
+        admitted_at = self._clock()
+        clock = self._clock
+
+        def work() -> tuple[BrowseResult, float, float]:
+            started = clock()
+            queue_wait = started - admitted_at
+            budget = request.deadline_s
+            if budget is not None and budget > 0 and queue_wait >= budget:
+                # Backstop for wrong wait estimates: shed at dispatch
+                # instead of computing a raster whose deadline already
+                # passed.  Admission triage makes this rare; the bench
+                # gates on it staying at zero in steady state.
+                raise OverloadedError(
+                    f"budget of {budget:.3f}s expired after "
+                    f"{queue_wait:.3f}s in queue",
+                    retry_after_s=round(self._window.p50(), 4),
+                )
+            remaining = None
+            if decision.effective_deadline is not None:
+                remaining = max(0.0, decision.effective_deadline - queue_wait)
+            result = service.browse(
+                region,
+                request.rows,
+                request.cols,
+                request.relation,
+                deadline=remaining,
+                session=f"{request.tenant}/{request.session}",
+            )
+            return result, queue_wait, clock() - started
+
+        loop = asyncio.get_running_loop()
+        try:
+            result, queue_wait, service_s = await loop.run_in_executor(
+                self._executor, work
+            )
+        except OverloadedError:
+            self.stats["shed_dispatch"] += 1
+            if self._obs is not None:
+                self._obs.gateway_shed.labels(reason="dispatch_expired").inc()
+            raise
+        self._window.observe(service_s)
+        self.stats["completed"] += 1
+        if self._obs is not None:
+            self._obs.gateway_queue_wait.observe(queue_wait)
+            self._obs.gateway_service_seconds.observe(service_s)
+        return result, queue_wait, service_s
+
+    def _on_done(self, key: tuple, task: asyncio.Task) -> None:
+        self._pending -= 1
+        if self._obs is not None:
+            self._obs.gateway_queue_depth.set(self._pending)
+        if self._inflight.get(key) is task:
+            del self._inflight[key]
+        # Consume the exception so a computation whose waiters were all
+        # cancelled never logs "exception was never retrieved".
+        if not task.cancelled():
+            task.exception()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def close(self) -> None:
+        """Shut the gateway down: stop admitting, cancel in-flight
+        shared computations, drain the executor, close the catalog's
+        services.  Idempotent; waiters of cancelled computations receive
+        a structured shutdown :class:`~repro.errors.OverloadedError`."""
+        if self._closed:
+            return
+        self._closed = True
+        tasks = list(self._inflight.values())
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        # Executor jobs already running cannot be interrupted; wait for
+        # them so catalog close never races a browse mid-chunk.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._executor.shutdown, True
+        )
+        self._catalog.close()

@@ -37,6 +37,13 @@ name                                                   type       labels
 ``repro_tier_attempt_seconds``                         histogram  tier
 ``repro_breaker_transitions_total``                    counter    tier, from_state, to_state
 ``repro_persistence_ops_total``                        counter    kind, op, outcome
+``repro_gateway_requests_total``                       counter    tenant, outcome
+``repro_gateway_shed_total``                           counter    reason
+``repro_gateway_coalesced_total``                      counter    role
+``repro_gateway_queue_depth``                          gauge      --
+``repro_gateway_degrade_factor``                       gauge      --
+``repro_gateway_queue_wait_seconds``                   histogram  --
+``repro_gateway_service_seconds``                      histogram  --
 =====================================================  =========  ==========================
 
 :func:`record_persistence_event` is the hook the persistence layer and
@@ -220,6 +227,39 @@ class BrowseInstrumentation:
             "repro_breaker_transitions_total",
             help="Circuit breaker state transitions",
             labels=("tier", "from_state", "to_state"),
+        )
+        self.gateway_requests = r.counter(
+            "repro_gateway_requests_total",
+            help="Gateway requests by tenant and outcome (ok, degraded, shed, quota, error)",
+            labels=("tenant", "outcome"),
+        )
+        self.gateway_shed = r.counter(
+            "repro_gateway_shed_total",
+            help="Requests shed, by site (queue_full, deadline, dispatch_expired)",
+            labels=("reason",),
+        )
+        self.gateway_coalesced = r.counter(
+            "repro_gateway_coalesced_total",
+            help="In-flight computation sharing (leader = started one, follower = rode one)",
+            labels=("role",),
+        )
+        self.gateway_queue_depth = r.gauge(
+            "repro_gateway_queue_depth",
+            help="Computations admitted and not yet completed",
+        )
+        self.gateway_degrade_factor = r.gauge(
+            "repro_gateway_degrade_factor",
+            help="Budget fraction the last admission preserved (1.0 = full quality)",
+        )
+        self.gateway_queue_wait = r.histogram(
+            "repro_gateway_queue_wait_seconds",
+            help="Admission-to-dispatch wait per computation",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.gateway_service_seconds = r.histogram(
+            "repro_gateway_service_seconds",
+            help="Executor service time per computation",
+            buckets=DEFAULT_LATENCY_BUCKETS,
         )
 
     def new_trace(self) -> RequestTrace:

@@ -1,7 +1,14 @@
 """Workloads: the paper's tile query sets, GeoBrowsing-style queries and
 session traces."""
 
-from repro.workloads.sessions import BrowseInteraction, BrowseSession, generate_sessions
+from repro.workloads.loadgen import LoadgenReport, percentile, run_loadgen
+from repro.workloads.sessions import (
+    BrowseInteraction,
+    BrowseSession,
+    TenantSession,
+    generate_sessions,
+    generate_tenant_sessions,
+)
 from repro.workloads.tiles import (
     PAPER_QUERY_SET_SIZES,
     browsing_tile_batch,
@@ -18,5 +25,10 @@ __all__ = [
     "browsing_tile_batch",
     "BrowseInteraction",
     "BrowseSession",
+    "TenantSession",
+    "LoadgenReport",
     "generate_sessions",
+    "generate_tenant_sessions",
+    "percentile",
+    "run_loadgen",
 ]

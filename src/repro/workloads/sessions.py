@@ -22,14 +22,20 @@ traces are the workload the delta benchmark replays.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.grid.grid import Grid
 from repro.grid.tiles_math import TileQuery
 
-__all__ = ["BrowseInteraction", "BrowseSession", "generate_sessions"]
+__all__ = [
+    "BrowseInteraction",
+    "BrowseSession",
+    "TenantSession",
+    "generate_sessions",
+    "generate_tenant_sessions",
+]
 
 #: Relations a session step may request, with rough UI frequencies.
 _RELATION_MIX = (("overlap", 0.45), ("intersect", 0.25), ("contains", 0.2), ("contained", 0.1))
@@ -221,3 +227,60 @@ def generate_sessions(
                 break
         sessions.append(BrowseSession(interactions=tuple(steps)))
     return sessions
+
+
+@dataclass(frozen=True)
+class TenantSession:
+    """One session attributed to a tenant, for multi-tenant replay.
+
+    ``session_id`` keys the gateway's per-tenant viewport-delta state;
+    two sessions of the same tenant never share it, matching how real
+    browser sessions behave.
+    """
+
+    tenant: str
+    dataset: str
+    session_id: str
+    session: BrowseSession
+
+
+def generate_tenant_sessions(
+    grid: Grid,
+    *,
+    tenants: Sequence[str],
+    dataset: str,
+    sessions_per_tenant: int = 8,
+    seed: int = 0,
+    **session_kwargs,
+) -> list[TenantSession]:
+    """Generate reproducible per-tenant session traces over ``grid``.
+
+    Each tenant gets ``sessions_per_tenant`` sessions from its own
+    derived seed (``seed`` + tenant index), so tenants browse different
+    traces but the whole workload is reproducible from one seed.  Extra
+    keyword arguments (``pan_prob``, ``max_depth``, ...) pass through to
+    :func:`generate_sessions`.  The result interleaves tenants
+    round-robin, so replaying a prefix already exercises every tenant.
+    """
+    if not tenants:
+        raise ValueError("tenants must be non-empty")
+    if sessions_per_tenant < 1:
+        raise ValueError("sessions_per_tenant must be positive")
+    per_tenant = {
+        tenant: generate_sessions(
+            grid, num_sessions=sessions_per_tenant, seed=seed + i, **session_kwargs
+        )
+        for i, tenant in enumerate(tenants)
+    }
+    out: list[TenantSession] = []
+    for s in range(sessions_per_tenant):
+        for tenant in tenants:
+            out.append(
+                TenantSession(
+                    tenant=tenant,
+                    dataset=dataset,
+                    session_id=f"{tenant}-s{s}",
+                    session=per_tenant[tenant][s],
+                )
+            )
+    return out

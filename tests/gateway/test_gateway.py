@@ -1,0 +1,572 @@
+"""The asyncio gateway end to end: coalescing, quotas, shedding,
+degradation, cancellation and shutdown.
+
+Concurrency choreography uses gate events (estimators that block until
+released), never bare sleeps, so every scenario is deterministic; the
+one timing-based test (the dispatch backstop) uses margins an order of
+magnitude above scheduler jitter.
+"""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache import TileResultCache
+from repro.euler.histogram import EulerHistogram
+from repro.euler.simple import SEulerApprox
+from repro.gateway.admission import AdmissionController, ServiceTimeWindow
+from repro.gateway.catalog import TenantCatalog
+from repro.gateway.gateway import Gateway, TileRequest
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+from repro.obs.instruments import BrowseInstrumentation
+
+from tests.conftest import random_dataset
+
+GRID = Grid(Rect(0.0, 16.0, 0.0, 16.0), 16, 16)
+REGION = TileQuery(0, 16, 0, 16)
+OTHER_REGION = TileQuery(0, 8, 0, 8)
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    data = random_dataset(np.random.default_rng(5), GRID, 400)
+    return SEulerApprox(EulerHistogram.from_dataset(data, GRID))
+
+
+class GatedEstimator:
+    """Delegates to a real estimator after a gate opens.
+
+    ``entered`` is set when a request reaches the estimator, so tests
+    can wait for "the worker is now occupied" without sleeping.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+
+    @property
+    def name(self) -> str:
+        return "gated"
+
+    def _block(self) -> None:
+        self.entered.set()
+        assert self.gate.wait(timeout=10.0), "test gate never opened"
+
+    def estimate(self, query):
+        self._block()
+        return self._inner.estimate(query)
+
+    def estimate_batch(self, queries):
+        self._block()
+        return self._inner.estimate_batch(queries)
+
+
+def make_gateway(
+    estimator,
+    *,
+    tenants=(("acme", 0),),
+    cache=None,
+    workers=2,
+    max_pending=8,
+    coalesce=True,
+    admission=None,
+    instruments=None,
+):
+    catalog = TenantCatalog(instruments=instruments)
+    catalog.register_dataset("main", estimator, GRID, cache=cache)
+    for name, quota in tenants:
+        catalog.add_tenant(name, quota=quota)
+    return Gateway(
+        catalog,
+        workers=workers,
+        max_pending=max_pending,
+        coalesce=coalesce,
+        admission=admission,
+        instruments=instruments,
+    )
+
+
+def request(region=REGION, *, tenant="acme", deadline=None, session="default", rows=4, cols=4):
+    return TileRequest(
+        tenant=tenant,
+        dataset="main",
+        region=region,
+        rows=rows,
+        cols=cols,
+        deadline_s=deadline,
+        session=session,
+    )
+
+
+async def wait_for(predicate, timeout=5.0):
+    """Poll a predicate from the event loop without blocking it."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition never became true")
+        await asyncio.sleep(0.005)
+
+
+class TestServing:
+    def test_ok_response_matches_the_service_directly(self, estimator):
+        async def main():
+            gateway = make_gateway(estimator)
+            try:
+                response = await gateway.submit(request())
+            finally:
+                await gateway.close()
+            return response
+
+        response = asyncio.run(main())
+        assert response.status == "ok"
+        assert response.ok and not response.shed
+        assert response.result.is_complete
+        # The gateway serves exactly what the library computes.
+        expected = estimator.estimate_batch  # sanity: same estimator object
+        assert expected is not None
+        direct = response.result.counts
+        assert direct.shape == (4, 4)
+        assert np.isfinite(direct).all()
+
+    def test_wire_form_is_json_safe(self, estimator):
+        import json
+
+        async def main():
+            gateway = make_gateway(estimator)
+            try:
+                return await gateway.submit(request())
+            finally:
+                await gateway.close()
+
+        doc = asyncio.run(main()).to_wire()
+        encoded = json.loads(json.dumps(doc))
+        assert encoded["status"] == "ok"
+        assert encoded["valid_fraction"] == 1.0
+        assert len(encoded["counts"]) == 4
+
+    def test_unknown_tenant_and_dataset_are_structured_errors(self, estimator):
+        async def main():
+            gateway = make_gateway(estimator)
+            try:
+                ghost = await gateway.submit(request(tenant="ghost"))
+                wrong = await gateway.submit(
+                    TileRequest(
+                        tenant="acme", dataset="nope", region=REGION, rows=2, cols=2
+                    )
+                )
+            finally:
+                await gateway.close()
+            return ghost, wrong
+
+        ghost, wrong = asyncio.run(main())
+        assert ghost.status == "error"
+        assert ghost.error["code"] == "invalid_region"
+        assert wrong.error["code"] == "invalid_region"
+
+    def test_metrics_families_record_outcomes(self, estimator):
+        instruments = BrowseInstrumentation()
+
+        async def main():
+            gateway = make_gateway(estimator, instruments=instruments)
+            try:
+                await gateway.submit(request())
+                await gateway.submit(request(tenant="ghost"))
+            finally:
+                await gateway.close()
+
+        asyncio.run(main())
+        ok = instruments.gateway_requests.labels(tenant="acme", outcome="ok")
+        err = instruments.gateway_requests.labels(tenant="ghost", outcome="error")
+        assert ok.value == 1
+        assert err.value == 1
+
+
+class TestCoalescing:
+    def test_identical_requests_share_one_computation(self, estimator):
+        gated = GatedEstimator(estimator)
+
+        async def main():
+            gateway = make_gateway(gated)
+            try:
+                waiters = [
+                    asyncio.ensure_future(gateway.submit(request()))
+                    for _ in range(4)
+                ]
+                await wait_for(gated.entered.is_set)
+                gated.gate.set()
+                return await asyncio.gather(*waiters), gateway.stats.copy()
+            finally:
+                await gateway.close()
+
+        responses, stats = asyncio.run(main())
+        assert [r.status for r in responses] == ["ok"] * 4
+        assert stats["coalesced_leaders"] == 1
+        assert stats["coalesced_followers"] == 3
+        assert stats["completed"] == 1
+        leaders = [r for r in responses if not r.coalesced]
+        followers = [r for r in responses if r.coalesced]
+        assert len(leaders) == 1 and len(followers) == 3
+
+    def test_coalesced_raster_is_bit_identical_to_uncoalesced(self, estimator):
+        async def coalesced():
+            gateway = make_gateway(estimator)
+            try:
+                return await asyncio.gather(*(gateway.submit(request()) for _ in range(3)))
+            finally:
+                await gateway.close()
+
+        async def uncoalesced():
+            gateway = make_gateway(estimator, coalesce=False)
+            try:
+                return await asyncio.gather(*(gateway.submit(request()) for _ in range(3)))
+            finally:
+                await gateway.close()
+
+        shared = asyncio.run(coalesced())
+        independent = asyncio.run(uncoalesced())
+        reference = independent[0].result.counts
+        for response in shared + independent:
+            assert response.status == "ok"
+            assert np.array_equal(response.result.counts, reference)
+
+    def test_different_regions_are_not_coalesced(self, estimator):
+        gated = GatedEstimator(estimator)
+
+        async def main():
+            gateway = make_gateway(gated, workers=2)
+            try:
+                a = asyncio.ensure_future(gateway.submit(request(REGION)))
+                b = asyncio.ensure_future(gateway.submit(request(OTHER_REGION)))
+                await wait_for(gated.entered.is_set)
+                gated.gate.set()
+                await asyncio.gather(a, b)
+                return gateway.stats.copy()
+            finally:
+                await gateway.close()
+
+        stats = asyncio.run(main())
+        assert stats["coalesced_leaders"] == 2
+        assert stats["coalesced_followers"] == 0
+
+    def test_coalescing_disabled_runs_each_request_alone(self, estimator):
+        async def main():
+            gateway = make_gateway(estimator, coalesce=False)
+            try:
+                await asyncio.gather(*(gateway.submit(request()) for _ in range(3)))
+                return gateway.stats.copy()
+            finally:
+                await gateway.close()
+
+        stats = asyncio.run(main())
+        assert stats["coalesced_followers"] == 0
+        assert stats["completed"] == 3
+
+    def test_cancelled_leader_waiter_does_not_kill_followers(self, estimator):
+        gated = GatedEstimator(estimator)
+
+        async def main():
+            gateway = make_gateway(gated)
+            try:
+                leader = asyncio.ensure_future(gateway.submit(request()))
+                await wait_for(gated.entered.is_set)
+                follower = asyncio.ensure_future(gateway.submit(request()))
+                # Let the follower join the in-flight computation.
+                await wait_for(lambda: gateway.stats["coalesced_followers"] == 1)
+                leader.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await leader
+                gated.gate.set()
+                return await follower
+            finally:
+                await gateway.close()
+
+        response = asyncio.run(main())
+        assert response.status == "ok"
+        assert response.coalesced
+        assert response.result.is_complete
+
+
+class TestQuota:
+    def test_quota_exhaustion_is_a_structured_per_tenant_rejection(self, estimator):
+        gated = GatedEstimator(estimator)
+
+        async def main():
+            gateway = make_gateway(
+                gated, tenants=(("acme", 1), ("beta", 0)), workers=2
+            )
+            try:
+                leader = asyncio.ensure_future(gateway.submit(request()))
+                await wait_for(gated.entered.is_set)
+                rejected = await gateway.submit(request(OTHER_REGION))
+                # The neighbour tenant is untouched by acme's quota.
+                neighbour = asyncio.ensure_future(
+                    gateway.submit(request(OTHER_REGION, tenant="beta"))
+                )
+                await asyncio.sleep(0.01)
+                gated.gate.set()
+                return rejected, await leader, await neighbour
+            finally:
+                await gateway.close()
+
+        rejected, leader, neighbour = asyncio.run(main())
+        assert rejected.status == "error"
+        assert rejected.error["code"] == "tenant_quota_exceeded"
+        assert rejected.error["tenant"] == "acme"
+        assert rejected.error["retry_after_s"] is not None
+        assert rejected.shed
+        assert leader.status == "ok"
+        assert neighbour.status == "ok"
+
+    def test_quota_slot_released_on_cancellation(self, estimator):
+        gated = GatedEstimator(estimator)
+
+        async def main():
+            gateway = make_gateway(gated, tenants=(("acme", 1),))
+            tenant = gateway.catalog.tenant("acme")
+            try:
+                waiter = asyncio.ensure_future(gateway.submit(request()))
+                await wait_for(lambda: tenant.active == 1)
+                waiter.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await waiter
+                # The slot came back the moment the waiter died, while
+                # the shared computation is still running.
+                assert tenant.active == 0
+                gated.gate.set()
+                follow_up = await gateway.submit(request())
+                return follow_up
+            finally:
+                await gateway.close()
+
+        response = asyncio.run(main())
+        assert response.status == "ok"
+
+    def test_quota_slot_released_after_error(self, estimator):
+        async def main():
+            gateway = make_gateway(estimator, tenants=(("acme", 1),))
+            tenant = gateway.catalog.tenant("acme")
+            try:
+                bad = TileRequest(
+                    tenant="acme", dataset="main", region=REGION, rows=3, cols=3
+                )  # 3 does not divide 16 -> invalid partition
+                response = await gateway.submit(bad)
+                return response, tenant.active
+            finally:
+                await gateway.close()
+
+        response, active = asyncio.run(main())
+        assert response.status == "error"
+        assert active == 0
+
+
+class TestSheddingAndDegradation:
+    def test_queue_full_sheds_with_retry_hint(self, estimator):
+        gated = GatedEstimator(estimator)
+
+        async def main():
+            gateway = make_gateway(gated, workers=1, max_pending=1)
+            try:
+                leader = asyncio.ensure_future(gateway.submit(request()))
+                await wait_for(gated.entered.is_set)
+                shed = await gateway.submit(request(OTHER_REGION))
+                gated.gate.set()
+                await leader
+                return shed, gateway.stats.copy()
+            finally:
+                await gateway.close()
+
+        shed, stats = asyncio.run(main())
+        assert shed.status == "error"
+        assert shed.error["code"] == "overloaded"
+        assert shed.error["retry_after_s"] > 0
+        assert stats["shed_queue_full"] == 1
+
+    def test_budget_below_predicted_wait_is_shed_not_queued(self, estimator):
+        gated = GatedEstimator(estimator)
+        window = ServiceTimeWindow()
+        window.observe(1.0)  # the regime: one second per request
+        admission = AdmissionController(workers=1, max_pending=64, window=window)
+
+        async def main():
+            gateway = make_gateway(gated, workers=1, admission=admission)
+            try:
+                leader = asyncio.ensure_future(gateway.submit(request()))
+                await wait_for(gated.entered.is_set)
+                # Predicted wait is ~1s; a 0.2s budget cannot cover it.
+                shed = await gateway.submit(request(OTHER_REGION, deadline=0.2))
+                gated.gate.set()
+                await leader
+                return shed, gateway.stats.copy()
+            finally:
+                await gateway.close()
+
+        shed, stats = asyncio.run(main())
+        assert shed.error["code"] == "overloaded"
+        assert stats["shed_deadline"] == 1
+        assert stats["shed_dispatch"] == 0  # shed at triage, not after queueing
+
+    def test_dispatch_backstop_sheds_instead_of_serving_expired(self, estimator):
+        gated = GatedEstimator(estimator)
+
+        async def main():
+            gateway = make_gateway(gated, workers=1)
+            try:
+                leader = asyncio.ensure_future(gateway.submit(request()))
+                await wait_for(gated.entered.is_set)
+                # Admitted optimistically (cold window predicts ~20ms),
+                # but the single worker stays blocked well past the
+                # 0.15s budget.
+                late = asyncio.ensure_future(
+                    gateway.submit(request(OTHER_REGION, deadline=0.15))
+                )
+                await asyncio.sleep(0.3)
+                gated.gate.set()
+                return await late, await leader, gateway.stats.copy()
+            finally:
+                await gateway.close()
+
+        late, leader, stats = asyncio.run(main())
+        assert leader.status == "ok"
+        assert late.status == "error"
+        assert late.error["code"] == "overloaded"
+        assert late.error["retry_after_s"] is not None
+        assert stats["shed_dispatch"] == 1
+
+    def test_degradation_kicks_in_before_shedding(self, estimator):
+        window = ServiceTimeWindow()
+        admission = AdmissionController(
+            workers=2,
+            max_pending=4,
+            window=window,
+            degrade_start=0.25,
+            degrade_floor=0.25,
+        )
+        gated = GatedEstimator(estimator)
+
+        async def main():
+            gateway = make_gateway(gated, workers=2, admission=admission)
+            try:
+                # Occupy the gateway: two leaders block both workers, a
+                # third computation queues (pending=3 of 4).
+                leaders = [
+                    asyncio.ensure_future(
+                        gateway.submit(request(TileQuery(0, 16, 0, 4 * (i + 1))))
+                    )
+                    for i in range(3)
+                ]
+                await wait_for(gated.entered.is_set)
+                await wait_for(lambda: gateway.pending == 3)
+                degraded = asyncio.ensure_future(
+                    gateway.submit(request(OTHER_REGION, deadline=60.0))
+                )
+                await wait_for(lambda: gateway.pending == 4)
+                gated.gate.set()
+                responses = await asyncio.gather(*leaders, degraded)
+                return responses, gateway.stats.copy()
+            finally:
+                await gateway.close()
+
+        responses, stats = asyncio.run(main())
+        # Everything was served (possibly partial), nothing shed: the
+        # pressure response was degradation, not rejection.
+        assert stats["shed_queue_full"] == 0
+        assert stats["shed_deadline"] == 0
+        assert stats["degraded_admissions"] >= 1
+        final = responses[-1]
+        assert final.ok
+        assert final.degrade_factor < 1.0
+
+    def test_zero_deadline_served_from_cache_when_idle(self, estimator):
+        cache = TileResultCache(1 << 20)
+
+        async def main():
+            gateway = make_gateway(estimator, cache=cache)
+            try:
+                warm = await gateway.submit(request(deadline=None))
+                free = await gateway.submit(request(deadline=0.0))
+                return warm, free, gateway.stats.copy()
+            finally:
+                await gateway.close()
+
+        warm, free, stats = asyncio.run(main())
+        assert warm.status == "ok"
+        # Everything the zero-budget request needed was already free.
+        assert free.ok
+        assert free.result.valid_fraction == 1.0
+        assert np.array_equal(free.result.counts, warm.result.counts)
+        assert stats["shed_deadline"] == 0
+
+    def test_zero_deadline_cold_returns_empty_partial_not_error(self, estimator):
+        async def main():
+            gateway = make_gateway(estimator)
+            try:
+                return await gateway.submit(request(deadline=0.0))
+            finally:
+                await gateway.close()
+
+        response = asyncio.run(main())
+        assert response.status == "degraded"
+        assert response.result is not None
+        assert response.result.valid_fraction == 0.0
+        assert np.isnan(response.result.counts).all()
+
+    def test_zero_deadline_while_busy_is_shed(self, estimator):
+        gated = GatedEstimator(estimator)
+
+        async def main():
+            gateway = make_gateway(gated, workers=1)
+            try:
+                leader = asyncio.ensure_future(gateway.submit(request()))
+                await wait_for(gated.entered.is_set)
+                shed = await gateway.submit(request(OTHER_REGION, deadline=0.0))
+                gated.gate.set()
+                await leader
+                return shed, gateway.stats.copy()
+            finally:
+                await gateway.close()
+
+        shed, stats = asyncio.run(main())
+        assert shed.error["code"] == "overloaded"
+        assert stats["shed_deadline"] == 1
+
+
+class TestShutdown:
+    def test_close_is_idempotent_and_rejects_later_requests(self, estimator):
+        async def main():
+            gateway = make_gateway(estimator)
+            await gateway.submit(request())
+            await gateway.close()
+            await gateway.close()
+            return await gateway.submit(request())
+
+        response = asyncio.run(main())
+        assert response.status == "error"
+        assert response.error["code"] == "overloaded"
+
+    def test_close_cancels_inflight_waiters_with_structured_shutdown(self, estimator):
+        gated = GatedEstimator(estimator)
+
+        async def main():
+            gateway = make_gateway(gated, workers=1)
+            leader = asyncio.ensure_future(gateway.submit(request()))
+            await wait_for(gated.entered.is_set)
+            closer = asyncio.ensure_future(gateway.close())
+            # The executor thread is stuck on the gate; the worker
+            # cannot be interrupted, so release it and let close drain.
+            await asyncio.sleep(0.02)
+            gated.gate.set()
+            await closer
+            return await leader
+
+        response = asyncio.run(main())
+        # The in-flight task was cancelled by close (or finished if the
+        # race went the other way); either way the waiter got a
+        # structured response, not a bare CancelledError.
+        assert response.status in ("ok", "error")
+        if response.status == "error":
+            assert response.error["code"] == "overloaded"

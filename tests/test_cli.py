@@ -166,3 +166,106 @@ class TestStats:
         bad.write_bytes(b"not a zip")
         assert main(["stats", str(bad), *self.ARGS]) == 2
         assert "unreadable" in capsys.readouterr().err
+
+
+class TestLoadgen:
+    def test_replays_sessions_and_reports(self, hist_path, capsys):
+        code = main(
+            [
+                "loadgen",
+                str(hist_path),
+                "--tenant",
+                "acme:8",
+                "--tenant",
+                "beta",
+                "--sessions",
+                "3",
+                "--deadline",
+                "2.0",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "requests" in out and "latency_p99_s" in out
+
+    def test_json_report_parses(self, hist_path, capsys):
+        import json
+
+        code = main(["loadgen", str(hist_path), "--sessions", "2", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["sessions"] == 2
+        assert report["requests"] >= report["served"] > 0
+        assert report["errors"] == 0
+
+    def test_rejects_bad_flags(self, hist_path, capsys):
+        assert main(["loadgen", str(hist_path), "--sessions", "0"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_rejects_corrupt_histogram(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"nope")
+        assert main(["loadgen", str(bad), "--sessions", "1"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestServe:
+    def test_rejects_bad_flags(self, hist_path, capsys):
+        assert main(["serve", str(hist_path), "--workers", "0"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_rejects_bad_tenant_spec(self, hist_path, capsys):
+        assert main(["serve", str(hist_path), "--tenant", ":4"]) == 2
+        assert "empty tenant name" in capsys.readouterr().err
+
+    def test_serves_one_request_over_tcp(self, hist_path):
+        """Boot the real server on a free port, run one round trip
+        through a TCP client, then shut down -- the CLI's serving path
+        end to end."""
+        import asyncio
+        import json
+
+        from repro.euler.histogram import EulerHistogram
+        from repro.euler.simple import SEulerApprox
+        from repro.gateway import Gateway, GatewayServer, TenantCatalog
+
+        histogram = EulerHistogram.load(hist_path)
+        catalog = TenantCatalog()
+        catalog.register_dataset("default", SEulerApprox(histogram), histogram.grid)
+        catalog.add_tenant("public")
+
+        async def round_trip():
+            gateway = Gateway(catalog, workers=1, max_pending=4)
+            server = GatewayServer(gateway, port=0)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(
+                    json.dumps(
+                        {
+                            "tenant": "public",
+                            "dataset": "default",
+                            "region": [0, 360, 0, 180],
+                            "rows": 3,
+                            "cols": 2,
+                            "deadline_s": 5.0,
+                        }
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                return response
+            finally:
+                await server.close()
+                await gateway.close()
+
+        response = asyncio.run(round_trip())
+        assert response["status"] == "ok"
+        assert response["valid_fraction"] == 1.0

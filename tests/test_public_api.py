@@ -23,6 +23,7 @@ SUBPACKAGES = [
     "repro.browse",
     "repro.cache",
     "repro.experiments",
+    "repro.gateway",
 ]
 
 
