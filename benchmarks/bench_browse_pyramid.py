@@ -1,0 +1,254 @@
+"""Pyramid refinement benchmarks: coarse-first serving's headline numbers.
+
+Three measurements over Euler summaries of Figure-12 datasets on a
+256x128 world grid (chosen so every pyramid level halves cleanly:
+256x128 -> 128x64 -> ... -> 8x4, six levels):
+
+1. **Time to first raster, coarse tier vs finest level.**  A zoomed-out
+   viewport (the whole space at display resolution) is browsed twice
+   through one :class:`ResilientBrowsingService`: once with a zero
+   deadline -- the pyramid's coarsest aligned level answers a *complete*
+   raster immediately -- and once unbounded, where the fine chunk path
+   computes every tile.  The reported speedup is the ratio of median
+   wall-clock times; full mode gates on the PR's acceptance number
+   (coarse tier >= 5x faster), quick mode on > 1x.
+2. **Error vs latency along the refinement ladder.**  Each
+   :class:`~repro.browse.refine.RefinementStep` of the same viewport is
+   rastered and compared against the finest-level truth: per-step time,
+   mean absolute error, and the worst per-tile error bound.  The curve
+   documents what each refinement round buys.
+3. **Parity and hygiene gates.**  An unbounded browse through the
+   pyramid-backed service must be bit-identical to the same service
+   without a pyramid; a zero-deadline (coarse-complete) browse must
+   leave the tile cache empty and mark no tile delta-reusable, and the
+   per-step error must respect the published bound.
+
+Results go to ``BENCH_browse_pyramid.json`` at the repository root.  Run
+directly::
+
+    PYTHONPATH=src python benchmarks/bench_browse_pyramid.py          # full
+    PYTHONPATH=src python benchmarks/bench_browse_pyramid.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import time
+
+import numpy as np
+
+from repro.browse.delta import DeltaTracker
+from repro.browse.refine import PyramidSource
+from repro.browse.resilience import ResilientBrowsingService
+from repro.cache import TileResultCache
+from repro.datasets import by_name
+from repro.euler.histogram import EulerHistogram
+from repro.euler.pyramid import HistogramPyramid
+from repro.euler.simple import SEulerApprox
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_browse_pyramid.json"
+
+#: The world extent of the paper's datasets, gridded so every halving
+#: level stays even: six pyramid levels down to 8x4.
+GRID = Grid(Rect(0.0, 360.0, 0.0, 180.0), 256, 128)
+
+#: The zoomed-out viewport: the whole space at display resolution.
+VIEWPORT = TileQuery(0, GRID.n1, 0, GRID.n2)
+ROWS, COLS = GRID.n2, GRID.n1
+
+
+def build_parts(dataset_name: str, num_objects: int, *, seed: int):
+    """(estimator, pyramid) over one Figure-12 dataset."""
+    data = by_name(dataset_name, num_objects, seed=seed)
+    estimator = SEulerApprox(EulerHistogram.from_dataset(data, GRID))
+    pyramid = HistogramPyramid(data, GRID, min_cells=4)
+    return estimator, pyramid
+
+
+def run_first_raster(estimator, pyramid, *, rounds: int, dataset: str) -> dict:
+    """Median wall clock: coarse-complete (deadline 0) vs full resolution."""
+    service = ResilientBrowsingService(estimator, GRID, pyramid=pyramid)
+    coarse_times: list[float] = []
+    full_times: list[float] = []
+    coarsest_level = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        coarse = service.browse(VIEWPORT, ROWS, COLS, deadline=0.0)
+        coarse_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        full = service.browse(VIEWPORT, ROWS, COLS)
+        full_times.append(time.perf_counter() - start)
+        if not coarse.is_complete or coarse.full_resolution:
+            raise AssertionError(
+                f"zero-deadline browse on {dataset} was not a complete coarse raster"
+            )
+        if not full.full_resolution:
+            raise AssertionError(f"unbounded browse on {dataset} was not full resolution")
+        coarsest_level = int(coarse.levels.max())
+    coarse_median = statistics.median(coarse_times)
+    full_median = statistics.median(full_times)
+    entry = {
+        "dataset": dataset,
+        "tiles": ROWS * COLS,
+        "rounds": rounds,
+        "coarsest_level": coarsest_level,
+        "coarse_seconds_median": round(coarse_median, 6),
+        "full_seconds_median": round(full_median, 6),
+        "first_raster_speedup": round(full_median / coarse_median, 2),
+    }
+    print(
+        f"{dataset:>8} first raster ({ROWS * COLS} tiles): "
+        f"coarse {coarse_median * 1000:8.2f} ms  full {full_median * 1000:8.2f} ms  "
+        f"-> {entry['first_raster_speedup']:.1f}x (level {coarsest_level})"
+    )
+    return entry
+
+
+def run_refinement_curve(estimator, pyramid, *, dataset: str) -> dict:
+    """Per-step latency and error along the ladder, bound asserted."""
+    source = PyramidSource(pyramid)
+    # The service resolves "overlap" (the browse default) to this field.
+    field_name = "n_o"
+    truth = (
+        ResilientBrowsingService(estimator, GRID)
+        .browse(VIEWPORT, ROWS, COLS)
+        .counts
+    )
+    steps = source.plan(VIEWPORT, ROWS, COLS)
+    if not steps:
+        raise AssertionError(f"no refinement ladder for the viewport on {dataset}")
+    curve = []
+    for step in steps:
+        start = time.perf_counter()
+        counts, bound = source.raster(step, ROWS, COLS, field_name)
+        seconds = time.perf_counter() - start
+        error = np.abs(counts - truth)
+        if (error > bound).any():
+            raise AssertionError(
+                f"per-tile error exceeded the published bound at level "
+                f"{step.level} on {dataset}"
+            )
+        curve.append(
+            {
+                "level": step.level,
+                "tiles_estimated": step.tiles,
+                "seconds": round(seconds, 6),
+                "mean_abs_error": round(float(error.mean()), 4),
+                "max_abs_error": round(float(error.max()), 4),
+                "max_error_bound": round(float(bound.max()), 4),
+            }
+        )
+    print(
+        f"{dataset:>8} refinement curve: "
+        + "  ".join(
+            f"L{c['level']}:{c['mean_abs_error']:.1f}err/{c['seconds'] * 1000:.1f}ms"
+            for c in curve
+        )
+    )
+    return {"dataset": dataset, "levels": pyramid.num_levels, "steps": curve}
+
+
+def run_hygiene_gates(estimator, pyramid, *, dataset: str) -> dict:
+    """Coarse tiles never cached, never delta-reused; parity bit-exact."""
+    with_pyramid = ResilientBrowsingService(estimator, GRID, pyramid=pyramid)
+    without = ResilientBrowsingService(estimator, GRID)
+    a = with_pyramid.browse(VIEWPORT, ROWS, COLS)
+    b = without.browse(VIEWPORT, ROWS, COLS)
+    if not np.array_equal(a.counts, b.counts):
+        raise AssertionError(f"pyramid-backed service broke finest parity on {dataset}")
+
+    cache = TileResultCache()
+    tracker = DeltaTracker()
+    hygiene = ResilientBrowsingService(
+        estimator, GRID, pyramid=pyramid, cache=cache, delta=tracker
+    )
+    coarse = hygiene.browse(VIEWPORT, ROWS, COLS, deadline=0.0, session="bench")
+    if not coarse.is_complete:
+        raise AssertionError(f"coarse-tier raster incomplete on {dataset}")
+    if len(cache) != 0:
+        raise AssertionError(
+            f"{len(cache)} coarse tile(s) leaked into the cache on {dataset}"
+        )
+    if coarse.delta.reusable is None or coarse.delta.reusable.any():
+        raise AssertionError(f"coarse tiles marked delta-reusable on {dataset}")
+    repeat = hygiene.browse(VIEWPORT, ROWS, COLS, deadline=0.0, session="bench")
+    if repeat.levels is None or not (repeat.levels >= 0).all():
+        raise AssertionError(
+            f"a repeat viewport reused coarse tiles via the delta path on {dataset}"
+        )
+    entry = {
+        "dataset": dataset,
+        "finest_parity": "bit_identical",
+        "cache_entries_after_coarse_browse": len(cache),
+        "delta_reusable_tiles": 0,
+    }
+    print(f"{dataset:>8} hygiene: parity ok, cache empty, no delta reuse")
+    return entry
+
+
+def run(datasets: tuple[str, ...], *, num_objects: int, rounds: int, seed: int) -> dict:
+    document = {
+        "benchmark": "bench_browse_pyramid",
+        "estimator": "S-EulerApprox",
+        "grid": f"{GRID.n1}x{GRID.n2}",
+        "pyramid_levels": 6,
+        "num_objects": num_objects,
+        "first_raster": [],
+        "refinement_curve": [],
+        "hygiene": [],
+    }
+    for name in datasets:
+        estimator, pyramid = build_parts(name, num_objects, seed=seed)
+        document["first_raster"].append(
+            run_first_raster(estimator, pyramid, rounds=rounds, dataset=name)
+        )
+        document["refinement_curve"].append(
+            run_refinement_curve(estimator, pyramid, dataset=name)
+        )
+        document["hygiene"].append(run_hygiene_gates(estimator, pyramid, dataset=name))
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: one dataset, fewer objects, relaxed gates",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        document = run(("adl",), num_objects=4000, rounds=3, seed=42)
+    else:
+        document = run(("sp_skew", "adl"), num_objects=40000, rounds=7, seed=42)
+
+    args.out.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    speedup_floor = 1.0 if args.quick else 5.0
+    if any(
+        entry["first_raster_speedup"] < speedup_floor
+        for entry in document["first_raster"]
+    ):
+        print(f"FAIL: coarse-tier first raster below the {speedup_floor:g}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

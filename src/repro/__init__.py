@@ -35,6 +35,7 @@ from repro.browse import (
     DeltaTracker,
     FallbackChain,
     GeoBrowsingService,
+    PyramidSource,
     ResilientBrowsingService,
     RetryPolicy,
     ShardPool,
@@ -54,6 +55,7 @@ from repro.euler import (
     EulerHistogram,
     EulerHistogramBuilder,
     EulerHistogramND,
+    HistogramPyramid,
     Level2BatchEstimator,
     Level2Counts,
     Level2CountsBatch,
@@ -147,6 +149,7 @@ __all__ = [
     "EulerHistogramND",
     "SEulerApproxND",
     "MaintainedEulerHistogram",
+    "HistogramPyramid",
     "UnalignedEstimator",
     "SEulerApprox",
     "EulerApprox",
@@ -187,6 +190,7 @@ __all__ = [
     "FallbackChain",
     "CircuitBreaker",
     "RetryPolicy",
+    "PyramidSource",
     # cache, sharding & viewport deltas
     "TileResultCache",
     "CacheKey",

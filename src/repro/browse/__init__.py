@@ -3,6 +3,7 @@ resilient serving layer."""
 
 from repro.browse.catalog import AttributeCatalog, SummedEstimator
 from repro.browse.delta import DeltaPlan, DeltaSource, DeltaTracker, plan_delta
+from repro.browse.refine import PyramidSource, RefinementStep
 from repro.browse.resilience import (
     CircuitBreaker,
     EstimatorTier,
@@ -35,4 +36,6 @@ __all__ = [
     "DeltaSource",
     "DeltaTracker",
     "plan_delta",
+    "PyramidSource",
+    "RefinementStep",
 ]

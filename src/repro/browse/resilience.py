@@ -44,6 +44,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.browse.delta import DeltaPlan, DeltaSource, DeltaTracker, plan_delta
+from repro.browse.refine import PyramidSource, RefinementStep
 from repro.browse.service import BrowseResult, resolve_browse_request
 from repro.browse.sharding import ShardPool, batch_subset
 from repro.cache import CacheKey, TileResultCache, backing_summary, summary_generation, summary_token
@@ -53,6 +54,7 @@ from repro.errors import (
     InvalidRegionError,
 )
 from repro.euler.base import Level2BatchEstimator, Level2Estimator, as_batch_estimator
+from repro.euler.pyramid import HistogramPyramid
 from repro.geometry.rect import Rect
 from repro.grid.grid import Grid
 from repro.grid.tiles_math import TileQuery, TileQueryBatch
@@ -63,7 +65,7 @@ from repro.parallel.executor import (
     ParallelExecutor,
     ProcessBackedEstimator,
 )
-from repro.workloads.tiles import browsing_tile_batch
+from repro.workloads.tiles import browsing_tile_batch, validate_browsing_tiling
 
 __all__ = [
     "CircuitBreaker",
@@ -493,6 +495,24 @@ class ResilientBrowsingService:
         answered by the primary tier (or copied from ones that were) are
         ever reused -- a degraded tier's counts must not outlive the
         interaction that produced them.
+    pyramid:
+        An optional :class:`~repro.euler.pyramid.HistogramPyramid` (or a
+        prebuilt :class:`~repro.browse.refine.PyramidSource`) whose
+        finest grid must equal the service grid.  It becomes a new
+        degradation tier: under a deadline, every tile not already
+        answered by delta/cache is first served from the coarsest
+        aligned pyramid level -- a complete, coarse-but-valid raster
+        almost immediately -- then refined level-by-level while elapsed
+        time stays under ``refine_fraction`` of the budget, and the fine
+        chunk path overwrites whatever it reaches in time.  A chunk whose
+        fallback chain is exhausted is likewise rescued from the coarsest
+        level instead of failing the request.  Pyramid-served tiles carry
+        their level and error bound on the result (``levels`` /
+        ``error_bound``) and are *never* written to the tile cache or
+        reused by viewport deltas.
+    refine_fraction:
+        Fraction of the deadline budget the refinement ladder may spend
+        before yielding to the fine chunk path (default 0.35).
     """
 
     def __init__(
@@ -513,11 +533,23 @@ class ResilientBrowsingService:
         num_shards: int = 1,
         delta: DeltaTracker | None = None,
         parallel: ParallelConfig | str | None = None,
+        pyramid: HistogramPyramid | PyramidSource | None = None,
+        refine_fraction: float = 0.35,
     ) -> None:
         if chunk_rows < 1:
             raise ValueError("chunk_rows must be at least 1")
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
+        if not 0.0 < refine_fraction <= 1.0:
+            raise ValueError("refine_fraction must be in (0, 1]")
+        if pyramid is not None and not isinstance(pyramid, PyramidSource):
+            pyramid = PyramidSource(pyramid, grid=grid)
+        elif isinstance(pyramid, PyramidSource) and pyramid.grid != grid:
+            raise ValueError(
+                "the pyramid source's finest grid must equal the service grid"
+            )
+        self._pyramid = pyramid
+        self._refine_fraction = refine_fraction
         # Process parallelism wraps the *primary* estimator in a
         # ProcessBackedEstimator before the chain is built, so it only
         # composes with the estimators form of construction.
@@ -594,6 +626,11 @@ class ResilientBrowsingService:
     def delta(self) -> DeltaTracker | None:
         """The viewport-delta tracker, when one was configured."""
         return self._delta
+
+    @property
+    def pyramid(self) -> PyramidSource | None:
+        """The pyramid refinement source, when one was configured."""
+        return self._pyramid
 
     def cache_key(self, field_name: str) -> CacheKey:
         """The cache key for this service's *primary-tier* answers: the
@@ -693,11 +730,23 @@ class ResilientBrowsingService:
         with span("browse", relation=relation, rows=rows, cols=cols, deadline=deadline):
             with span("resolve"):
                 region, field_name = resolve_browse_request(self._grid, region, relation)
-            with span("build_batch"):
+            with span("validate_tiling"):
                 try:
-                    batch = browsing_tile_batch(region, rows, cols)
+                    validate_browsing_tiling(region, rows, cols)
                 except ValueError as exc:
                     raise InvalidRegionError(str(exc)) from exc
+
+            # The fine tiling's corner arrays, materialised on first
+            # need: a request fully answered by deltas, cache hits or a
+            # coarse pyramid raster never pays for them.
+            batch: TileQueryBatch | None = None
+
+            def tile_batch() -> TileQueryBatch:
+                nonlocal batch
+                if batch is None:
+                    with span("build_batch"):
+                        batch = browsing_tile_batch(region, rows, cols)
+                return batch
 
             counts = np.full((rows, cols), np.nan, dtype=np.float64)
             valid = np.zeros((rows, cols), dtype=bool)
@@ -743,7 +792,9 @@ class ResilientBrowsingService:
                 remaining = np.flatnonzero(miss_flat)
                 if remaining.size:
                     probe_batch = (
-                        batch if remaining.size == rows * cols else batch_subset(batch, remaining)
+                        tile_batch()
+                        if remaining.size == rows * cols
+                        else batch_subset(tile_batch(), remaining)
                     )
                     with span("cache_probe"):
                         cached_values, hit = cache.probe(cache_key, probe_batch)
@@ -760,23 +811,109 @@ class ResilientBrowsingService:
                         primary_flat[pos] = True
                         miss_flat[pos] = False
 
+            # Pyramid prefill: under a deadline, every tile the delta and
+            # cache could not answer is first served from the coarsest
+            # aligned pyramid level -- a complete, coarse-but-valid
+            # raster almost immediately -- then refined level-by-level
+            # while elapsed time stays inside the refinement budget.
+            # ``miss_flat`` is deliberately left untouched: the fine
+            # chunk path still owns those tiles, and because
+            # ``primary_flat`` stays False here, pyramid-served counts
+            # can never reach the tile cache or a later viewport delta.
+            psource = self._pyramid
+            steps: tuple[RefinementStep, ...] = (
+                psource.plan(region, rows, cols) if psource is not None else ()
+            )
+            levels_flat: np.ndarray | None = None
+            bound_flat: np.ndarray | None = None
+            refine_rounds = 0
+            if steps and deadline is not None:
+                pending = np.flatnonzero(miss_flat)
+                whole_raster = pending.size == rows * cols
+                if pending.size:
+                    levels_flat = np.full(rows * cols, -1, dtype=np.int64)
+                    bound_flat = np.zeros(rows * cols, dtype=np.float64)
+                    for step in steps:
+                        if refine_rounds and (
+                            self._clock() - started
+                            >= deadline * self._refine_fraction
+                        ):
+                            break
+                        with span(f"pyramid[level={step.level}]", tiles=step.tiles):
+                            step_counts, step_bound = psource.raster(
+                                step, rows, cols, field_name
+                            )
+                        if whole_raster:
+                            # The common cold-viewport case: full-array
+                            # writes instead of a 4x fancy-index gather.
+                            np.copyto(counts, step_counts)
+                            valid_flat[:] = True
+                            levels_flat[:] = step.level
+                            np.copyto(bound_flat, step_bound.reshape(-1))
+                        else:
+                            counts_flat[pending] = step_counts.reshape(-1)[pending]
+                            valid_flat[pending] = True
+                            levels_flat[pending] = step.level
+                            bound_flat[pending] = step_bound.reshape(-1)[pending]
+                        refine_rounds += 1
+                        if obs is not None:
+                            obs.pyramid_level_served.labels(
+                                service="resilient", level=str(step.level)
+                            ).inc()
+                            if refine_rounds == 1:
+                                obs.pyramid_first_raster.labels(
+                                    service="resilient"
+                                ).observe(self._clock() - started)
+                if obs is not None:
+                    obs.pyramid_refine_rounds.labels(service="resilient").observe(
+                        refine_rounds
+                    )
+
+            # The coarsest step's raster doubles as the rescue source for
+            # chunks whose fallback chain is exhausted; computed at most
+            # once, under a lock because chunks run on shard threads.
+            rescue_lock = threading.Lock()
+            rescue_state: list = []
+
+            def coarse_rescue():
+                """(level, counts, bounds) of the coarsest planned step,
+                flattened; ``None`` when no pyramid level aligns."""
+                with rescue_lock:
+                    if not rescue_state:
+                        if not steps:
+                            rescue_state.append(None)
+                        else:
+                            step = steps[0]
+                            values2d, bound2d = psource.raster(
+                                step, rows, cols, field_name
+                            )
+                            rescue_state.append(
+                                (step.level, values2d.reshape(-1), bound2d.reshape(-1))
+                            )
+                    return rescue_state[0]
+
             # Row chunks that still have unanswered tiles, answered in
             # waves of up to ``num_shards`` concurrent chunks.  The
             # deadline is checked before each wave, so work in flight is
             # never abandoned; with one shard this is exactly the
             # sequential per-chunk check.
-            chunks: list[tuple[int, int, np.ndarray]] = []
-            for row_lo in range(0, rows, self._chunk_rows):
-                row_hi = min(row_lo + self._chunk_rows, rows)
-                idx = row_lo * cols + np.flatnonzero(
-                    miss_flat[row_lo * cols : row_hi * cols]
-                )
-                if idx.size:
-                    chunks.append((row_lo, row_hi, idx))
+            def plan_chunks() -> list[tuple[int, int, np.ndarray]]:
+                jobs: list[tuple[int, int, np.ndarray]] = []
+                unanswered = np.flatnonzero(miss_flat)
+                if unanswered.size:
+                    blocks = unanswered // (cols * self._chunk_rows)
+                    splits = np.flatnonzero(np.diff(blocks)) + 1
+                    for idx in np.split(unanswered, splits):
+                        row_lo = (
+                            int(idx[0] // cols) // self._chunk_rows * self._chunk_rows
+                        )
+                        row_hi = min(row_lo + self._chunk_rows, rows)
+                        jobs.append((row_lo, row_hi, idx))
+                return jobs
 
             def run_chunk(job: tuple[int, int, np.ndarray]):
                 row_lo, row_hi, idx = job
-                sub = batch_subset(batch, idx)
+                sub = batch_subset(tile_batch(), idx)
                 chunk_started = self._clock()
                 # Budget remaining at chunk start, for deadline-aware
                 # tiers (the process-backed primary): a slow worker wave
@@ -789,20 +926,42 @@ class ResilientBrowsingService:
                     if deadline is None
                     else max(deadline - (chunk_started - started), 0.01)
                 )
+                rescue: tuple[int, np.ndarray] | None = None
                 with span(f"chunk[{row_lo}:{row_hi})", tiles=len(idx)):
-                    values, tier = self._chain.estimate_chunk_tiered(
-                        sub, field_name, trace=trace, timeout=remaining
-                    )
-                return idx, sub, values, tier, self._clock() - chunk_started
+                    try:
+                        values, tier = self._chain.estimate_chunk_tiered(
+                            sub, field_name, trace=trace, timeout=remaining
+                        )
+                    except EstimatorFailedError:
+                        # Exhausted chain: rescue the chunk's tiles from
+                        # the coarsest pyramid level when one aligns --
+                        # coarse-but-valid beats failing the request.
+                        source = coarse_rescue() if psource is not None else None
+                        if source is None:
+                            raise
+                        level, rescue_counts, rescue_bounds = source
+                        values = rescue_counts[idx]
+                        tier = None
+                        rescue = (level, rescue_bounds[idx])
+                return idx, sub, values, tier, self._clock() - chunk_started, rescue
 
             wave_size = self._pool.num_shards if self._pool is not None else 1
             position = 0
-            while position < len(chunks):
+            chunks: list[tuple[int, int, np.ndarray]] | None = None
+            while True:
+                # Chunk jobs are planned only when the deadline still has
+                # room: an expired budget with a (coarse-)complete raster
+                # exits before paying for the fine path's bookkeeping.
+                if chunks is None and not miss_flat.any():
+                    break
                 if deadline is not None and self._clock() - started >= deadline:
                     expired = True
                     if obs is not None:
                         obs.deadline_expirations.labels(service="resilient").inc()
-                    if on_deadline == "raise":
+                    # A pyramid-prefilled raster is complete (coarse but
+                    # valid everywhere), so even ``on_deadline="raise"``
+                    # degrades instead of raising.
+                    if on_deadline == "raise" and not valid.all():
                         answered = int(valid.all(axis=1).sum())
                         raise DeadlineExceededError(
                             f"deadline of {deadline:.3f}s expired after answering "
@@ -811,19 +970,42 @@ class ResilientBrowsingService:
                             total_rows=rows,
                         )
                     break
+                if chunks is None:
+                    with span("plan_chunks"):
+                        chunks = plan_chunks()
+                if position >= len(chunks):
+                    break
+                # Materialised here (idempotent, main thread) so shard
+                # threads in the wave below never race the lazy build.
+                tile_batch()
                 wave = chunks[position : position + wave_size]
                 position += len(wave)
                 if self._pool is not None and len(wave) > 1:
                     outcomes = self._pool.map(run_chunk, wave)
                 else:
                     outcomes = [run_chunk(job) for job in wave]
-                for idx, sub, values, tier, chunk_seconds in outcomes:
+                for idx, sub, values, tier, chunk_seconds, rescue in outcomes:
                     if obs is not None:
                         obs.stage_seconds.labels(
                             service="resilient", stage="chunk"
                         ).observe(chunk_seconds)
                     counts_flat[idx] = values
                     valid_flat[idx] = True
+                    if rescue is not None:
+                        # Pyramid-rescued: coarse-but-valid, never
+                        # primary, never cached.
+                        level, bounds = rescue
+                        if levels_flat is None:
+                            levels_flat = np.full(rows * cols, -1, dtype=np.int64)
+                            bound_flat = np.zeros(rows * cols, dtype=np.float64)
+                        levels_flat[idx] = level
+                        bound_flat[idx] = bounds
+                        if obs is not None:
+                            obs.pyramid_rescues.labels(service="resilient").inc()
+                        continue
+                    if levels_flat is not None:
+                        levels_flat[idx] = -1
+                        bound_flat[idx] = 0.0
                     # Only authoritative answers are cached or reused by
                     # later viewport deltas: a degraded tier's counts
                     # must not keep serving once the primary recovers.
@@ -849,6 +1031,12 @@ class ResilientBrowsingService:
         delta_source = DeltaSource(
             scope=scope, reusable=None if bool(reusable.all()) else reusable
         )
+        # The refinement annotation rides the result only when a pyramid
+        # level actually answered a tile the fine path never overwrote.
+        levels_arr = error_bound_arr = None
+        if levels_flat is not None and bool((levels_flat >= 0).any()):
+            levels_arr = levels_flat.reshape(rows, cols)
+            error_bound_arr = bound_flat.reshape(rows, cols)
         if valid.all():
             result = BrowseResult(
                 region=region,
@@ -856,6 +1044,8 @@ class ResilientBrowsingService:
                 counts=counts,
                 telemetry=trace,
                 delta=delta_source,
+                levels=levels_arr,
+                error_bound=error_bound_arr,
             )
         else:
             result = BrowseResult(
@@ -865,6 +1055,8 @@ class ResilientBrowsingService:
                 valid=valid,
                 telemetry=trace,
                 delta=delta_source,
+                levels=levels_arr,
+                error_bound=error_bound_arr,
             )
         if self._delta is not None:
             self._delta.remember(session, result)

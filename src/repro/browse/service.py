@@ -106,6 +106,14 @@ class BrowseResult:
     are safe to copy, enabling :mod:`repro.browse.delta` reuse when the
     result is passed back as the ``previous=`` hint of a later browse.
     Like ``telemetry`` it is excluded from equality.
+
+    ``levels`` and ``error_bound`` are the pyramid-refinement annotation
+    (:mod:`repro.browse.refine`): per tile, the pyramid level that
+    answered it (``-1`` = authoritative full-resolution answer) and an
+    upper bound on how far the broadcast coarse count can sit from the
+    tile's full-resolution estimate.  ``None`` -- the common case -- means
+    no tile was pyramid-served.  Excluded from equality like the other
+    serving metadata.
     """
 
     region: TileQuery
@@ -114,6 +122,8 @@ class BrowseResult:
     valid: np.ndarray | None = field(default=None)
     telemetry: RequestTrace | None = field(default=None, compare=False, repr=False)
     delta: DeltaSource | None = field(default=None, compare=False, repr=False)
+    levels: np.ndarray | None = field(default=None, compare=False, repr=False)
+    error_bound: np.ndarray | None = field(default=None, compare=False, repr=False)
 
     @property
     def rows(self) -> int:
@@ -142,6 +152,15 @@ class BrowseResult:
     def is_complete(self) -> bool:
         """Whether every tile of the raster was answered."""
         return self.valid is None or bool(self.valid.all())
+
+    @property
+    def full_resolution(self) -> bool:
+        """Whether every answered tile carries its full-resolution count
+        (``True`` for rasters untouched by pyramid refinement).  A
+        complete raster can still be coarse: under a tight deadline the
+        resilient service answers every tile from a coarse pyramid level,
+        giving ``is_complete`` without ``full_resolution``."""
+        return self.levels is None or bool((self.levels < 0).all())
 
     @property
     def valid_fraction(self) -> float:

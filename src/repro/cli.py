@@ -189,6 +189,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="dataset .npz path; enables the exact-truth accuracy probe",
     )
+    stats.add_argument(
+        "--pyramid",
+        action="store_true",
+        help="build a histogram pyramid over --dataset and serve coarse "
+        "levels first under a deadline (progressive refinement)",
+    )
+    stats.add_argument(
+        "--min-cells",
+        type=int,
+        default=4,
+        help="coarsest pyramid axis floor for --pyramid (default: 4)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -230,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=8.0,
         help="shared tile-result cache capacity in MiB (default: 8, 0 disables)",
     )
+    _add_pyramid_flags(serve)
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -281,7 +294,29 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--json", action="store_true", help="print the report as JSON"
     )
+    _add_pyramid_flags(loadgen)
     return parser
+
+
+def _add_pyramid_flags(parser: argparse.ArgumentParser) -> None:
+    """The pyramid refinement flags shared by both gateway commands."""
+    parser.add_argument(
+        "--dataset",
+        default=None,
+        help="dataset .npz path; required by --pyramid to build the levels",
+    )
+    parser.add_argument(
+        "--pyramid",
+        action="store_true",
+        help="build a histogram pyramid over --dataset so deadline-pressed "
+        "requests are admitted coarse and refined, instead of shed",
+    )
+    parser.add_argument(
+        "--min-cells",
+        type=int,
+        default=4,
+        help="coarsest pyramid axis floor for --pyramid (default: 4)",
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -429,6 +464,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.parallel == "process" and args.shards < 2:
         print("error: --parallel=process needs --shards > 1", file=sys.stderr)
         return 2
+    if args.pyramid and args.dataset is None:
+        print("error: --pyramid needs --dataset to build the levels", file=sys.stderr)
+        return 2
+    if args.min_cells < 1:
+        print("error: --min-cells must be positive", file=sys.stderr)
+        return 2
     instruments = BrowseInstrumentation()
     # Route the persistence layer's load/verify counters into the same
     # registry the services record into, so the snapshot shows the whole
@@ -440,6 +481,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         except SummaryCorruptError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        data = None
         if args.dataset is not None:
             try:
                 data = RectDataset.load(args.dataset)
@@ -449,6 +491,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             instruments.accuracy = AccuracyProbe(
                 ExactEvaluator(data, histogram.grid), instruments.registry
             )
+        pyramid = None
+        if args.pyramid:
+            from repro.euler.pyramid import HistogramPyramid
+
+            pyramid = HistogramPyramid(data, histogram.grid, min_cells=args.min_cells)
         cache = (
             TileResultCache(int(args.cache_mb * (1 << 20))) if args.cache_mb > 0 else None
         )
@@ -461,6 +508,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             num_shards=args.shards,
             delta=DeltaTracker() if args.delta else None,
             parallel=_parallel_config(args),
+            pyramid=pyramid,
         )
         region = Rect(args.region[0], args.region[1], args.region[2], args.region[3])
         try:
@@ -490,6 +538,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 f"{s['evictions']} evictions, "
                 f"{s['generation_invalidations']} generation invalidations"
             )
+        if pyramid is not None:
+            served = (
+                "full resolution"
+                if result.full_resolution
+                else f"coarsest level {int(result.levels.max())}"
+            )
+            print(f"# pyramid: {pyramid.num_levels} levels, last raster at {served}")
         if args.trace and result.telemetry is not None:
             print()
             print(result.telemetry.render())
@@ -527,6 +582,16 @@ def _build_catalog(args: argparse.Namespace, instruments=None):
     cache = (
         TileResultCache(int(args.cache_mb * (1 << 20))) if args.cache_mb > 0 else None
     )
+    pyramid = None
+    if getattr(args, "pyramid", False):
+        if args.dataset is None:
+            raise ValueError("--pyramid needs --dataset to build the levels")
+        if args.min_cells < 1:
+            raise ValueError("--min-cells must be positive")
+        from repro.euler.pyramid import HistogramPyramid
+
+        data = RectDataset.load(args.dataset)
+        pyramid = HistogramPyramid(data, histogram.grid, min_cells=args.min_cells)
     catalog = TenantCatalog(instruments=instruments)
     catalog.register_dataset(
         args.dataset_name,
@@ -534,6 +599,7 @@ def _build_catalog(args: argparse.Namespace, instruments=None):
         histogram.grid,
         cache=cache,
         chunk_rows=args.chunk_rows,
+        pyramid=pyramid,
     )
     tenants = _parse_tenants(args.tenant)
     for name, quota in tenants:

@@ -34,7 +34,7 @@ from repro.euler.histogram_nd import EulerHistogramND, SEulerApproxND
 from repro.euler.maintained import MaintainedEulerHistogram
 from repro.euler.multi import MEulerApprox, area_partition
 from repro.euler.multi_nd import MEulerApproxND
-from repro.euler.pyramid import HistogramPyramid
+from repro.euler.pyramid import HistogramPyramid, pyramid_level_grids
 from repro.euler.simple import SEulerApprox
 from repro.euler.tuning import TuningResult, tune_area_thresholds
 from repro.euler.unaligned import RelationEnvelope, UnalignedEstimator
@@ -51,6 +51,7 @@ __all__ = [
     "RelationEnvelope",
     "ExteriorHistogram",
     "HistogramPyramid",
+    "pyramid_level_grids",
     "Level2Counts",
     "Level2CountsBatch",
     "Level2Estimator",

@@ -12,32 +12,68 @@ from the data -- a coarse Euler histogram is *not* derivable from a fine
 one, because the fine histogram no longer knows which crossings belong to
 which object -- so the pyramid builds all levels in one constructor pass
 (construction is linear per level and the level sizes form a geometric
-series, so the total is ~4/3 the finest level's cost).
+series, so the total is ~4/3 the finest level's cost).  Build once and
+:meth:`~HistogramPyramid.save` the whole ladder to one checksummed file;
+:meth:`~HistogramPyramid.load` restores every level without re-scanning
+the dataset.
 
 ``level_for`` picks the coarsest level that still gives every tile of a
 requested browse at least the caller's resolution, which is how a
-browsing UI serves any zoom with aligned queries.
+browsing UI serves any zoom with aligned queries.  The serving-path
+integration (progressive refinement from coarse levels under a deadline)
+lives in :mod:`repro.browse.refine`.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Callable
 
+import numpy as np
+
 from repro.datasets.base import RectDataset
+from repro.errors import InvalidRegionError, SummaryCorruptError
 from repro.euler.base import Level2Estimator
 from repro.euler.histogram import EulerHistogram
+from repro.euler.maintained import MaintainedEulerHistogram
 from repro.euler.simple import SEulerApprox
 from repro.geometry.rect import Rect
 from repro.grid.grid import Grid
+from repro.obs.instruments import record_persistence_event
+from repro.persistence import load_verified_npz, save_verified_npz
 
-__all__ = ["HistogramPyramid"]
+__all__ = ["HistogramPyramid", "pyramid_level_grids"]
 
 #: Builds the estimator served at one level.
 LevelFactory = Callable[[RectDataset, Grid], Level2Estimator]
 
+#: ``kind`` stamp used for persistence events and error messages.
+_KIND = "histogram pyramid"
+
 
 def _default_factory(dataset: RectDataset, grid: Grid) -> Level2Estimator:
     return SEulerApprox(EulerHistogram.from_dataset(dataset, grid))
+
+
+def pyramid_level_grids(base_grid: Grid, min_cells: int = 4) -> tuple[Grid, ...]:
+    """The halving grid ladder a pyramid builds over ``base_grid``.
+
+    Level 0 is ``base_grid`` itself; each coarser level halves both cell
+    counts (rounding up) until either axis reaches ``min_cells``.  Shared
+    by construction, persistence (to validate a loaded ladder) and the
+    property tests (to enumerate candidate levels independently).
+    """
+    if min_cells < 1:
+        raise ValueError("min_cells must be positive")
+    grids: list[Grid] = []
+    n1, n2 = base_grid.n1, base_grid.n2
+    while True:
+        grids.append(Grid(base_grid.extent, n1, n2))
+        if n1 <= min_cells or n2 <= min_cells:
+            break
+        n1 = (n1 + 1) // 2
+        n2 = (n2 + 1) // 2
+    return tuple(grids)
 
 
 class HistogramPyramid:
@@ -62,20 +98,37 @@ class HistogramPyramid:
         min_cells: int = 4,
         factory: LevelFactory = _default_factory,
     ) -> None:
-        if min_cells < 1:
-            raise ValueError("min_cells must be positive")
-        self._grids: list[Grid] = []
-        self._estimators: list[Level2Estimator] = []
-        n1, n2 = base_grid.n1, base_grid.n2
-        while True:
-            grid = Grid(base_grid.extent, n1, n2)
-            self._grids.append(grid)
-            self._estimators.append(factory(dataset, grid))
-            if n1 <= min_cells or n2 <= min_cells:
-                break
-            n1 = (n1 + 1) // 2
-            n2 = (n2 + 1) // 2
+        self._grids: list[Grid] = list(pyramid_level_grids(base_grid, min_cells))
+        self._estimators: list[Level2Estimator] = [
+            factory(dataset, grid) for grid in self._grids
+        ]
         self._num_objects = len(dataset)
+        self._min_cells = min_cells
+
+    @classmethod
+    def maintained(
+        cls,
+        dataset: RectDataset,
+        base_grid: Grid,
+        *,
+        min_cells: int = 4,
+        merge_threshold: int = 1024,
+    ) -> "HistogramPyramid":
+        """A pyramid whose levels support online :meth:`insert`/:meth:`delete`.
+
+        Every level wraps a
+        :class:`~repro.euler.maintained.MaintainedEulerHistogram`, so a
+        single update keeps all resolutions consistent without a rebuild
+        (one snapped pending delta per level; merged in bulk past
+        ``merge_threshold`` pending updates per level).
+        """
+
+        def factory(data: RectDataset, grid: Grid) -> Level2Estimator:
+            return SEulerApprox(
+                MaintainedEulerHistogram(grid, data, merge_threshold=merge_threshold)
+            )
+
+        return cls(dataset, base_grid, min_cells=min_cells, factory=factory)
 
     @property
     def num_levels(self) -> int:
@@ -100,11 +153,57 @@ class HistogramPyramid:
 
     @property
     def nbytes(self) -> int:
-        return sum(
-            est.histogram.nbytes
-            for est in self._estimators
-            if hasattr(est, "histogram")
-        )
+        """Best-effort resident size of every level's summary, in bytes.
+
+        Prefers the level histogram's exact ``nbytes``; estimators without
+        a ``.histogram`` (custom :data:`LevelFactory` wrappers) contribute
+        their own ``nbytes`` when they expose one, and otherwise the
+        level grid's bucket-array size (8-byte lattice cells) -- a custom
+        level is never silently counted as zero.
+        """
+        total = 0
+        for grid, est in zip(self._grids, self._estimators):
+            size = getattr(getattr(est, "histogram", None), "nbytes", None)
+            if size is None:
+                size = getattr(est, "nbytes", None)
+            if size is None:
+                rows, cols = grid.lattice_shape
+                size = 8 * rows * cols
+            total += int(size)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # online maintenance (pyramids built with :meth:`maintained`)
+    # ------------------------------------------------------------------ #
+
+    def insert(self, rect: Rect) -> None:
+        """Add one object (world coordinates) to every level."""
+        for hist in self._mutable_histograms("insert"):
+            hist.insert(rect)
+        self._num_objects += 1
+
+    def delete(self, rect: Rect) -> None:
+        """Remove one previously inserted object from every level."""
+        for hist in self._mutable_histograms("delete"):
+            hist.delete(rect)
+        self._num_objects -= 1
+
+    def _mutable_histograms(self, op: str) -> list:
+        hists = []
+        for level, est in enumerate(self._estimators):
+            hist = getattr(est, "histogram", None)
+            if hist is None or not hasattr(hist, op):
+                raise TypeError(
+                    f"level {level} estimator {type(est).__name__} does not support "
+                    f"online {op}; build with HistogramPyramid.maintained(...) for "
+                    f"updatable levels"
+                )
+            hists.append(hist)
+        return hists
+
+    # ------------------------------------------------------------------ #
+    # level selection
+    # ------------------------------------------------------------------ #
 
     def level_for(self, region: Rect, rows: int, cols: int) -> int:
         """The coarsest level whose grid still aligns with a
@@ -112,8 +211,10 @@ class HistogramPyramid:
 
         Serving from the coarsest adequate level touches the fewest
         buckets and keeps every tile an aligned (guarantee-covered)
-        query.  Raises when even the finest grid cannot align the
-        request.
+        query.  Raises :class:`~repro.errors.InvalidRegionError` (a
+        ``ValueError`` in the structured taxonomy, so the gateway's wire
+        codec classifies it as a client error) when even the finest grid
+        cannot align the request.
         """
         if rows < 1 or cols < 1:
             raise ValueError("rows and cols must be positive")
@@ -126,7 +227,7 @@ class HistogramPyramid:
             height = round(y_hi - y_lo)
             if width >= cols and height >= rows and width % cols == 0 and height % rows == 0:
                 return level
-        raise ValueError(
+        raise InvalidRegionError(
             f"no pyramid level aligns a {rows}x{cols} tiling of {region}; "
             f"finest grid is {self._grids[0].n1}x{self._grids[0].n2}"
         )
@@ -135,3 +236,125 @@ class HistogramPyramid:
         """(level, estimator, grid) to serve one browse request."""
         level = self.level_for(region, rows, cols)
         return level, self._estimators[level], self._grids[level]
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Persist every level to one checksummed ``.npz``.
+
+        Each level contributes its signed bucket array and cell counts;
+        the shared extent, object count and ``min_cells`` ride alongside,
+        and the whole payload is stamped with the CRC-32 envelope of
+        :mod:`repro.persistence`.  Maintained levels are snapshotted
+        (pending updates merged) before saving.  Only histogram-backed
+        levels can be persisted; a custom estimator without a
+        ``.histogram`` raises ``ValueError``.
+        """
+        arrays: dict[str, np.ndarray] = {
+            "extent": np.array(self._grids[0].extent.as_tuple(), dtype=np.float64),
+            "num_objects": np.int64(self._num_objects),
+            "num_levels": np.int64(self.num_levels),
+            "min_cells": np.int64(self._min_cells),
+        }
+        for level, (grid, est) in enumerate(zip(self._grids, self._estimators)):
+            hist = getattr(est, "histogram", None)
+            if hist is None:
+                raise ValueError(
+                    f"level {level} estimator {type(est).__name__} exposes no "
+                    f".histogram; only histogram-backed pyramids can be persisted"
+                )
+            if hasattr(hist, "snapshot"):
+                hist = hist.snapshot()
+            arrays[f"level{level}_buckets"] = hist.buckets()
+            arrays[f"level{level}_cells"] = np.array([grid.n1, grid.n2], dtype=np.int64)
+        save_verified_npz(path, arrays, kind=_KIND)
+
+    @classmethod
+    def load(
+        cls,
+        path: str | os.PathLike,
+        *,
+        estimator_factory: Callable[[EulerHistogram], Level2Estimator] = SEulerApprox,
+    ) -> "HistogramPyramid":
+        """Load a pyramid persisted with :meth:`save`.
+
+        The payload is integrity-checked end to end: CRC-32 checksum,
+        ladder consistency (the stored grids must match the halving
+        sequence implied by level 0 and ``min_cells``), and the Euler
+        invariant (``verify()``) of every level's histogram.  Raises
+        :class:`~repro.errors.SummaryCorruptError` on any violation.
+        ``estimator_factory`` wraps each restored histogram in the
+        estimator served at that level (default S-EulerApprox).
+        """
+        payload = load_verified_npz(
+            path, kind=_KIND, required=("extent", "num_objects", "num_levels", "min_cells")
+        )
+        extent_arr = np.asarray(payload["extent"], dtype=np.float64).reshape(-1)
+        if extent_arr.shape != (4,) or not np.isfinite(extent_arr).all():
+            raise SummaryCorruptError(
+                f"pyramid file {path!s} has a malformed extent {payload['extent']!r}"
+            )
+        num_objects = int(np.asarray(payload["num_objects"]).reshape(-1)[0])
+        num_levels = int(np.asarray(payload["num_levels"]).reshape(-1)[0])
+        min_cells = int(np.asarray(payload["min_cells"]).reshape(-1)[0])
+        if num_levels < 1 or min_cells < 1:
+            raise SummaryCorruptError(
+                f"pyramid file {path!s} declares an impossible ladder "
+                f"({num_levels} level(s), min_cells={min_cells})"
+            )
+        grids: list[Grid] = []
+        estimators: list[Level2Estimator] = []
+        try:
+            extent = Rect(*(float(v) for v in extent_arr))
+        except ValueError as exc:
+            raise SummaryCorruptError(
+                f"pyramid file {path!s} holds an inconsistent extent: {exc}"
+            ) from exc
+        for level in range(num_levels):
+            missing = [
+                key
+                for key in (f"level{level}_buckets", f"level{level}_cells")
+                if key not in payload
+            ]
+            if missing:
+                record_persistence_event(_KIND, "load", "missing_key")
+                raise SummaryCorruptError(
+                    f"pyramid file {path!s} is missing required key(s) {missing}"
+                )
+            cells = np.asarray(payload[f"level{level}_cells"]).reshape(-1)
+            if cells.shape != (2,) or not np.issubdtype(cells.dtype, np.integer):
+                raise SummaryCorruptError(
+                    f"pyramid file {path!s} has malformed cell counts for level {level}"
+                )
+            try:
+                grid = Grid(extent, int(cells[0]), int(cells[1]))
+                hist = EulerHistogram(grid, payload[f"level{level}_buckets"], num_objects)
+            except ValueError as exc:
+                raise SummaryCorruptError(
+                    f"pyramid file {path!s} holds an inconsistent level {level}: {exc}"
+                ) from exc
+            hist.verify()
+            grids.append(grid)
+            estimators.append(estimator_factory(hist))
+        expected = pyramid_level_grids(grids[0], min_cells)
+        if tuple(grids) != expected:
+            record_persistence_event(_KIND, "load", "invariant_violation")
+            raise SummaryCorruptError(
+                f"pyramid file {path!s} holds a grid ladder inconsistent with its "
+                f"level-0 grid and min_cells={min_cells}"
+            )
+        pyramid = cls.__new__(cls)
+        pyramid._grids = grids
+        pyramid._estimators = estimators
+        pyramid._num_objects = num_objects
+        pyramid._min_cells = min_cells
+        return pyramid
+
+    def __repr__(self) -> str:
+        finest = self._grids[0]
+        return (
+            f"HistogramPyramid(levels={self.num_levels}, "
+            f"finest={finest.n1}x{finest.n2}, objects={self._num_objects})"
+        )

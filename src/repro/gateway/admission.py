@@ -130,6 +130,9 @@ class AdmissionDecision:
     estimated_wait_s: float = 0.0
     reason: str = ""
     retry_after_s: float | None = None
+    #: The admission relied on the target service's pyramid tier: the
+    #: budget cannot cover fine-grid work, but a coarse raster fits.
+    coarse: bool = False
 
 
 class AdmissionController:
@@ -208,7 +211,9 @@ class AdmissionController:
         slope = (pressure - self.degrade_start) / span
         return max(self.degrade_floor, 1.0 - slope * (1.0 - self.degrade_floor))
 
-    def triage(self, *, budget: float | None, pending: int) -> AdmissionDecision:
+    def triage(
+        self, *, budget: float | None, pending: int, coarse_capable: bool = False
+    ) -> AdmissionDecision:
         """Decide one arrival's fate (see the class docstring).
 
         ``budget`` is the client's remaining deadline in seconds
@@ -216,6 +221,13 @@ class AdmissionController:
         admitted only when a worker is idle, and served with a zero
         effective deadline so the resilience layer answers from cache
         and viewport deltas alone).
+
+        ``coarse_capable`` marks the target service as pyramid-backed
+        (:mod:`repro.browse.refine`): before shedding on ``deadline``,
+        a budget that at least covers the predicted queue wait is
+        admitted anyway -- degrade-before-shed gains a second axis,
+        since the service can answer a complete raster from a coarse
+        pyramid level in a sliver of the fine-grid time.
         """
         if budget is not None and budget < 0:
             raise ValueError("budget must be non-negative when given")
@@ -251,6 +263,18 @@ class AdmissionController:
                 estimated_wait_s=0.0,
             )
         if wait + self.triage_margin * p50 >= budget:
+            if coarse_capable and budget > wait:
+                # The fine path cannot finish, but whatever budget
+                # survives the queue buys a complete coarse raster from
+                # the service's pyramid tier: degrade to a coarser
+                # level instead of shedding.
+                return AdmissionDecision(
+                    admitted=True,
+                    effective_deadline=budget,
+                    degrade_factor=self.degrade_floor,
+                    estimated_wait_s=wait,
+                    coarse=True,
+                )
             # The budget cannot cover the wait plus one service time:
             # admitting would only let the request expire in queue.
             return AdmissionDecision(

@@ -104,10 +104,11 @@ class TileRequest:
 class GatewayResponse:
     """The gateway's structured answer to one :class:`TileRequest`.
 
-    ``status`` is ``"ok"`` (complete raster), ``"degraded"`` (partial
-    raster -- some tiles NaN under the validity mask) or ``"error"``
-    (no raster; ``error`` holds the wire form of the taxonomy failure,
-    see :func:`encode_error`).  ``coalesced`` marks responses served by
+    ``status`` is ``"ok"`` (complete raster at full resolution),
+    ``"degraded"`` (partial raster -- some tiles NaN under the validity
+    mask -- or a complete raster with some tiles served from a coarse
+    pyramid level) or ``"error"`` (no raster; ``error`` holds the wire
+    form of the taxonomy failure, see :func:`encode_error`).  ``coalesced`` marks responses served by
     another request's in-flight computation.  ``degrade_factor`` is the
     fraction of the client budget admission control preserved (1.0 =
     full quality), ``queue_wait_s``/``service_s`` the dispatch split,
@@ -162,6 +163,11 @@ class GatewayResponse:
                 for row in counts
             ]
             doc["valid_fraction"] = round(self.result.valid_fraction, 4)
+            if self.result.levels is not None:
+                # Pyramid-refined raster: surface the coarsest level any
+                # tile was served at, so clients can render a "refining
+                # ..." affordance.
+                doc["coarsest_level"] = int(self.result.levels.max())
         if self.error is not None:
             doc["error"] = self.error
         return doc
@@ -307,6 +313,7 @@ class Gateway:
             "coalesced_leaders": 0,
             "coalesced_followers": 0,
             "degraded_admissions": 0,
+            "coarse_admissions": 0,
             "errors": 0,
         }
 
@@ -358,8 +365,10 @@ class Gateway:
                 total_s=self._clock() - started,
             )
         total = self._clock() - started
-        complete = result.is_complete
-        status = "ok" if complete else "degraded"
+        # A raster that is complete but pyramid-coarse somewhere is
+        # still a degraded answer: every tile has a value, not every
+        # tile is at the requested resolution.
+        status = "ok" if result.is_complete and result.full_resolution else "degraded"
         if obs is not None:
             obs.gateway_requests.labels(
                 tenant=request.tenant, outcome=status
@@ -422,7 +431,13 @@ class Gateway:
     ) -> tuple[BrowseResult, dict]:
         obs = self._obs
         decision = self._admission.triage(
-            budget=request.deadline_s, pending=self._pending
+            budget=request.deadline_s,
+            pending=self._pending,
+            # A pyramid-backed service gives triage a second axis of
+            # degradation: a budget too short for fine-grid work can
+            # still buy a complete coarse raster, so degrade to a
+            # coarser level before shedding on "deadline".
+            coarse_capable=service.pyramid is not None,
         )
         if not decision.admitted:
             self.stats[f"shed_{decision.reason}"] += 1
@@ -442,6 +457,8 @@ class Gateway:
         self.stats["admitted"] += 1
         if decision.degrade_factor < 1.0:
             self.stats["degraded_admissions"] += 1
+        if decision.coarse:
+            self.stats["coarse_admissions"] += 1
         if obs is not None:
             obs.gateway_degrade_factor.set(decision.degrade_factor)
 

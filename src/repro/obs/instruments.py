@@ -25,6 +25,10 @@ name                                                   type       labels
 ``repro_cache_misses_total``                           counter    service
 ``repro_delta_rasters_total``                          counter    service, outcome
 ``repro_delta_tiles_reused_total``                     counter    service
+``repro_pyramid_level_served_total``                   counter    service, level
+``repro_pyramid_refine_rounds``                        histogram  service
+``repro_pyramid_first_raster_seconds``                 histogram  service
+``repro_pyramid_rescued_chunks_total``                 counter    service
 ``repro_browse_shard_seconds``                         histogram  service
 ``repro_shard_pool_workers``                           gauge      service
 ``repro_parallel_dispatch_seconds``                    histogram  service
@@ -68,6 +72,9 @@ __all__ = ["BrowseInstrumentation", "classify_failure", "record_persistence_even
 
 #: Buckets for the fallback-depth histogram: tier index that answered.
 _DEPTH_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0)
+
+#: Buckets for pyramid refinement rounds per request.
+_REFINE_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
 
 
 def classify_failure(exc: BaseException) -> str:
@@ -163,6 +170,28 @@ class BrowseInstrumentation:
         self.delta_tiles_reused = r.counter(
             "repro_delta_tiles_reused_total",
             help="Raster tiles copied from the session's previous raster",
+            labels=("service",),
+        )
+        self.pyramid_level_served = r.counter(
+            "repro_pyramid_level_served_total",
+            help="Refinement rounds served from a pyramid level (level label = pyramid level index)",
+            labels=("service", "level"),
+        )
+        self.pyramid_refine_rounds = r.histogram(
+            "repro_pyramid_refine_rounds",
+            help="Pyramid refinement rounds per deadlined request (0 = fine path only)",
+            labels=("service",),
+            buckets=_REFINE_BUCKETS,
+        )
+        self.pyramid_first_raster = r.histogram(
+            "repro_pyramid_first_raster_seconds",
+            help="Latency to the first complete (coarse-but-valid) raster",
+            labels=("service",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.pyramid_rescues = r.counter(
+            "repro_pyramid_rescued_chunks_total",
+            help="Chunks whose exhausted fallback chain was rescued from the coarsest pyramid level",
             labels=("service",),
         )
         self.shard_seconds = r.histogram(

@@ -25,7 +25,26 @@ __all__ = [
     "browsing_tiles",
     "browsing_tile_batch",
     "browsing_tile_batch_subset",
+    "validate_browsing_tiling",
 ]
+
+
+def validate_browsing_tiling(region: TileQuery, rows: int, cols: int) -> None:
+    """Raise ``ValueError`` unless ``region`` splits into a ``rows x
+    cols`` array of equal aligned tiles.
+
+    The shared front door of every tiling builder below; callers that
+    defer batch construction (the resilient browse path) use it to
+    reject malformed requests before doing any other work.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be positive")
+    if region.width % cols or region.height % rows:
+        raise ValueError(
+            f"region {region.width}x{region.height} cells cannot be split "
+            f"into {cols}x{rows} equal aligned tiles"
+        )
+
 
 #: Tile sizes of the paper's eleven query sets, largest first.
 PAPER_QUERY_SET_SIZES: tuple[int, ...] = (20, 18, 15, 12, 10, 9, 6, 5, 4, 3, 2)
@@ -66,13 +85,7 @@ def browsing_tiles(region: TileQuery, rows: int, cols: int) -> list[list[TileQue
     partitioning -- GeoBrowsing's UI constrains tile counts the same way
     for grid-resolution answers.
     """
-    if rows < 1 or cols < 1:
-        raise ValueError("rows and cols must be positive")
-    if region.width % cols or region.height % rows:
-        raise ValueError(
-            f"region {region.width}x{region.height} cells cannot be split "
-            f"into {cols}x{rows} equal aligned tiles"
-        )
+    validate_browsing_tiling(region, rows, cols)
     tile_w = region.width // cols
     tile_h = region.height // rows
     return [
@@ -99,13 +112,7 @@ def browsing_tile_batch(region: TileQuery, rows: int, cols: int) -> TileQueryBat
     numpy broadcasting -- no per-tile Python objects -- this is the O(1)
     front half of the batched browse path.
     """
-    if rows < 1 or cols < 1:
-        raise ValueError("rows and cols must be positive")
-    if region.width % cols or region.height % rows:
-        raise ValueError(
-            f"region {region.width}x{region.height} cells cannot be split "
-            f"into {cols}x{rows} equal aligned tiles"
-        )
+    validate_browsing_tiling(region, rows, cols)
     tile_w = region.width // cols
     tile_h = region.height // rows
     x_lo = region.qx_lo + tile_w * np.arange(cols, dtype=np.intp)
@@ -126,13 +133,7 @@ def browsing_tile_batch_subset(
     but O(len(flat_indices)): the viewport-delta path uses it to build
     queries for only the fresh band of a panned raster.
     """
-    if rows < 1 or cols < 1:
-        raise ValueError("rows and cols must be positive")
-    if region.width % cols or region.height % rows:
-        raise ValueError(
-            f"region {region.width}x{region.height} cells cannot be split "
-            f"into {cols}x{rows} equal aligned tiles"
-        )
+    validate_browsing_tiling(region, rows, cols)
     tile_w = region.width // cols
     tile_h = region.height // rows
     idx = np.asarray(flat_indices, dtype=np.intp)

@@ -1,15 +1,38 @@
 """Tests for the multi-resolution histogram pyramid."""
 
+import numpy as np
 import pytest
 
 from repro.browse.service import GeoBrowsingService
-from repro.euler.pyramid import HistogramPyramid
+from repro.errors import InvalidRegionError, SummaryCorruptError
+from repro.euler.histogram import EulerHistogram
+from repro.euler.pyramid import HistogramPyramid, pyramid_level_grids
+from repro.euler.simple import SEulerApprox
 from repro.exact.evaluator import ExactEvaluator
+from repro.gateway.gateway import decode_error, encode_error
 from repro.geometry.rect import Rect
 from repro.grid.grid import Grid
 from repro.grid.tiles_math import TileQuery
+from repro.persistence import save_verified_npz
 
 from tests.conftest import random_dataset
+
+
+class _OpaqueEstimator:
+    """A custom level estimator exposing neither ``.histogram`` nor
+    ``.nbytes`` -- the shape that used to make ``nbytes`` crash."""
+
+    name = "opaque"
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def estimate(self, query):
+        return self._inner.estimate(query)
+
+
+def _opaque_factory(dataset, grid):
+    return _OpaqueEstimator(SEulerApprox(EulerHistogram.from_dataset(dataset, grid)))
 
 
 @pytest.fixture
@@ -53,6 +76,34 @@ class TestConstruction:
         # The pyramid costs less than 2x the finest level.
         finest = pyramid.estimator(0).histogram.nbytes
         assert finest < pyramid.nbytes < 2 * finest
+
+    def test_nbytes_with_opaque_factory_falls_back_to_grid(self, grid, rng):
+        # Regression: a custom factory whose estimators expose no
+        # .histogram used to break nbytes.  Each such level now
+        # contributes its grid's bucket-array size instead of crashing
+        # (or silently counting zero).
+        data = random_dataset(rng, grid, 20)
+        pyramid = HistogramPyramid(data, grid, factory=_opaque_factory)
+        expected = sum(
+            8 * rows * cols
+            for rows, cols in (
+                pyramid.grid(level).lattice_shape
+                for level in range(pyramid.num_levels)
+            )
+        )
+        assert pyramid.nbytes == expected > 0
+
+    def test_nbytes_prefers_estimator_own_size(self, grid, rng):
+        class Sized(_OpaqueEstimator):
+            nbytes = 1000
+
+        data = random_dataset(rng, grid, 20)
+        pyramid = HistogramPyramid(
+            data,
+            grid,
+            factory=lambda d, g: Sized(SEulerApprox(EulerHistogram.from_dataset(d, g))),
+        )
+        assert pyramid.nbytes == 1000 * pyramid.num_levels
 
     def test_validation(self, grid, rng):
         data = random_dataset(rng, grid, 10)
@@ -102,3 +153,156 @@ class TestAccuracyPerLevel:
             # Sub-cell objects at level 0 may span cells at coarse levels,
             # but S-Euler's intersect/disjoint stay exact at every level.
             assert estimator.estimate(q).n_d == exact.estimate(q).n_d
+
+
+class TestErrorTaxonomy:
+    def test_unservable_request_raises_invalid_region(self, pyramid):
+        # Regression: an unalignable region used to raise a bare
+        # ValueError, which the gateway's wire codec reported as a
+        # generic server error.  InvalidRegionError subclasses
+        # ValueError, so old call sites keep working.
+        with pytest.raises(InvalidRegionError):
+            pyramid.level_for(Rect(0.5, 1.75, 0.0, 1.0), rows=1, cols=5)
+
+    def test_wire_codec_classifies_as_client_error(self, pyramid):
+        with pytest.raises(InvalidRegionError) as excinfo:
+            pyramid.level_for(Rect(0.25, 0.75, 0.0, 1.0), rows=1, cols=1)
+        doc = encode_error(excinfo.value)
+        assert doc["code"] == "invalid_region"
+        rebuilt = decode_error(doc)
+        assert isinstance(rebuilt, InvalidRegionError)
+        assert "no pyramid level" in str(rebuilt)
+
+    def test_degenerate_tiling_still_plain_value_error(self, pyramid):
+        # rows/cols <= 0 is a caller bug, not a region problem.
+        with pytest.raises(ValueError, match="positive"):
+            pyramid.level_for(Rect(0.0, 64.0, 0.0, 32.0), rows=0, cols=1)
+
+
+class TestMaintainedPyramid:
+    def test_insert_delete_keep_every_level_consistent(self, grid, rng):
+        data = random_dataset(rng, grid, 60, max_size_cells=3.0)
+        pyramid = HistogramPyramid.maintained(data, grid, min_cells=4)
+        rect = Rect(3.0, 6.0, 2.0, 5.0)
+        pyramid.insert(rect)
+        assert pyramid.num_objects == 61
+        for level in range(pyramid.num_levels):
+            g = pyramid.grid(level)
+            q = TileQuery(0, g.n1, 0, g.n2)
+            assert pyramid.estimator(level).estimate(q).total == 61
+        pyramid.delete(rect)
+        assert pyramid.num_objects == 60
+        for level in range(pyramid.num_levels):
+            g = pyramid.grid(level)
+            q = TileQuery(0, g.n1, 0, g.n2)
+            assert pyramid.estimator(level).estimate(q).total == 60
+
+    def test_static_pyramid_rejects_updates(self, pyramid):
+        with pytest.raises(TypeError, match="maintained"):
+            pyramid.insert(Rect(0.0, 1.0, 0.0, 1.0))
+
+    def test_opaque_levels_reject_updates_naming_the_level(self, grid, rng):
+        data = random_dataset(rng, grid, 10)
+        pyramid = HistogramPyramid(data, grid, factory=_opaque_factory)
+        with pytest.raises(TypeError, match="level 0"):
+            pyramid.delete(Rect(0.0, 1.0, 0.0, 1.0))
+
+
+class TestPersistence:
+    def _payload(self, path, *, strip_envelope):
+        with np.load(path) as data:
+            skip = ("checksum", "format_version") if strip_envelope else ()
+            return {k: data[k] for k in data.files if k not in skip}
+
+    def test_round_trip_bit_identical(self, pyramid, tmp_path):
+        path = tmp_path / "pyramid.npz"
+        pyramid.save(path)
+        loaded = HistogramPyramid.load(path)
+        assert loaded.num_levels == pyramid.num_levels
+        assert loaded.num_objects == pyramid.num_objects
+        for level in range(pyramid.num_levels):
+            assert loaded.grid(level) == pyramid.grid(level)
+            np.testing.assert_array_equal(
+                loaded.estimator(level).histogram.buckets(),
+                pyramid.estimator(level).histogram.buckets(),
+            )
+            g = loaded.grid(level)
+            q = TileQuery(0, g.n1 // 2, 0, g.n2)
+            assert (
+                loaded.estimator(level).estimate(q)
+                == pyramid.estimator(level).estimate(q)
+            )
+
+    def test_flipped_bucket_fails_checksum(self, pyramid, tmp_path):
+        path = tmp_path / "pyramid.npz"
+        pyramid.save(path)
+        payload = self._payload(path, strip_envelope=False)
+        buckets = payload["level0_buckets"].copy()
+        buckets.flat[0] += 1
+        payload["level0_buckets"] = buckets
+        np.savez(path, **payload)  # stale checksum survives the rewrite
+        with pytest.raises(SummaryCorruptError, match="checksum"):
+            HistogramPyramid.load(path)
+
+    def test_tampered_buckets_fail_level_verify(self, pyramid, tmp_path):
+        # Recompute the envelope so the CRC passes: the per-level Euler
+        # invariant (corner sum == object count) is the backstop.
+        path = tmp_path / "pyramid.npz"
+        pyramid.save(path)
+        payload = self._payload(path, strip_envelope=True)
+        buckets = payload["level1_buckets"].copy()
+        buckets[0, 0] += 7
+        payload["level1_buckets"] = buckets
+        save_verified_npz(path, payload, kind="histogram pyramid")
+        with pytest.raises(SummaryCorruptError):
+            HistogramPyramid.load(path)
+
+    def test_missing_level_key_detected(self, pyramid, tmp_path):
+        path = tmp_path / "pyramid.npz"
+        pyramid.save(path)
+        payload = self._payload(path, strip_envelope=True)
+        del payload["level2_buckets"]
+        save_verified_npz(path, payload, kind="histogram pyramid")
+        with pytest.raises(SummaryCorruptError, match="missing"):
+            HistogramPyramid.load(path)
+
+    def test_inconsistent_ladder_detected(self, pyramid, tmp_path):
+        # Declaring fewer levels than level 0 + min_cells imply means the
+        # file does not hold the ladder it claims to.
+        path = tmp_path / "pyramid.npz"
+        pyramid.save(path)
+        payload = self._payload(path, strip_envelope=True)
+        payload["num_levels"] = np.int64(2)
+        save_verified_npz(path, payload, kind="histogram pyramid")
+        with pytest.raises(SummaryCorruptError, match="ladder"):
+            HistogramPyramid.load(path)
+
+    def test_maintained_pyramid_snapshots_through_save(self, grid, rng, tmp_path):
+        data = random_dataset(rng, grid, 30)
+        pyramid = HistogramPyramid.maintained(data, grid)
+        pyramid.insert(Rect(1.0, 2.0, 1.0, 2.0))
+        path = tmp_path / "pyramid.npz"
+        pyramid.save(path)
+        loaded = HistogramPyramid.load(path)
+        assert loaded.num_objects == 31
+        for level in range(loaded.num_levels):
+            g = loaded.grid(level)
+            q = TileQuery(0, g.n1, 0, g.n2)
+            assert loaded.estimator(level).estimate(q).total == 31
+
+    def test_opaque_levels_cannot_persist(self, grid, rng, tmp_path):
+        data = random_dataset(rng, grid, 10)
+        pyramid = HistogramPyramid(data, grid, factory=_opaque_factory)
+        with pytest.raises(ValueError, match="histogram"):
+            pyramid.save(tmp_path / "pyramid.npz")
+
+
+class TestLevelGridLadder:
+    def test_helper_matches_construction(self, pyramid, grid):
+        assert pyramid_level_grids(grid, 4) == tuple(
+            pyramid.grid(level) for level in range(pyramid.num_levels)
+        )
+
+    def test_helper_validates_min_cells(self, grid):
+        with pytest.raises(ValueError):
+            pyramid_level_grids(grid, 0)

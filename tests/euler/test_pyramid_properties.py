@@ -1,0 +1,126 @@
+"""Property suite for the histogram pyramid's level invariants.
+
+Two guarantees the refinement tier leans on, checked over randomly drawn
+grids, ladders and datasets:
+
+- **Bit parity per level.**  Every pyramid level is *exactly* the Euler
+  histogram a caller would build directly on that level's grid -- same
+  signed bucket array bit for bit, same estimates.  The pyramid is a
+  packaging of per-grid builds, never an approximation of one (a coarse
+  Euler histogram is not derivable from a fine one, so any shortcut here
+  would show up as a parity break).
+- **``level_for`` returns the coarsest aligned level.**  The chosen
+  level must align the request, and no strictly coarser level may -- the
+  alignment predicate is re-implemented here from the grid primitives so
+  the test does not mirror the implementation's search loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.euler.histogram import EulerHistogram
+from repro.euler.pyramid import HistogramPyramid, pyramid_level_grids
+from repro.euler.simple import SEulerApprox
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+
+from tests.conftest import random_dataset
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _build(seed: int, n1: int, n2: int, num_objects: int, min_cells: int):
+    grid = Grid(Rect(0.0, float(n1), 0.0, float(n2)), n1, n2)
+    data = random_dataset(
+        np.random.default_rng(seed), grid, num_objects, max_size_cells=5.0
+    )
+    return data, grid, HistogramPyramid(data, grid, min_cells=min_cells)
+
+
+def _tiling_aligns(grid: Grid, region: Rect, rows: int, cols: int) -> bool:
+    """Can ``grid`` answer a ``rows x cols`` tiling of ``region`` with
+    aligned queries?  Re-derived from the grid primitives: the region
+    must sit on cell boundaries and span whole multiples of the tiling
+    in whole cells."""
+    if not grid.is_aligned(region):
+        return False
+    x_lo, x_hi, y_lo, y_hi = grid.rect_to_cell_units(region)
+    width = round(x_hi - x_lo)
+    height = round(y_hi - y_lo)
+    if width < cols or height < rows:
+        return False
+    return width % cols == 0 and height % rows == 0
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n1=st.integers(6, 40),
+    n2=st.integers(6, 40),
+    num_objects=st.integers(0, 120),
+    min_cells=st.integers(2, 6),
+)
+@_SETTINGS
+def test_every_level_bit_identical_to_direct_build(seed, n1, n2, num_objects, min_cells):
+    data, grid, pyramid = _build(seed, n1, n2, num_objects, min_cells)
+    assert pyramid.num_levels == len(pyramid_level_grids(grid, min_cells))
+    for level in range(pyramid.num_levels):
+        level_grid = pyramid.grid(level)
+        direct = EulerHistogram.from_dataset(data, level_grid)
+        np.testing.assert_array_equal(
+            pyramid.estimator(level).histogram.buckets(), direct.buckets()
+        )
+        q = TileQuery(0, max(1, level_grid.n1 // 2), 0, level_grid.n2)
+        assert pyramid.estimator(level).estimate(q) == SEulerApprox(direct).estimate(q)
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n1=st.integers(6, 48),
+    n2=st.integers(6, 48),
+    min_cells=st.integers(2, 6),
+    data=st.data(),
+)
+@_SETTINGS
+def test_level_for_returns_coarsest_aligned_level(seed, n1, n2, min_cells, data):
+    dataset, grid, pyramid = _build(seed, n1, n2, 20, min_cells)
+    # Draw a request aligned (at least) with some level k by building it
+    # from whole level-k cells, with a tiling that divides its span.
+    k = data.draw(st.integers(0, pyramid.num_levels - 1), label="level")
+    grid_k = pyramid.grid(k)
+    width = data.draw(st.integers(1, grid_k.n1), label="width")
+    height = data.draw(st.integers(1, grid_k.n2), label="height")
+    x0 = data.draw(st.integers(0, grid_k.n1 - width), label="x0")
+    y0 = data.draw(st.integers(0, grid_k.n2 - height), label="y0")
+    cols = data.draw(
+        st.sampled_from([d for d in range(1, width + 1) if width % d == 0]),
+        label="cols",
+    )
+    rows = data.draw(
+        st.sampled_from([d for d in range(1, height + 1) if height % d == 0]),
+        label="rows",
+    )
+    cw = (grid_k.extent.x_hi - grid_k.extent.x_lo) / grid_k.n1
+    ch = (grid_k.extent.y_hi - grid_k.extent.y_lo) / grid_k.n2
+    region = Rect(
+        grid_k.extent.x_lo + x0 * cw,
+        grid_k.extent.x_lo + (x0 + width) * cw,
+        grid_k.extent.y_lo + y0 * ch,
+        grid_k.extent.y_lo + (y0 + height) * ch,
+    )
+
+    chosen = pyramid.level_for(region, rows=rows, cols=cols)
+
+    # The construction level can serve the request, so the coarsest
+    # servable level is at least as coarse.
+    assert chosen >= k
+    assert _tiling_aligns(pyramid.grid(chosen), region, rows, cols)
+    for coarser in range(chosen + 1, pyramid.num_levels):
+        assert not _tiling_aligns(pyramid.grid(coarser), region, rows, cols)

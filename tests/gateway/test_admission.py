@@ -184,6 +184,37 @@ class TestTriage:
         assert not busy.admitted
         assert busy.reason == "deadline"
 
+    def test_coarse_capable_turns_a_deadline_shed_into_admission(self):
+        controller, window, _ = make_controller(
+            workers=1, max_pending=100, degrade_floor=0.25
+        )
+        window.observe(1.0)
+        # pending=10 -> wait = 10s; a 12s budget fails the fine-path
+        # triage (wait + p50 >= budget is false here... use 10.5s).
+        shed = controller.triage(budget=10.5, pending=10)
+        assert not shed.admitted and shed.reason == "deadline"
+        coarse = controller.triage(budget=10.5, pending=10, coarse_capable=True)
+        assert coarse.admitted
+        assert coarse.coarse
+        assert coarse.effective_deadline == pytest.approx(10.5)
+        assert coarse.degrade_factor == pytest.approx(0.25)
+
+    def test_coarse_capable_cannot_save_a_budget_below_the_wait(self):
+        controller, window, _ = make_controller(workers=1, max_pending=100)
+        window.observe(1.0)
+        # wait = 10s; a 2s budget expires in queue either way.
+        decision = controller.triage(budget=2.0, pending=10, coarse_capable=True)
+        assert not decision.admitted
+        assert decision.reason == "deadline"
+
+    def test_fine_path_admission_is_not_marked_coarse(self):
+        controller, window, _ = make_controller(max_pending=10)
+        window.observe(0.1)
+        decision = controller.triage(budget=5.0, pending=0, coarse_capable=True)
+        assert decision.admitted
+        assert not decision.coarse
+        assert decision.degrade_factor == 1.0
+
     def test_negative_budget_rejected(self):
         controller, _, _ = make_controller()
         with pytest.raises(ValueError):

@@ -570,3 +570,123 @@ class TestShutdown:
         assert response.status in ("ok", "error")
         if response.status == "error":
             assert response.error["code"] == "overloaded"
+
+
+class TestPyramidDegradation:
+    """Degrade-before-shed's second axis: coarse pyramid levels."""
+
+    @pytest.fixture
+    def pyramid_parts(self):
+        from repro.euler.pyramid import HistogramPyramid
+
+        data = random_dataset(np.random.default_rng(7), GRID, 300)
+        estimator = SEulerApprox(EulerHistogram.from_dataset(data, GRID))
+        # 16x16 -> 8x8 -> 4x4: coarsest level is 2.
+        pyramid = HistogramPyramid(data, GRID, min_cells=4)
+        return estimator, pyramid
+
+    def make_pyramid_gateway(self, estimator, pyramid, **kwargs):
+        catalog = TenantCatalog()
+        catalog.register_dataset("main", estimator, GRID, pyramid=pyramid)
+        catalog.add_tenant("acme", quota=0)
+        return Gateway(catalog, **kwargs)
+
+    def test_zero_budget_served_coarse_is_degraded_with_level(self, pyramid_parts):
+        estimator, pyramid = pyramid_parts
+
+        async def main():
+            gateway = self.make_pyramid_gateway(estimator, pyramid)
+            try:
+                return await gateway.submit(request(rows=8, cols=8, deadline=0.0))
+            finally:
+                await gateway.close()
+
+        response = asyncio.run(main())
+        # Every tile has a value (the coarse prefill), but not at the
+        # requested resolution: a complete raster, honestly degraded.
+        assert response.status == "degraded"
+        assert response.result.is_complete
+        assert not response.result.full_resolution
+        assert (response.result.levels == 2).all()
+        doc = response.to_wire()
+        assert doc["coarsest_level"] == 2
+        assert doc["valid_fraction"] == 1.0
+
+    def test_full_resolution_response_is_ok_without_level_annotation(self, pyramid_parts):
+        estimator, pyramid = pyramid_parts
+
+        async def main():
+            gateway = self.make_pyramid_gateway(estimator, pyramid)
+            try:
+                return await gateway.submit(request(rows=8, cols=8))
+            finally:
+                await gateway.close()
+
+        response = asyncio.run(main())
+        assert response.status == "ok"
+        assert response.result.full_resolution
+        assert "coarsest_level" not in response.to_wire()
+
+    def _slow_window_admission(self):
+        window = ServiceTimeWindow()
+        for _ in range(3):
+            window.observe(1.0)  # predicted wait: 1s per queued request
+        return AdmissionController(workers=1, max_pending=8, window=window)
+
+    def test_coarse_capable_service_admits_where_shed_would_happen(self, pyramid_parts):
+        estimator, pyramid = pyramid_parts
+        gated = GatedEstimator(estimator)
+
+        async def main():
+            gateway = self.make_pyramid_gateway(
+                gated, pyramid, workers=1, admission=self._slow_window_admission()
+            )
+            try:
+                leader = asyncio.ensure_future(gateway.submit(request(rows=8, cols=8)))
+                await wait_for(gated.entered.is_set)
+                # pending=1 -> predicted wait 1s; a 1.5s budget fails the
+                # fine-path triage (wait + p50 = 2s) but covers the wait,
+                # so the pyramid-backed service is admitted coarse.
+                follower = asyncio.ensure_future(
+                    gateway.submit(
+                        request(OTHER_REGION, rows=4, cols=4, deadline=1.5)
+                    )
+                )
+                await asyncio.sleep(0.01)
+                gated.gate.set()
+                return await leader, await follower, gateway.stats.copy()
+            finally:
+                await gateway.close()
+
+        leader, follower, stats = asyncio.run(main())
+        assert leader.status == "ok"
+        assert follower.ok
+        assert stats["coarse_admissions"] == 1
+        assert stats["shed_deadline"] == 0
+
+    def test_same_pressure_sheds_without_a_pyramid(self, estimator):
+        gated = GatedEstimator(estimator)
+
+        async def main():
+            gateway = make_gateway(
+                gated, workers=1, admission=self._slow_window_admission()
+            )
+            try:
+                leader = asyncio.ensure_future(gateway.submit(request()))
+                await wait_for(gated.entered.is_set)
+                follower = asyncio.ensure_future(
+                    gateway.submit(
+                        request(OTHER_REGION, rows=4, cols=4, deadline=1.5)
+                    )
+                )
+                await asyncio.sleep(0.01)
+                gated.gate.set()
+                return await leader, await follower, gateway.stats.copy()
+            finally:
+                await gateway.close()
+
+        leader, follower, stats = asyncio.run(main())
+        assert follower.status == "error"
+        assert follower.error["code"] == "overloaded"
+        assert stats["shed_deadline"] == 1
+        assert stats["coarse_admissions"] == 0
