@@ -1,0 +1,220 @@
+"""Zoned out-of-core construction benchmark: PR 9's headline numbers.
+
+Builds one Euler histogram from a synthetic stream three ways -- direct
+(``EulerHistogram.from_dataset`` over the materialised stream), zoned
+inline (bounded-memory streaming in this process) and zoned parallel
+(worker processes) -- and gates three claims:
+
+1. **bit-parity** (always): both zoned builds must be bit-identical to
+   the direct build of the same stream;
+2. **memory** (always): every zoned build's peak accumulator footprint
+   must stay within its ``--memory-mb`` budget;
+3. **throughput** (cpu-gated): the parallel zoned build must reach >= 3x
+   the direct build's objects/second at the 10M-object scale.  A 1-core
+   container cannot demonstrate parallel speedup of any kind, so hosts
+   with fewer than 4 CPUs record the gate as skipped in the JSON rather
+   than publishing a vacuous pass.
+
+Results go to ``BENCH_construction_zoned.json`` at the repository root.
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_construction_zoned.py          # full, 10M objects
+    PYTHONPATH=src python benchmarks/bench_construction_zoned.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.euler.histogram import EulerHistogram
+from repro.grid.grid import Grid
+from repro.ingest import SyntheticChunkSource, build_zoned
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_construction_zoned.json"
+
+#: Worker count for the parallel configuration and the speedup gate.
+WORKERS = 4
+
+#: Minimum parallel-zoned-vs-direct throughput ratio gated on >= 4 CPUs.
+SPEEDUP_FLOOR = 3.0
+
+
+def run_stream(
+    name: str,
+    num_objects: int,
+    *,
+    chunk_size: int,
+    zones: int,
+    memory_mb: int,
+    cells: tuple[int, int],
+    workers: int,
+) -> dict:
+    """Build one stream three ways; assert parity and the memory budget."""
+    source = SyntheticChunkSource(name, num_objects, chunk_size, seed=29)
+    grid = Grid(source.extent, cells[0], cells[1])
+
+    start = time.perf_counter()
+    materialized = source.materialize()
+    materialize_s = time.perf_counter() - start
+    start = time.perf_counter()
+    direct = EulerHistogram.from_dataset(materialized, grid)
+    direct_s = time.perf_counter() - start
+    direct_ops = num_objects / direct_s if direct_s > 0 else 0.0
+    del materialized
+
+    configs = {
+        "zoned_inline": dict(workers=0),
+        "zoned_parallel": dict(workers=workers, start_method="fork"),
+    }
+    entries = {}
+    for label, overrides in configs.items():
+        result = build_zoned(
+            source, grid, zones=zones, memory_mb=memory_mb, **overrides
+        )
+        report = result.report
+        if not np.array_equal(result.histogram.buckets(), direct.buckets()):
+            raise AssertionError(f"{label} diverged from the direct build on {name}")
+        if report.peak_accumulator_bytes > report.budget_bytes:
+            raise AssertionError(
+                f"{label} exceeded its accumulator budget on {name}: "
+                f"{report.peak_accumulator_bytes} > {report.budget_bytes} B"
+            )
+        entries[label] = {
+            "seconds": round(report.elapsed_seconds, 6),
+            "objects_per_second": round(report.objects_per_second),
+            "workers": report.workers,
+            "chunks": report.chunks,
+            "spills": report.spills,
+            "crashes": report.crashes,
+            "peak_accumulator_bytes": report.peak_accumulator_bytes,
+            "budget_bytes": report.budget_bytes,
+        }
+
+    parallel_ops = entries["zoned_parallel"]["objects_per_second"]
+    entry = {
+        "dataset": name,
+        "objects": num_objects,
+        "grid": f"{cells[0]}x{cells[1]}",
+        "zones": zones,
+        "chunk_size": chunk_size,
+        "memory_mb": memory_mb,
+        "materialize_seconds": round(materialize_s, 6),
+        "direct_seconds": round(direct_s, 6),
+        "direct_objects_per_second": round(direct_ops),
+        "builds": entries,
+        "parallel_speedup_vs_direct": round(parallel_ops / direct_ops, 2)
+        if direct_ops
+        else None,
+        "parity": "bit-identical",
+        "memory_budget": "respected",
+    }
+    print(
+        f"{name:>8} {num_objects:>12,} objects: "
+        f"direct {direct_ops:>12,.0f} obj/s  "
+        f"inline {entries['zoned_inline']['objects_per_second']:>12,.0f} obj/s  "
+        f"parallel {parallel_ops:>12,.0f} obj/s "
+        f"({entry['parallel_speedup_vs_direct']}x, "
+        f"{entries['zoned_parallel']['spills']} spills)"
+    )
+    return entry
+
+
+def run(*, quick: bool) -> dict:
+    """Run the benchmark and return the result document."""
+    cpu_count = os.cpu_count() or 1
+    if quick:
+        streams = [
+            run_stream(
+                "sp_skew",
+                200_000,
+                chunk_size=50_000,
+                zones=64,
+                memory_mb=64,
+                cells=(360, 180),
+                workers=2,
+            )
+        ]
+    else:
+        streams = [
+            run_stream(
+                "sp_skew",
+                10_000_000,
+                chunk_size=250_000,
+                zones=64,
+                memory_mb=256,
+                cells=(360, 180),
+                workers=WORKERS,
+            ),
+            run_stream(
+                "sz_skew",
+                10_000_000,
+                chunk_size=250_000,
+                zones=64,
+                memory_mb=256,
+                cells=(360, 180),
+                workers=WORKERS,
+            ),
+        ]
+    return {
+        "benchmark": "bench_construction_zoned",
+        "mode": "quick" if quick else "full",
+        "cpu_count": cpu_count,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_gate": (
+            "enforced"
+            if not quick and cpu_count >= WORKERS
+            else f"skipped (cpu_count={cpu_count})"
+            if cpu_count < WORKERS
+            else "skipped (quick mode)"
+        ),
+        "streams": streams,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: 200k objects, parity and memory gates only",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    document = run(quick=args.quick)
+    args.out.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    # Parity and the memory budget raised inside run_stream if violated;
+    # the speedup floor is only meaningful where the hardware can
+    # express it.
+    if document["speedup_gate"] == "enforced":
+        slow = [
+            entry
+            for entry in document["streams"]
+            if (entry["parallel_speedup_vs_direct"] or 0.0) < SPEEDUP_FLOOR
+        ]
+        if slow:
+            print(
+                f"FAIL: parallel zoned throughput below the {SPEEDUP_FLOOR:g}x "
+                "floor on " + ", ".join(entry["dataset"] for entry in slow)
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ from repro.baselines import (
 from repro.browse import (
     AttributeCatalog,
     BrowseResult,
+    ZoneScatterGatherSummary,
     CircuitBreaker,
     DeltaSource,
     DeltaTracker,
@@ -107,6 +108,12 @@ from repro.geometry import (
 )
 from repro.grid import BoxQuery, Grid, GridND, TileQuery, TileQueryBatch, aligned_query_cells
 from repro.index import GridBucketIndex
+from repro.ingest import (
+    SyntheticChunkSource,
+    ZoneMap,
+    build_zoned,
+    open_chunk_source,
+)
 from repro.metrics import average_relative_error
 from repro.selectivity import SelectivityEstimator, SpatialQueryPlanner
 from repro.workloads import (
@@ -216,4 +223,10 @@ __all__ = [
     "GridBucketIndex",
     "SelectivityEstimator",
     "SpatialQueryPlanner",
+    # out-of-core construction
+    "build_zoned",
+    "ZoneMap",
+    "SyntheticChunkSource",
+    "open_chunk_source",
+    "ZoneScatterGatherSummary",
 ]

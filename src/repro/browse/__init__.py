@@ -1,7 +1,7 @@
 """The GeoBrowsing-style service facade, attribute catalog and the
 resilient serving layer."""
 
-from repro.browse.catalog import AttributeCatalog, SummedEstimator
+from repro.browse.catalog import AttributeCatalog, SummedEstimator, ZoneScatterGatherSummary
 from repro.browse.delta import DeltaPlan, DeltaSource, DeltaTracker, plan_delta
 from repro.browse.refine import PyramidSource, RefinementStep
 from repro.browse.resilience import (
@@ -23,6 +23,7 @@ __all__ = [
     "BrowseResult",
     "AttributeCatalog",
     "SummedEstimator",
+    "ZoneScatterGatherSummary",
     "ResilientBrowsingService",
     "FallbackChain",
     "CircuitBreaker",

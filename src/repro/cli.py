@@ -48,7 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
     desc.add_argument("dataset", help="dataset .npz path")
 
     build = sub.add_parser("build", help="build an Euler histogram from a dataset")
-    build.add_argument("dataset", help="dataset .npz path")
+    build.add_argument(
+        "dataset", help="dataset path (.npz; with --zones also .ndjson/.jsonl/.npy)"
+    )
     build.add_argument("-o", "--output", required=True, help="output histogram .npz path")
     build.add_argument(
         "--cells",
@@ -57,6 +59,54 @@ def build_parser() -> argparse.ArgumentParser:
         default=(360, 180),
         metavar=("N1", "N2"),
         help="grid cells per axis (default: 360 180)",
+    )
+    build.add_argument(
+        "--zones",
+        type=int,
+        default=0,
+        help="stream the dataset through the zoned out-of-core pipeline "
+        "with this many space-filling-curve zones (default: 0, direct "
+        "in-memory build)",
+    )
+    build.add_argument(
+        "--curve",
+        choices=("morton", "hilbert"),
+        default="morton",
+        help="space-filling curve ordering the zones (default: morton)",
+    )
+    build.add_argument(
+        "--chunk-size",
+        type=int,
+        default=250_000,
+        help="objects per streamed chunk for --zones (default: 250000)",
+    )
+    build.add_argument(
+        "--memory-mb",
+        type=int,
+        default=256,
+        help="global accumulator budget in MiB for --zones (default: 256)",
+    )
+    build.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="WORKERS",
+        help="zone-build worker processes for --zones (default: 0, inline)",
+    )
+    build.add_argument(
+        "--start-method",
+        choices=("spawn", "fork"),
+        default="spawn",
+        help="multiprocessing start method for --parallel workers",
+    )
+    build.add_argument(
+        "--extent",
+        type=float,
+        nargs=4,
+        default=None,
+        metavar=("X_LO", "X_HI", "Y_LO", "Y_HI"),
+        help="declared data extent for .ndjson/.npy sources (skips the "
+        "extent-discovery pass; .npz files carry their own)",
     )
 
     browse = sub.add_parser("browse", help="tile-count raster from a histogram")
@@ -344,6 +394,8 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    if args.zones:
+        return _cmd_build_zoned(args)
     try:
         data = RectDataset.load(args.dataset)
     except SummaryCorruptError as exc:
@@ -356,6 +408,63 @@ def _cmd_build(args: argparse.Namespace) -> int:
     print(
         f"built {histogram.num_buckets:,}-bucket histogram of {len(data):,} "
         f"objects in {time.perf_counter() - start:.2f}s -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_build_zoned(args: argparse.Namespace) -> int:
+    from repro.ingest import build_zoned, open_chunk_source
+
+    if args.zones < 1:
+        print("error: --zones must be positive", file=sys.stderr)
+        return 2
+    if args.chunk_size < 1:
+        print("error: --chunk-size must be positive", file=sys.stderr)
+        return 2
+    if args.memory_mb < 1:
+        print("error: --memory-mb must be positive", file=sys.stderr)
+        return 2
+    if args.parallel < 0:
+        print("error: --parallel must be non-negative", file=sys.stderr)
+        return 2
+    extent = Rect(*args.extent) if args.extent is not None else None
+    try:
+        source = open_chunk_source(args.dataset, args.chunk_size, extent=extent)
+    except (SummaryCorruptError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    grid = Grid(source.extent, args.cells[0], args.cells[1])
+    try:
+        result = build_zoned(
+            source,
+            grid,
+            zones=args.zones,
+            curve=args.curve,
+            memory_mb=args.memory_mb,
+            workers=args.parallel,
+            start_method=args.start_method,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result.histogram.save(args.output)
+    report = result.report
+    print(
+        f"built {result.histogram.num_buckets:,}-bucket histogram of "
+        f"{report.objects:,} objects in {report.elapsed_seconds:.2f}s "
+        f"-> {args.output}"
+    )
+    print(
+        f"# zoned: {report.zones} {report.curve} zones, "
+        f"{report.chunks} chunks of {report.chunk_size:,} "
+        f"(pool {report.chunks_pool} / inline {report.chunks_inline} / "
+        f"replayed {report.chunks_replayed}), {report.workers} workers, "
+        f"{report.crashes} crashes"
+    )
+    print(
+        f"# memory: peak accumulators {report.peak_accumulator_bytes:,} B "
+        f"of {report.budget_bytes:,} B budget, {report.spills} spills, "
+        f"{report.objects_per_second:,.0f} objects/s"
     )
     return 0
 

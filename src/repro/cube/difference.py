@@ -32,6 +32,80 @@ class DifferenceArray2D:
     def shape(self) -> tuple[int, int]:
         return self._shape
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the scratch array (the accumulator's whole
+        footprint; the out-of-core builder budgets against this)."""
+        return int(self._scratch.nbytes)
+
+    def merge(self, other: "DifferenceArray2D") -> None:
+        """Fold another accumulator's updates into this one.
+
+        Box additions are linear in the scratch array, so summing two
+        scratch arrays element-wise is exactly equivalent to replaying
+        every ``add_box``/``add_boxes`` call of ``other`` on ``self`` --
+        the primitive behind merging partial histogram builds.  Both
+        accumulators must share shape and dtype; ``other`` is left
+        untouched.
+        """
+        if other._shape != self._shape:
+            raise ValueError(
+                f"cannot merge accumulators of different shapes "
+                f"{self._shape} vs {other._shape}"
+            )
+        if other._scratch.dtype != self._scratch.dtype:
+            raise ValueError(
+                f"cannot merge accumulators of different dtypes "
+                f"{self._scratch.dtype} vs {other._scratch.dtype}"
+            )
+        self._scratch += other._scratch
+
+    def patch(self, a_lo: int, a_hi: int, b_lo: int, b_hi: int) -> np.ndarray:
+        """A copy of the scratch region covering the inclusive element box
+        ``[a_lo..a_hi] x [b_lo..b_hi]``.
+
+        The returned patch has shape ``(a_hi - a_lo + 2, b_hi - b_lo + 2)``:
+        one extra row/column beyond the box catches the "past the end"
+        corner updates of boxes ending at ``a_hi``/``b_hi``.  If every box
+        ever added lies inside the element box, the patch carries the
+        accumulator's *entire* state -- this is what the out-of-core
+        builder spills for a zone whose spans stay inside its bounding
+        box.
+        """
+        self._check_bounds(
+            np.asarray([a_lo]), np.asarray([a_hi]), np.asarray([b_lo]), np.asarray([b_hi])
+        )
+        return self._scratch[a_lo : a_hi + 2, b_lo : b_hi + 2].copy()
+
+    def add_patch(self, a_lo: int, b_lo: int, patch: np.ndarray) -> None:
+        """Add a scratch patch (from :meth:`patch`) at element offset
+        ``(a_lo, b_lo)``.
+
+        The inverse of :meth:`patch`: pasting a partial accumulator's
+        patch into a full-size accumulator replays the partial's updates
+        exactly (difference-domain addition is linear).  Float patches
+        are rejected like float spans -- silent truncation would corrupt
+        the counts.
+        """
+        patch = np.asarray(patch)
+        if patch.ndim != 2:
+            raise ValueError(f"patch must be 2-d, got {patch.ndim}-d")
+        if not np.issubdtype(patch.dtype, np.integer):
+            raise ValueError(
+                f"patch must hold integers, got dtype {patch.dtype}; "
+                "refusing to truncate"
+            )
+        if a_lo < 0 or b_lo < 0:
+            raise IndexError(f"patch offset ({a_lo}, {b_lo}) is negative")
+        a_end = a_lo + patch.shape[0]
+        b_end = b_lo + patch.shape[1]
+        if a_end > self._scratch.shape[0] or b_end > self._scratch.shape[1]:
+            raise IndexError(
+                f"patch of shape {patch.shape} at ({a_lo}, {b_lo}) exceeds "
+                f"the accumulator shape {self._shape}"
+            )
+        self._scratch[a_lo:a_end, b_lo:b_end] += patch
+
     def add_box(self, a_lo: int, a_hi: int, b_lo: int, b_hi: int, weight: int = 1) -> None:
         """Add ``weight`` to every element of the inclusive box."""
         self._check_bounds(np.asarray([a_lo]), np.asarray([a_hi]), np.asarray([b_lo]), np.asarray([b_hi]))

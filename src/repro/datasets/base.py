@@ -148,6 +148,20 @@ class RectDataset:
             name if name is not None else self.name,
         )
 
+    def iter_chunks(self, chunk_size: int) -> Iterator["RectDataset"]:
+        """Yield the dataset as consecutive chunks of at most
+        ``chunk_size`` objects (the last chunk may be short).
+
+        Chunks are slices of the parent columns over the same extent, so
+        streaming consumers (the out-of-core builder) see exactly the
+        objects of the full dataset, in order, without a second copy in
+        flight at any time.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        for start in range(0, len(self), chunk_size):
+            yield self.select(slice(start, start + chunk_size))
+
     def concatenated(self, other: "RectDataset", name: str | None = None) -> "RectDataset":
         """Union of two datasets over the same extent."""
         if other.extent != self.extent:

@@ -47,6 +47,25 @@ from repro.persistence import load_verified_npz, save_verified_npz
 __all__ = ["EulerHistogram", "EulerHistogramBuilder", "BatchRegionSums"]
 
 
+def _coerce_span_array(values: np.ndarray, name: str) -> np.ndarray:
+    """Coerce one span-corner array to the difference array's int64.
+
+    Integer arrays of any width pass through (widened losslessly);
+    float/bool/other dtypes raise a clear ``ValueError`` instead of being
+    silently truncated by a downstream ``astype`` -- a float ``2.7``
+    snapped lattice coordinate is always a caller bug, never a value to
+    round.
+    """
+    arr = np.asarray(values)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ValueError(
+            f"{name} must hold integer lattice coordinates, got dtype "
+            f"{arr.dtype}; snap spans with repro.geometry.snapping before "
+            "adding them (refusing to truncate float values)"
+        )
+    return arr.astype(np.int64, copy=False)
+
+
 class BatchRegionSums:
     """Vectorised region-sum surface derived from a batch lattice sum.
 
@@ -162,10 +181,19 @@ class EulerHistogramBuilder:
         ``add_box`` per span.  A net weight that would drive the object
         count negative raises ``ValueError`` before the accumulator is
         touched, like :meth:`add`.
+
+        Span arrays must hold integer lattice coordinates and weights
+        must be integers: any integer dtype is widened to the difference
+        array's int64, while float-typed arrays raise ``ValueError``
+        up front instead of being silently truncated.
         """
-        weights = np.asarray(weights, dtype=np.int64)
+        weights = _coerce_span_array(weights, "weights")
         if weights.size == 0:
             return
+        a_lo = _coerce_span_array(a_lo, "a_lo")
+        a_hi = _coerce_span_array(a_hi, "a_hi")
+        b_lo = _coerce_span_array(b_lo, "b_lo")
+        b_hi = _coerce_span_array(b_hi, "b_hi")
         total = int(weights.sum())
         if self._num_objects + total < 0:
             raise ValueError(
@@ -176,7 +204,13 @@ class EulerHistogramBuilder:
         self._num_objects += total
 
     def add_dataset(self, dataset: RectDataset) -> None:
-        """Vectorised bulk insert of a whole dataset."""
+        """Vectorised bulk insert of a whole dataset.
+
+        World coordinates are snapped here; the resulting spans go
+        through the same integer-dtype coercion as :meth:`add_spans`, so
+        a snapping helper that ever regressed to float output would fail
+        loudly instead of truncating.
+        """
         if len(dataset) == 0:
             return
         grid = self._grid
@@ -188,8 +222,70 @@ class EulerHistogramBuilder:
             grid.n1,
             grid.n2,
         )
-        self._diff.add_boxes(a_lo, a_hi, b_lo, b_hi)
+        self._diff.add_boxes(
+            _coerce_span_array(a_lo, "a_lo"),
+            _coerce_span_array(a_hi, "a_hi"),
+            _coerce_span_array(b_lo, "b_lo"),
+            _coerce_span_array(b_hi, "b_hi"),
+        )
         self._num_objects += len(dataset)
+
+    def merge(self, other: "EulerHistogramBuilder") -> None:
+        """Fold another builder's accumulated state into this one.
+
+        Element-wise accumulator sum plus object-count add: after the
+        merge, this builder is exactly what it would have been had it
+        also received every ``add``/``add_spans``/``add_dataset`` call
+        ``other`` received (difference-domain addition is linear and
+        int64-exact, so the equivalence is bit-level).  Both builders
+        must share a grid; ``other`` is left untouched and stays usable.
+
+        This is the merge pass of the out-of-core zoned construction
+        pipeline (:mod:`repro.ingest`): per-zone partial builders are
+        merged into one histogram bit-identical to a direct build.
+        """
+        if other._grid != self._grid:
+            raise ValueError(
+                f"cannot merge builders over different grids: "
+                f"{self._grid} vs {other._grid}"
+            )
+        self._diff.merge(other._diff)
+        self._num_objects += other._num_objects
+
+    def add_partial(self, a_lo: int, b_lo: int, patch: np.ndarray, num_objects: int) -> None:
+        """Paste a spilled partial accumulator (a scratch patch from
+        :meth:`DifferenceArray2D.patch` plus its object count) at lattice
+        offset ``(a_lo, b_lo)``.
+
+        The disk side of the spill/merge pass: a partial that was
+        clipped to its spans' bounding box replays exactly when pasted
+        back at the same offset.  ``num_objects`` must be non-negative
+        (partials only ever accumulate insertions).
+        """
+        if num_objects < 0:
+            raise ValueError(f"partial object count must be non-negative, got {num_objects}")
+        self._diff.add_patch(a_lo, b_lo, patch)
+        self._num_objects += int(num_objects)
+
+    def export_partial(
+        self, a_lo: int, a_hi: int, b_lo: int, b_hi: int
+    ) -> tuple[np.ndarray, int]:
+        """Export the accumulator state clipped to the inclusive lattice
+        box ``[a_lo..a_hi] x [b_lo..b_hi]`` as ``(patch, num_objects)``.
+
+        The memory side of the spill/merge pass: when every span this
+        builder received lies inside the box, the patch carries the
+        builder's entire state and :meth:`add_partial` at ``(a_lo,
+        b_lo)`` reconstructs it exactly.
+        """
+        return self._diff.patch(a_lo, a_hi, b_lo, b_hi), self._num_objects
+
+    @property
+    def accumulator_nbytes(self) -> int:
+        """Bytes held by the difference-array accumulator -- the figure
+        the out-of-core builder's ``--memory-mb`` budget is charged
+        against."""
+        return self._diff.nbytes
 
     def build(self) -> "EulerHistogram":
         """Materialise the queryable histogram (coverage * sign pattern +

@@ -21,6 +21,7 @@ from repro.obs.export import (
 )
 from repro.obs.instruments import (
     BrowseInstrumentation,
+    IngestInstrumentation,
     classify_failure,
     record_persistence_event,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
+    "IngestInstrumentation",
     "MetricsRegistry",
     "RequestTrace",
     "Span",

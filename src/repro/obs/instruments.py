@@ -48,6 +48,13 @@ name                                                   type       labels
 ``repro_gateway_degrade_factor``                       gauge      --
 ``repro_gateway_queue_wait_seconds``                   histogram  --
 ``repro_gateway_service_seconds``                      histogram  --
+``repro_ingest_objects_total``                         counter    source
+``repro_ingest_chunks_total``                          counter    source, path
+``repro_ingest_spills_total``                          counter    source
+``repro_ingest_worker_crashes_total``                  counter    source
+``repro_ingest_peak_accumulator_bytes``                gauge      source
+``repro_ingest_objects_per_second``                    gauge      source
+``repro_ingest_build_seconds``                         histogram  source
 =====================================================  =========  ==========================
 
 :func:`record_persistence_event` is the hook the persistence layer and
@@ -68,7 +75,12 @@ from repro.obs.registry import (
 )
 from repro.obs.trace import RequestTrace
 
-__all__ = ["BrowseInstrumentation", "classify_failure", "record_persistence_event"]
+__all__ = [
+    "BrowseInstrumentation",
+    "IngestInstrumentation",
+    "classify_failure",
+    "record_persistence_event",
+]
 
 #: Buckets for the fallback-depth histogram: tier index that answered.
 _DEPTH_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0)
@@ -304,6 +316,67 @@ class BrowseInstrumentation:
             ).inc()
 
         return hook
+
+
+class IngestInstrumentation:
+    """The out-of-core construction pipeline's declared metric families.
+
+    One instance per registry (a fresh registry when omitted), passed to
+    :func:`repro.ingest.pipeline.build_zoned`.  The ``source`` label is
+    the chunk source's name (dataset or file stem); the ``path`` label
+    of the chunk counter distinguishes how a chunk was accumulated:
+    ``pool`` (a worker took it), ``inline`` (parent fallback) or
+    ``replay`` (re-read after a worker crash).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if registry is None:
+            registry = MetricsRegistry(clock=clock if clock is not None else time.monotonic)
+        self.registry = registry
+        self.clock = clock if clock is not None else registry.clock
+
+        r = registry
+        self.objects = r.counter(
+            "repro_ingest_objects_total",
+            help="Objects streamed into zoned construction",
+            labels=("source",),
+        )
+        self.chunks = r.counter(
+            "repro_ingest_chunks_total",
+            help="Chunks accumulated, by path (pool, inline, replay)",
+            labels=("source", "path"),
+        )
+        self.spills = r.counter(
+            "repro_ingest_spills_total",
+            help="Zone partials spilled to disk under memory pressure",
+            labels=("source",),
+        )
+        self.worker_crashes = r.counter(
+            "repro_ingest_worker_crashes_total",
+            help="Build workers lost (crash, init failure or stall) and replayed",
+            labels=("source",),
+        )
+        self.peak_accumulator_bytes = r.gauge(
+            "repro_ingest_peak_accumulator_bytes",
+            help="Peak bytes held by zone accumulators during the last build",
+            labels=("source",),
+        )
+        self.objects_per_second = r.gauge(
+            "repro_ingest_objects_per_second",
+            help="Construction throughput of the last build",
+            labels=("source",),
+        )
+        self.build_seconds = r.histogram(
+            "repro_ingest_build_seconds",
+            help="End-to-end zoned build latency",
+            labels=("source",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
 
 
 def record_persistence_event(kind: str, op: str, outcome: str) -> None:

@@ -1,0 +1,132 @@
+"""Space-filling-curve keys and the ZoneMap partition."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.ingest.zones import CURVES, ZoneMap, hilbert_keys, morton_keys
+
+
+class TestMortonKeys:
+    def test_interleaves_bits(self):
+        # x occupies even bit positions, y odd ones.
+        assert morton_keys(np.array([0]), np.array([0]))[0] == 0
+        assert morton_keys(np.array([1]), np.array([0]))[0] == 1
+        assert morton_keys(np.array([0]), np.array([1]))[0] == 2
+        assert morton_keys(np.array([1]), np.array([1]))[0] == 3
+        assert morton_keys(np.array([2]), np.array([0]))[0] == 4
+        assert morton_keys(np.array([0]), np.array([2]))[0] == 8
+
+    def test_bijective_on_a_square(self):
+        cx, cy = np.meshgrid(np.arange(32), np.arange(32), indexing="ij")
+        keys = morton_keys(cx.reshape(-1), cy.reshape(-1))
+        assert keys.dtype == np.uint64
+        assert len(np.unique(keys)) == 32 * 32
+        assert int(keys.max()) == 32 * 32 - 1
+
+    def test_handles_32_bit_coordinates(self):
+        big = np.array([2**31 - 1], dtype=np.uint64)
+        key = morton_keys(big, big)[0]
+        assert int(key) == 2**62 - 1
+
+
+class TestHilbertKeys:
+    def test_order_one_square(self):
+        cx = np.array([0, 0, 1, 1])
+        cy = np.array([0, 1, 1, 0])
+        np.testing.assert_array_equal(hilbert_keys(cx, cy, 1), [0, 1, 2, 3])
+
+    def test_bijective_and_unit_steps(self):
+        # The Hilbert curve visits every cell once, moving one cell at a
+        # time -- the locality property Morton lacks at seams.
+        order = 4
+        side = 1 << order
+        cx, cy = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+        cx, cy = cx.reshape(-1), cy.reshape(-1)
+        keys = hilbert_keys(cx, cy, order)
+        assert len(np.unique(keys)) == side * side
+        by_key = np.argsort(keys)
+        dx = np.abs(np.diff(cx[by_key]))
+        dy = np.abs(np.diff(cy[by_key]))
+        np.testing.assert_array_equal(dx + dy, np.ones(side * side - 1))
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError, match="order"):
+            hilbert_keys(np.array([0]), np.array([0]), 0)
+        with pytest.raises(ValueError, match="order"):
+            hilbert_keys(np.array([0]), np.array([0]), 32)
+
+    def test_rejects_out_of_square_coordinates(self):
+        with pytest.raises(ValueError, match="exceed"):
+            hilbert_keys(np.array([4]), np.array([0]), 2)
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 12.0, 0.0, 8.0), 12, 8)
+
+
+class TestZoneMap:
+    @pytest.mark.parametrize("curve", CURVES)
+    def test_partitions_all_cells(self, grid, curve):
+        zone_map = ZoneMap.for_grid(grid, 6, curve)
+        cx, cy = np.meshgrid(
+            np.arange(grid.n1, dtype=np.int64),
+            np.arange(grid.n2, dtype=np.int64),
+            indexing="ij",
+        )
+        zones = zone_map.zone_of_cells(cx.reshape(-1), cy.reshape(-1))
+        assert zones.min() == 0
+        assert zones.max() == zone_map.num_zones - 1
+        # Equal-cell-count quantile boundaries: zones are balanced.
+        counts = np.bincount(zones, minlength=zone_map.num_zones)
+        assert counts.min() >= grid.num_cells // zone_map.num_zones
+
+    def test_clamps_zone_count_to_cells(self, grid):
+        zone_map = ZoneMap.for_grid(grid, 10**6)
+        assert zone_map.num_zones == grid.num_cells
+
+    def test_single_zone(self, grid):
+        zone_map = ZoneMap.for_grid(grid, 1)
+        zones = zone_map.zone_of_cells(np.array([11]), np.array([7]))
+        assert zone_map.num_zones == 1
+        np.testing.assert_array_equal(zones, [0])
+
+    def test_rejects_bad_arguments(self, grid):
+        with pytest.raises(ValueError, match="num_zones"):
+            ZoneMap.for_grid(grid, 0)
+        with pytest.raises(ValueError, match="curve"):
+            ZoneMap.for_grid(grid, 4, "peano")
+
+    def test_constructor_validates_boundaries(self, grid):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            ZoneMap(
+                grid=grid,
+                curve="morton",
+                order=4,
+                boundaries=np.array([0, 5, 5], dtype=np.uint64),
+            )
+
+    def test_zone_of_spans_uses_center_cell(self, grid):
+        zone_map = ZoneMap.for_grid(grid, 8)
+        # A degenerate span at cell (3, 2): lattice center 2*3+1, 2*2+1.
+        a = np.array([7]); b = np.array([5])
+        by_span = zone_map.zone_of_spans(a, a, b, b)
+        by_cell = zone_map.zone_of_cells(np.array([3]), np.array([2]))
+        np.testing.assert_array_equal(by_span, by_cell)
+
+    def test_placement_is_deterministic_after_pickle(self, grid):
+        import pickle
+
+        zone_map = ZoneMap.for_grid(grid, 6, "hilbert")
+        clone = pickle.loads(pickle.dumps(zone_map))
+        rng = np.random.default_rng(5)
+        a_lo = rng.integers(0, 2 * grid.n1, size=200)
+        a_hi = a_lo + rng.integers(0, 2 * grid.n1 - a_lo, size=200)
+        b_lo = rng.integers(0, 2 * grid.n2, size=200)
+        b_hi = b_lo + rng.integers(0, 2 * grid.n2 - b_lo, size=200)
+        np.testing.assert_array_equal(
+            zone_map.zone_of_spans(a_lo, a_hi, b_lo, b_hi),
+            clone.zone_of_spans(a_lo, a_hi, b_lo, b_hi),
+        )

@@ -66,6 +66,84 @@ class TestBuild:
         assert "bucket histogram" in capsys.readouterr().out
 
 
+class TestBuildZoned:
+    def test_zoned_build_is_bit_identical(self, tmp_path, data_path, hist_path):
+        import numpy as np
+
+        out = tmp_path / "zoned.npz"
+        code = main(
+            [
+                "build", str(data_path), "-o", str(out),
+                "--cells", "90", "45",
+                "--zones", "16", "--chunk-size", "300", "--memory-mb", "8",
+            ]
+        )
+        assert code == 0
+        direct = EulerHistogram.load(hist_path)
+        zoned = EulerHistogram.load(out)
+        np.testing.assert_array_equal(zoned.buckets(), direct.buckets())
+        assert zoned.num_objects == direct.num_objects
+
+    def test_reports_the_zoned_pipeline(self, tmp_path, data_path, capsys):
+        out = tmp_path / "zoned.npz"
+        main(
+            [
+                "build", str(data_path), "-o", str(out),
+                "--zones", "8", "--curve", "hilbert", "--chunk-size", "500",
+            ]
+        )
+        printed = capsys.readouterr().out
+        assert "8 hilbert zones" in printed
+        assert "objects/s" in printed
+
+    def test_streams_ndjson_without_npz(self, tmp_path, data_path, capsys):
+        import json
+
+        data = RectDataset.load(data_path)
+        path = tmp_path / "objs.ndjson"
+        with open(path, "w") as fh:
+            for i in range(len(data)):
+                fh.write(
+                    json.dumps(
+                        [data.x_lo[i], data.x_hi[i], data.y_lo[i], data.y_hi[i]]
+                    )
+                    + "\n"
+                )
+        out = tmp_path / "h.npz"
+        extent = data.extent
+        code = main(
+            [
+                "build", str(path), "-o", str(out),
+                "--cells", "90", "45", "--zones", "4", "--chunk-size", "512",
+                "--extent", str(extent.x_lo), str(extent.x_hi),
+                str(extent.y_lo), str(extent.y_hi),
+            ]
+        )
+        assert code == 0
+        assert EulerHistogram.load(out).num_objects == len(data)
+
+    def test_rejects_bad_flags(self, tmp_path, data_path, capsys):
+        out = str(tmp_path / "h.npz")
+        assert main(["build", str(data_path), "-o", out, "--zones", "-1"]) == 2
+        assert "--zones" in capsys.readouterr().err
+        assert main(
+            ["build", str(data_path), "-o", out, "--zones", "4", "--chunk-size", "0"]
+        ) == 2
+        assert "--chunk-size" in capsys.readouterr().err
+        assert main(
+            ["build", str(data_path), "-o", out, "--zones", "4", "--parallel", "-2"]
+        ) == 2
+        assert "--parallel" in capsys.readouterr().err
+
+    def test_rejects_unreadable_source(self, tmp_path, capsys):
+        missing = tmp_path / "nope.ndjson"
+        code = main(
+            ["build", str(missing), "-o", str(tmp_path / "h.npz"), "--zones", "4"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestBrowse:
     def test_renders_raster(self, hist_path, capsys):
         code = main(

@@ -24,6 +24,7 @@ SUBPACKAGES = [
     "repro.cache",
     "repro.experiments",
     "repro.gateway",
+    "repro.ingest",
 ]
 
 
