@@ -1,0 +1,343 @@
+"""Join-search benchmarks: the catalog scan engine's headline numbers.
+
+Three measurements over a mixed-family summary catalog (S-Euler, Euler,
+M-Euler and exact sketches cycling) on a 16x8 world reference grid --
+the compact-sketch regime the catalog scan targets: hundreds of
+summaries, 128 cells each -- with every summary built from its own
+128x64 histogram:
+
+1. **Vectorised vs scalar catalog scan.**  One full-catalog scoring pass
+   through :func:`~repro.joins.scoring.score_dataset_batch` (a handful
+   of reductions over the stacked SoA blocks) against the per-summary
+   scalar reference loop the parity suite pins it to.  Full mode gates
+   on the PR's acceptance number (>= 10x at a 256-summary catalog);
+   quick mode, on a 128-summary catalog, gates at >= 3x.  The
+   end-to-end pruned engine search (including ranking) is timed against
+   the same scalar scan + ranking and reported alongside.
+2. **Pyramid pruning at top-10.**  Dataset-mode searches for held-out
+   query sketches, pruned vs exhaustive: the fraction of candidates
+   eliminated by coarse upper bounds (gated >= 50% full, > 0% quick),
+   with per-level evaluated/pruned counts logged -- no silent caps.
+   The planner exactly scores a bound-ranked seed pool (default
+   ``max(4k, 64)``) to fix its threshold, so on the quick 128-summary
+   catalog at most half the candidates can prune.
+3. **Parity and accuracy gates.**  Every pruned ranking must equal its
+   exhaustive twin bit-for-bit (indices *and* scores) across all three
+   dataset metrics, and ``extra_info`` reports the estimator ARE vs
+   :class:`~repro.exact.evaluator.ExactEvaluator` ground truth.  Note
+   ``n_ii`` is exact in Euler histograms, so the overlap and coverage
+   metrics carry zero estimator error by construction; containment
+   (which reads the estimated ``n_cs`` channel) is the error-bearing
+   metric, reported per family.
+
+Results go to ``BENCH_join_search.json`` at the repository root.  Run
+directly::
+
+    PYTHONPATH=src python benchmarks/bench_join_search.py          # full
+    PYTHONPATH=src python benchmarks/bench_join_search.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import time
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.joins import (
+    DATASET_METRICS,
+    JoinSearchEngine,
+    JoinSketch,
+    dataset_score_are,
+    exact_catalog,
+    region_mass_vs_count,
+    region_score_are,
+    score_dataset_batch,
+    score_dataset_scalar,
+)
+from repro.workloads.catalogs import (
+    build_catalog,
+    generate_catalog_sources,
+    generate_query_regions,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_join_search.json"
+
+#: The paper's world extent; 128 reference cells is the compact-sketch
+#: catalog regime, with a 3-level pruning pyramid (16x8 -> 8x4 -> 4x2).
+REFERENCE = Grid(Rect(0.0, 360.0, 0.0, 180.0), 16, 8)
+
+#: Per-summary histogram resolution: 8x the reference per axis.
+SUMMARY_GRID = Grid(REFERENCE.extent, 128, 64)
+
+
+def build_benchmark_catalog(num_sources: int, objects_per_source: int, *, seed: int):
+    """(catalog, sources) with families cycling across the registrations."""
+    sources = generate_catalog_sources(
+        REFERENCE, num_sources, objects_per_source, seed=seed
+    )
+    catalog = build_catalog(
+        sources, REFERENCE, family="mixed", summary_grid=SUMMARY_GRID
+    )
+    return catalog, sources
+
+
+def query_sketches(num_queries: int, objects_per_source: int, *, seed: int):
+    held_out = generate_catalog_sources(
+        REFERENCE, num_queries, objects_per_source, seed=seed, name_prefix="query"
+    )
+    return [JoinSketch.from_dataset(d, REFERENCE, name=d.name) for d in held_out]
+
+
+def run_scan_speedup(catalog, queries, *, rounds: int, k: int = 10) -> dict:
+    """Median wall clock of the vectorised scan (and the pruned engine
+    search, end to end) vs the scalar reference loop, over the same
+    queries; parity asserted along the way."""
+    stacked = catalog.stacked()
+    n = len(stacked)
+    engine = JoinSearchEngine(catalog)
+    vector_times: list[float] = []
+    scalar_times: list[float] = []
+    engine_times: list[float] = []
+    for _ in range(rounds):
+        for query in queries:
+            start = time.perf_counter()
+            batch = score_dataset_batch(stacked, query)
+            vector_times.append(time.perf_counter() - start)
+
+            start = time.perf_counter()
+            result = engine.search_dataset(query, k=k, prune=True)
+            engine_times.append(time.perf_counter() - start)
+
+            start = time.perf_counter()
+            rows = [score_dataset_scalar(stacked, query, i) for i in range(n)]
+            scalar_times.append(time.perf_counter() - start)
+
+            overlap = np.array([r[0] for r in rows])
+            containment = np.array([r[1] for r in rows])
+            coverage = np.array([r[2] for r in rows])
+            if not (
+                np.array_equal(batch.overlap, overlap)
+                and np.array_equal(batch.containment, containment)
+                and np.array_equal(batch.coverage, coverage)
+            ):
+                raise AssertionError("vectorised scan diverged from the scalar reference")
+            order = np.lexsort((np.arange(n), -overlap))[:k]
+            if not (
+                np.array_equal(result.indices, order)
+                and np.array_equal(result.scores, overlap[order])
+            ):
+                raise AssertionError("engine top-k diverged from the scalar ranking")
+    vector_median = statistics.median(vector_times)
+    scalar_median = statistics.median(scalar_times)
+    engine_median = statistics.median(engine_times)
+    entry = {
+        "catalog_summaries": n,
+        "queries": len(queries),
+        "rounds": rounds,
+        "scalar_seconds_median": round(scalar_median, 6),
+        "vectorized_seconds_median": round(vector_median, 6),
+        "engine_seconds_median": round(engine_median, 6),
+        "speedup": round(scalar_median / vector_median, 2),
+        "engine_speedup": round(scalar_median / engine_median, 2),
+        "parity": "bit_identical",
+    }
+    print(
+        f"catalog scan ({n} summaries): scalar {scalar_median * 1000:8.3f} ms  "
+        f"vectorized {vector_median * 1000:8.3f} ms ({entry['speedup']:.1f}x)  "
+        f"pruned engine {engine_median * 1000:8.3f} ms ({entry['engine_speedup']:.1f}x)"
+    )
+    return entry
+
+
+def run_pruning(catalog, queries, *, k: int) -> dict:
+    """Pruned vs exhaustive top-k over every query and dataset metric:
+    parity gated, pruned fractions and per-level accounting reported."""
+    engine = JoinSearchEngine(catalog)
+    n = len(catalog)
+    fractions: list[float] = []
+    per_level: dict[int, dict[str, int]] = {}
+    for metric in DATASET_METRICS:
+        for query in queries:
+            pruned = engine.search_dataset(query, metric=metric, k=k, prune=True)
+            exhaustive = engine.search_dataset(query, metric=metric, k=k, prune=False)
+            if not (
+                np.array_equal(pruned.indices, exhaustive.indices)
+                and np.array_equal(pruned.scores, exhaustive.scores)
+            ):
+                raise AssertionError(
+                    f"pruned top-{k} diverged from exhaustive for metric {metric}"
+                )
+            if pruned.fully_scored + pruned.pruned != pruned.candidates:
+                raise AssertionError("pruning accounting lost candidates")
+            fractions.append(pruned.pruned / n)
+            for stats in pruned.levels:
+                slot = per_level.setdefault(
+                    stats.level, {"evaluated": 0, "pruned": 0}
+                )
+                slot["evaluated"] += stats.evaluated
+                slot["pruned"] += stats.pruned
+    entry = {
+        "k": k,
+        "catalog_summaries": n,
+        "searches": len(DATASET_METRICS) * len(queries),
+        "pruned_fraction_mean": round(float(np.mean(fractions)), 4),
+        "pruned_fraction_min": round(float(np.min(fractions)), 4),
+        "ranking_parity": "bit_identical",
+        "levels": [
+            {"level": level, **counts} for level, counts in sorted(per_level.items())
+        ],
+    }
+    print(
+        f"pruning at top-{k}: mean {entry['pruned_fraction_mean'] * 100:.1f}% "
+        f"(min {entry['pruned_fraction_min'] * 100:.1f}%) of {n} candidates "
+        f"pruned across {entry['searches']} searches"
+    )
+    for row in entry["levels"]:
+        print(
+            f"  level {row['level']}: evaluated {row['evaluated']}, "
+            f"pruned {row['pruned']}"
+        )
+    return entry
+
+
+def run_accuracy(sources, queries, *, objects_per_source: int, seed: int) -> dict:
+    """Estimator ARE vs ExactEvaluator ground truth, per family.
+
+    Overlap reads the exact ``n_ii`` channel so its ARE is asserted to be
+    zero; containment is the error-bearing metric.  Region scores and the
+    mass-vs-count sketch bias ride along.
+    """
+    truth = exact_catalog(sources, REFERENCE, names=[d.name for d in sources])
+    regions = generate_query_regions(REFERENCE, 16, seed=seed + 7)
+    per_family = {}
+    for family in ("seuler", "euler", "meuler"):
+        catalog = build_catalog(
+            sources, REFERENCE, family=family, summary_grid=SUMMARY_GRID
+        )
+        overlap_are = dataset_score_are(catalog, truth, queries, metric="overlap")
+        if overlap_are != 0.0:
+            raise AssertionError(
+                f"{family}: overlap ARE {overlap_are} != 0 -- n_ii should be exact"
+            )
+        per_family[family] = {
+            "overlap_are": overlap_are,
+            "containment_are": round(
+                dataset_score_are(catalog, truth, queries, metric="containment"), 6
+            ),
+            "region_intersect_mass_are": round(
+                region_score_are(catalog, truth, regions), 6
+            ),
+        }
+        print(
+            f"{family:>8} ARE vs exact sketches: overlap 0.0, "
+            f"containment {per_family[family]['containment_are']:.4f}, "
+            f"region mass {per_family[family]['region_intersect_mass_are']:.4f}"
+        )
+    bias = region_mass_vs_count(truth, sources, regions)
+    print(
+        f"sketch bias: region mass / true pair count = "
+        f"{bias['mean_mass_count_ratio']:.2f} (ARE as count "
+        f"{bias['mass_as_count_are']:.2f})"
+    )
+    return {
+        "truth": "ExactEvaluator sketches + region_intersections_batch",
+        "families": per_family,
+        "sketch_bias": {key: round(value, 6) for key, value in bias.items()},
+    }
+
+
+def run(
+    *,
+    num_sources: int,
+    objects_per_source: int,
+    num_queries: int,
+    rounds: int,
+    seed: int,
+) -> dict:
+    catalog, sources = build_benchmark_catalog(
+        num_sources, objects_per_source, seed=seed
+    )
+    queries = query_sketches(num_queries, objects_per_source, seed=seed + 1000)
+    stacked = catalog.stacked()
+    document = {
+        "benchmark": "bench_join_search",
+        "reference_grid": f"{REFERENCE.n1}x{REFERENCE.n2}",
+        "summary_grid": f"{SUMMARY_GRID.n1}x{SUMMARY_GRID.n2}",
+        "families": "mixed (seuler, euler, meuler, exact cycling)",
+        "catalog_summaries": num_sources,
+        "objects_per_source": objects_per_source,
+        "pyramid_levels": len(stacked.levels),
+        "stacked_bytes": stacked.nbytes,
+        "scan": run_scan_speedup(catalog, queries, rounds=rounds),
+        "pruning": run_pruning(catalog, queries, k=10),
+        "extra_info": {},
+    }
+    document["extra_info"] = run_accuracy(
+        sources, queries, objects_per_source=objects_per_source, seed=seed
+    )
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: 64 summaries, fewer objects, relaxed gates",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        document = run(
+            num_sources=128,
+            objects_per_source=200,
+            num_queries=3,
+            rounds=3,
+            seed=42,
+        )
+        speedup_floor, pruned_floor = 3.0, 0.0
+    else:
+        document = run(
+            num_sources=256,
+            objects_per_source=1500,
+            num_queries=5,
+            rounds=7,
+            seed=42,
+        )
+        speedup_floor, pruned_floor = 10.0, 0.5
+
+    args.out.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if document["scan"]["speedup"] < speedup_floor:
+        print(
+            f"FAIL: vectorised scan speedup {document['scan']['speedup']}x "
+            f"below the {speedup_floor:g}x floor"
+        )
+        return 1
+    if document["pruning"]["pruned_fraction_mean"] <= pruned_floor:
+        print(
+            f"FAIL: mean pruned fraction "
+            f"{document['pruning']['pruned_fraction_mean']:.2%} not above "
+            f"the {pruned_floor:.0%} floor at top-10"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -81,6 +81,7 @@ from repro.exact import (
 )
 from repro.errors import (
     BrowseError,
+    CatalogAlignmentError,
     DeadlineExceededError,
     EstimatorFailedError,
     InvalidRegionError,
@@ -114,12 +115,14 @@ from repro.ingest import (
     build_zoned,
     open_chunk_source,
 )
+from repro.joins import JoinSearchEngine, JoinSearchResult, JoinSketch, SummaryCatalog
 from repro.metrics import average_relative_error
 from repro.selectivity import SelectivityEstimator, SpatialQueryPlanner
 from repro.workloads import (
     PAPER_QUERY_SET_SIZES,
     browsing_tile_batch,
     browsing_tiles,
+    generate_catalog_sources,
     paper_query_sets,
     query_set,
 )
@@ -205,6 +208,7 @@ __all__ = [
     "DeltaTracker",
     "DeltaSource",
     "BrowseError",
+    "CatalogAlignmentError",
     "InvalidRegionError",
     "DeadlineExceededError",
     "EstimatorFailedError",
@@ -223,6 +227,12 @@ __all__ = [
     "GridBucketIndex",
     "SelectivityEstimator",
     "SpatialQueryPlanner",
+    # cross-dataset join search
+    "SummaryCatalog",
+    "JoinSketch",
+    "JoinSearchEngine",
+    "JoinSearchResult",
+    "generate_catalog_sources",
     # out-of-core construction
     "build_zoned",
     "ZoneMap",

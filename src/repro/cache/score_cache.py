@@ -1,0 +1,112 @@
+"""Generation-keyed caching of join-search rankings.
+
+Same invalidation-by-construction story as the tile cache
+(:mod:`repro.cache.tile_cache`), at the ranking granularity: a cached
+top-k is only reusable while the catalog object, its generation, the
+scan parameters and the query are all identical.  The key captures
+exactly that, so a single registration (which bumps the catalog's
+generation) makes every previously cached ranking unreachable -- no
+scans, no TTLs.  Stale-generation entries age out of the bounded LRU
+like any other cold entry.
+
+The query enters the key as a *fingerprint*: region geometry for
+region-mode searches, a content hash of the sketch channels for
+dataset-mode searches (see
+:meth:`~repro.joins.sketch.JoinSketch.fingerprint`) -- so two
+structurally identical query sketches share cache entries even when
+they are distinct objects.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["JoinScoreCache", "JoinScoreKey"]
+
+
+@dataclass(frozen=True)
+class JoinScoreKey:
+    """The reuse scope of one cached join-search ranking.
+
+    ``catalog_id`` is the catalog's process-unique
+    :func:`~repro.cache.keys.summary_token`; ``generation`` its update
+    counter at scan time; the remaining fields pin the scan parameters
+    and the query content.
+    """
+
+    catalog_id: int
+    generation: int
+    mode: str
+    metric: str
+    k: int
+    prune: bool
+    query_fingerprint: str
+
+
+class JoinScoreCache:
+    """A thread-safe bounded LRU of :class:`JoinScoreKey` -> ranking.
+
+    Values are treated as immutable (the engine stores frozen
+    :class:`~repro.joins.search.JoinSearchResult` instances and callers
+    must not mutate the arrays inside).  ``max_entries`` bounds memory:
+    a ranking is a few hundred bytes, so the default keeps the cache
+    well under a megabyte.
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[JoinScoreKey, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: JoinScoreKey):
+        """The cached ranking for ``key``, or ``None`` (counts a miss)."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: JoinScoreKey, value: object) -> None:
+        """Store ``value`` under ``key``, evicting the LRU tail past the
+        entry bound."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate_catalog(self, catalog_id: int) -> int:
+        """Drop every entry of one catalog (any generation); returns the
+        number dropped.  Not needed for correctness -- generation keying
+        already makes stale entries unreachable -- but lets a caller
+        release the memory of a retired catalog eagerly."""
+        with self._lock:
+            stale = [k for k in self._entries if k.catalog_id == catalog_id]
+            for k in stale:
+                del self._entries[k]
+            return len(stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters and the current entry count."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

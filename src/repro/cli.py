@@ -345,6 +345,84 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the report as JSON"
     )
     _add_pyramid_flags(loadgen)
+
+    join = sub.add_parser(
+        "join-search",
+        help="rank a multi-source summary catalog by estimated overlap "
+        "with a query dataset or region",
+    )
+    join.add_argument(
+        "--sources", type=int, default=64, help="catalog sources to generate (default: 64)"
+    )
+    join.add_argument(
+        "--objects", type=int, default=2000, help="objects per source (default: 2000)"
+    )
+    join.add_argument("--seed", type=int, default=0, help="catalog workload seed")
+    join.add_argument(
+        "--ref-cells",
+        type=int,
+        nargs=2,
+        default=(32, 16),
+        metavar=("GX", "GY"),
+        help="shared reference grid the sketches live on (default: 32 16)",
+    )
+    join.add_argument(
+        "--summary-cells",
+        type=int,
+        nargs=2,
+        default=None,
+        metavar=("N1", "N2"),
+        help="per-summary histogram grid; must refine the reference grid "
+        "(default: 4x the reference per axis)",
+    )
+    join.add_argument(
+        "--family",
+        choices=("seuler", "euler", "meuler", "exact", "mixed"),
+        default="mixed",
+        help="estimator family behind each summary (default: mixed, cycling "
+        "all four)",
+    )
+    join.add_argument(
+        "--region",
+        type=float,
+        nargs=4,
+        default=None,
+        metavar=("X_LO", "X_HI", "Y_LO", "Y_HI"),
+        help="rank by this aligned world-coordinate region instead of a "
+        "query dataset",
+    )
+    join.add_argument(
+        "--query-seed",
+        type=int,
+        default=1000,
+        help="seed of the held-out query source for dataset-mode search "
+        "(default: 1000)",
+    )
+    join.add_argument(
+        "--metric",
+        default=None,
+        help="ranking metric (dataset: overlap, containment, coverage; "
+        "region: intersect_mass, contained_mass, containing_mass, coverage)",
+    )
+    join.add_argument("--top", type=int, default=10, help="top-k size (default: 10)")
+    join.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="force the exhaustive scan instead of the pyramid-pruned planner",
+    )
+    join.add_argument(
+        "--seed-pool",
+        type=int,
+        default=None,
+        help="bound-ranked candidates the planner exactly scores to fix its "
+        "pruning threshold (default: max(4k, 64))",
+    )
+    join.add_argument(
+        "--truth",
+        action="store_true",
+        help="also rank against exact ExactEvaluator sketches and report ARE",
+    )
+    join.add_argument("--json", action="store_true", help="print the result as JSON")
     return parser
 
 
@@ -812,6 +890,126 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_join_search(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import BrowseError
+    from repro.grid.tiles_math import aligned_query_cells
+    from repro.joins import (
+        JoinSearchEngine,
+        JoinSketch,
+        dataset_score_are,
+        exact_catalog,
+        region_score_are,
+    )
+    from repro.workloads.catalogs import build_catalog, generate_catalog_sources
+
+    if args.sources < 1:
+        print("error: --sources must be positive", file=sys.stderr)
+        return 2
+    if args.top < 1:
+        print("error: --top must be positive", file=sys.stderr)
+        return 2
+    if args.seed_pool is not None and args.seed_pool < 1:
+        print("error: --seed-pool must be positive", file=sys.stderr)
+        return 2
+
+    reference = Grid(Rect(0.0, 360.0, 0.0, 180.0), *args.ref_cells)
+    summary_cells = (
+        tuple(args.summary_cells)
+        if args.summary_cells is not None
+        else (reference.n1 * 4, reference.n2 * 4)
+    )
+    summary_grid = Grid(reference.extent, *summary_cells)
+
+    start = time.perf_counter()
+    sources = generate_catalog_sources(
+        reference, args.sources, args.objects, seed=args.seed
+    )
+    try:
+        catalog = build_catalog(
+            sources, reference, family=args.family, summary_grid=summary_grid
+        )
+    except BrowseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    build_s = time.perf_counter() - start
+
+    engine = JoinSearchEngine(catalog, seed_pool=args.seed_pool)
+    try:
+        if args.region is not None:
+            metric = args.metric or "intersect_mass"
+            region = aligned_query_cells(reference, Rect(*args.region))
+            result = engine.search_region(region, metric=metric, k=args.top)
+        else:
+            metric = args.metric or "overlap"
+            query_sources = generate_catalog_sources(
+                reference, 1, args.objects, seed=args.query_seed, name_prefix="query"
+            )
+            sketch = JoinSketch.from_dataset(query_sources[0], reference)
+            result = engine.search_dataset(
+                sketch, metric=metric, k=args.top, prune=not args.no_prune
+            )
+    except (BrowseError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    doc = {
+        "mode": result.mode,
+        "metric": result.metric,
+        "catalog_sources": len(catalog),
+        "build_seconds": round(build_s, 3),
+        "search_seconds": round(result.elapsed_s, 6),
+        "fully_scored": result.fully_scored,
+        "pruned": result.pruned,
+        "ranking": [
+            {"rank": r + 1, "name": name, "score": float(score)}
+            for r, (name, score) in enumerate(zip(result.names, result.scores))
+        ],
+    }
+    if args.truth:
+        truth = exact_catalog(sources, reference, names=[d.name for d in sources])
+        truth_engine = JoinSearchEngine(truth)
+        if args.region is not None:
+            truth_result = truth_engine.search_region(region, metric=metric, k=args.top)
+            are = region_score_are(catalog, truth, [region], metric=metric)
+        else:
+            truth_result = truth_engine.search_dataset(
+                sketch, metric=metric, k=args.top, prune=not args.no_prune
+            )
+            are = dataset_score_are(catalog, truth, [sketch], metric=metric)
+        overlap_at_k = len(set(result.names) & set(truth_result.names))
+        doc["truth"] = {
+            "are": are,
+            "topk_agreement": overlap_at_k / len(truth_result.names)
+            if truth_result.names
+            else 1.0,
+        }
+
+    if args.json:
+        print(json.dumps(doc, indent=2))
+        return 0
+    print(
+        f"{result.mode} search over {len(catalog)} summaries "
+        f"(metric={result.metric}, family={args.family}): "
+        f"scored {result.fully_scored}, pruned {result.pruned} "
+        f"[{result.elapsed_s * 1e3:.2f} ms; catalog built in {build_s:.2f}s]"
+    )
+    for level in result.levels:
+        print(
+            f"  level {level.level} ({level.shape[0]}x{level.shape[1]}): "
+            f"evaluated {level.evaluated}, pruned {level.pruned}"
+        )
+    for row in doc["ranking"]:
+        print(f"  #{row['rank']:>2} {row['name']:<12} {row['score']:.3f}")
+    if args.truth:
+        print(
+            f"  vs exact sketches: ARE={doc['truth']['are']:.4f}, "
+            f"top-{args.top} agreement={doc['truth']['topk_agreement']:.2f}"
+        )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "describe": _cmd_describe,
@@ -820,6 +1018,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "join-search": _cmd_join_search,
 }
 
 

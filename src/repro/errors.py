@@ -21,6 +21,7 @@ from __future__ import annotations
 
 __all__ = [
     "BrowseError",
+    "CatalogAlignmentError",
     "InvalidRegionError",
     "DeadlineExceededError",
     "EstimatorFailedError",
@@ -110,6 +111,37 @@ class TenantQuotaExceededError(OverloadedError):
         super().__init__(message, retry_after_s=retry_after_s)
         #: The tenant whose quota was exhausted.
         self.tenant = tenant
+
+
+class CatalogAlignmentError(BrowseError, ValueError):
+    """A summary cannot be stacked onto a join catalog's reference grid.
+
+    Raised by :class:`repro.joins.SummaryCatalog` when a registered
+    summary's grid does not tile the reference grid exactly -- different
+    data-space extent, or a cell count that is not an integer multiple of
+    the reference resolution per axis.  Resampling such a summary would
+    silently change what its Level-2 counts mean, so misalignment is a
+    structured registration error rather than a best-effort resample.
+
+    Also a ``ValueError`` so pre-taxonomy callers keep catching it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        summary_name: str = "",
+        summary_cells: tuple[int, int] | None = None,
+        reference_cells: tuple[int, int] | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: Name the summary was being registered under.
+        self.summary_name = summary_name
+        #: The summary grid's ``(n1, n2)`` cell counts (``None`` when the
+        #: failure happened before a grid could be resolved).
+        self.summary_cells = summary_cells
+        #: The reference grid's ``(n1, n2)`` cell counts.
+        self.reference_cells = reference_cells
 
 
 class SummaryCorruptError(BrowseError, ValueError):

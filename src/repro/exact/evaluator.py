@@ -16,6 +16,8 @@ are exactly the open-object/closed-query semantics):
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.datasets.base import RectDataset
@@ -203,3 +205,74 @@ class ExactEvaluator:
             n_cd=n_cd.astype(np.float64),
             n_o=n_o.astype(np.float64),
         )
+
+    def intersection_counts(self, queries: TileQueryBatch) -> np.ndarray:
+        """Per-query intersecting-object counts, intersect predicate only.
+
+        The single-dataset row of :meth:`region_intersections_batch`;
+        equal to ``estimate_batch(queries).n_intersect`` but int64 and
+        roughly 3x cheaper (the within/covers predicates are skipped).
+        """
+        return self.region_intersections_batch([self], queries)[0]
+
+    @staticmethod
+    def region_intersections_batch(
+        evaluators: "Sequence[ExactEvaluator]", queries: TileQueryBatch
+    ) -> np.ndarray:
+        """Intersecting-object counts for every (dataset, query) pair.
+
+        The ground-truth kernel of join-search accuracy evaluation:
+        given ``D`` evaluators sharing one grid and ``Q`` aligned
+        queries, returns a ``(D, Q)`` int64 matrix whose ``(d, q)``
+        entry is the number of objects of dataset ``d`` whose interior
+        intersects query ``q`` -- exactly
+        ``count_nonzero(evaluators[d].masks(queries[q])[0])``, the
+        scalar path the parity tests pin this to.
+
+        All datasets' snapped columns are concatenated once and the
+        intersect predicate is evaluated over (object x query) chunks
+        bounded like :meth:`estimate_batch`'s, then segment-reduced per
+        dataset -- one pass instead of ``D`` scalar loops, which keeps
+        truth evaluation out of the benchmark's hot-path timings.
+        """
+        evaluators = list(evaluators)
+        if not evaluators:
+            return np.zeros((0, len(queries)), dtype=np.int64)
+        grid = evaluators[0]._grid
+        for ev in evaluators[1:]:
+            if ev._grid != grid:
+                raise ValueError(
+                    "all evaluators must share one grid, got "
+                    f"{ev._grid.n1}x{ev._grid.n2} alongside {grid.n1}x{grid.n2}"
+                )
+        queries.validate_against(grid)
+
+        sizes = np.array([ev._num_objects for ev in evaluators], dtype=np.intp)
+        offsets = np.zeros(len(evaluators), dtype=np.intp)
+        np.cumsum(sizes[:-1], out=offsets[1:])
+        a_lo = np.concatenate([ev._a_lo for ev in evaluators])[:, None]
+        a_hi = np.concatenate([ev._a_hi for ev in evaluators])[:, None]
+        b_lo = np.concatenate([ev._b_lo for ev in evaluators])[:, None]
+        b_hi = np.concatenate([ev._b_hi for ev in evaluators])[:, None]
+
+        n = len(queries)
+        total = max(int(sizes.sum()), 1)
+        chunk = max(_BATCH_CHUNK_ELEMENTS // total, 1)
+        counts = np.zeros((len(evaluators), n), dtype=np.int64)
+        nonempty = sizes > 0
+        for start in range(0, n, chunk):
+            sl = slice(start, min(start + chunk, n))
+            ax_lo = 2 * queries.qx_lo[None, sl]
+            ax_hi = 2 * queries.qx_hi[None, sl] - 2
+            bx_lo = 2 * queries.qy_lo[None, sl]
+            bx_hi = 2 * queries.qy_hi[None, sl] - 2
+            intersects = (
+                (a_lo <= ax_hi) & (a_hi >= ax_lo) & (b_lo <= bx_hi) & (b_hi >= bx_lo)
+            )
+            # reduceat over bool would OR, and an empty dataset's segment
+            # would echo its neighbour's first row -- cast and mask out.
+            segments = np.add.reduceat(
+                intersects.astype(np.int64), offsets[nonempty], axis=0
+            )
+            counts[nonempty, sl] = segments
+        return counts

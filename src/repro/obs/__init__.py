@@ -22,6 +22,7 @@ from repro.obs.export import (
 from repro.obs.instruments import (
     BrowseInstrumentation,
     IngestInstrumentation,
+    JoinInstrumentation,
     classify_failure,
     record_persistence_event,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "IngestInstrumentation",
+    "JoinInstrumentation",
     "MetricsRegistry",
     "RequestTrace",
     "Span",

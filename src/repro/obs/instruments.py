@@ -55,6 +55,11 @@ name                                                   type       labels
 ``repro_ingest_peak_accumulator_bytes``                gauge      source
 ``repro_ingest_objects_per_second``                    gauge      source
 ``repro_ingest_build_seconds``                         histogram  source
+``repro_join_searches_total``                          counter    mode, metric
+``repro_join_candidates_total``                        counter    mode, outcome
+``repro_join_search_seconds``                          histogram  mode
+``repro_join_cache_events_total``                      counter    event
+``repro_join_catalog_summaries``                       gauge      --
 =====================================================  =========  ==========================
 
 :func:`record_persistence_event` is the hook the persistence layer and
@@ -78,6 +83,7 @@ from repro.obs.trace import RequestTrace
 __all__ = [
     "BrowseInstrumentation",
     "IngestInstrumentation",
+    "JoinInstrumentation",
     "classify_failure",
     "record_persistence_event",
 ]
@@ -376,6 +382,57 @@ class IngestInstrumentation:
             help="End-to-end zoned build latency",
             labels=("source",),
             buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+
+
+class JoinInstrumentation:
+    """The join-search engine's declared metric families.
+
+    One instance per registry (a fresh registry when omitted), passed to
+    :class:`repro.joins.search.JoinSearchEngine`.  ``mode`` is the query
+    shape (``dataset`` or ``region``); the candidates counter's
+    ``outcome`` label splits every scanned catalog entry into
+    ``scored`` (exactly scored) vs ``pruned`` (eliminated by a coarse
+    upper bound) -- the two always sum to the catalog size, which is how
+    the no-silent-caps invariant shows up in the metrics.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if registry is None:
+            registry = MetricsRegistry(clock=clock if clock is not None else time.monotonic)
+        self.registry = registry
+        self.clock = clock if clock is not None else registry.clock
+
+        r = registry
+        self.searches = r.counter(
+            "repro_join_searches_total",
+            help="Join searches served, by query mode and ranking metric",
+            labels=("mode", "metric"),
+        )
+        self.candidates = r.counter(
+            "repro_join_candidates_total",
+            help="Catalog candidates per search outcome (scored, pruned)",
+            labels=("mode", "outcome"),
+        )
+        self.search_seconds = r.histogram(
+            "repro_join_search_seconds",
+            help="End-to-end join search latency",
+            labels=("mode",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.cache_events = r.counter(
+            "repro_join_cache_events_total",
+            help="Score cache lookups by event (hit, miss)",
+            labels=("event",),
+        )
+        self.catalog_summaries = r.gauge(
+            "repro_join_catalog_summaries",
+            help="Summaries registered in the scanned catalog",
         )
 
 

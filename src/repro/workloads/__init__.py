@@ -1,6 +1,13 @@
-"""Workloads: the paper's tile query sets, GeoBrowsing-style queries and
-session traces."""
+"""Workloads: the paper's tile query sets, GeoBrowsing-style queries,
+session traces and multi-source join-search catalogs."""
 
+from repro.workloads.catalogs import (
+    CATALOG_FAMILIES,
+    build_catalog,
+    catalog_estimator,
+    generate_catalog_sources,
+    generate_query_regions,
+)
 from repro.workloads.loadgen import LoadgenReport, percentile, run_loadgen
 from repro.workloads.sessions import (
     BrowseInteraction,
@@ -18,7 +25,12 @@ from repro.workloads.tiles import (
 )
 
 __all__ = [
+    "CATALOG_FAMILIES",
     "PAPER_QUERY_SET_SIZES",
+    "build_catalog",
+    "catalog_estimator",
+    "generate_catalog_sources",
+    "generate_query_regions",
     "query_set",
     "paper_query_sets",
     "browsing_tiles",

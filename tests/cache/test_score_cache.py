@@ -1,0 +1,88 @@
+"""JoinScoreCache: LRU behaviour, key sensitivity, catalog invalidation
+and thread safety."""
+
+import threading
+
+from repro.cache import JoinScoreCache, JoinScoreKey
+
+
+def key(**overrides):
+    base = dict(
+        catalog_id=1,
+        generation=0,
+        mode="dataset",
+        metric="overlap",
+        k=10,
+        prune=True,
+        query_fingerprint="abc",
+    )
+    base.update(overrides)
+    return JoinScoreKey(**base)
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = JoinScoreCache()
+        assert cache.get(key()) is None
+        cache.put(key(), "result")
+        assert cache.get(key()) == "result"
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+
+    def test_every_key_field_discriminates(self):
+        cache = JoinScoreCache()
+        cache.put(key(), "result")
+        for variant in (
+            key(catalog_id=2),
+            key(generation=1),
+            key(mode="region"),
+            key(metric="coverage"),
+            key(k=5),
+            key(prune=False),
+            key(query_fingerprint="zzz"),
+        ):
+            assert cache.get(variant) is None
+
+
+class TestEviction:
+    def test_lru_evicts_oldest(self):
+        cache = JoinScoreCache(max_entries=2)
+        cache.put(key(k=1), "a")
+        cache.put(key(k=2), "b")
+        cache.get(key(k=1))  # refresh a
+        cache.put(key(k=3), "c")  # evicts b
+        assert cache.get(key(k=1)) == "a"
+        assert cache.get(key(k=2)) is None
+        assert cache.get(key(k=3)) == "c"
+        assert cache.stats()["evictions"] == 1
+
+    def test_invalidate_catalog(self):
+        cache = JoinScoreCache()
+        cache.put(key(catalog_id=1, k=1), "a")
+        cache.put(key(catalog_id=1, k=2), "b")
+        cache.put(key(catalog_id=2, k=1), "c")
+        assert cache.invalidate_catalog(1) == 2
+        assert len(cache) == 1
+        assert cache.get(key(catalog_id=2, k=1)) == "c"
+        assert cache.invalidate_catalog(99) == 0
+
+
+class TestConcurrency:
+    def test_parallel_put_get_is_safe(self):
+        cache = JoinScoreCache(max_entries=64)
+
+        def worker(tid):
+            for i in range(200):
+                k = key(catalog_id=tid, k=i % 8)
+                cache.put(k, (tid, i))
+                got = cache.get(k)
+                assert got is None or got[0] == tid
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 64

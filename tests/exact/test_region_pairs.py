@@ -1,0 +1,118 @@
+"""Batched region-pair intersection counts (satellite of the join-search
+PR): bit parity with the scalar mask path, empty datasets, chunking and
+grid validation."""
+
+import numpy as np
+import pytest
+
+import repro.exact.evaluator as evaluator_mod
+from repro.datasets.base import RectDataset
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery, TileQueryBatch
+
+from tests.conftest import random_dataset
+
+
+def query_batch(queries):
+    return TileQueryBatch(
+        np.array([q.qx_lo for q in queries], dtype=np.intp),
+        np.array([q.qx_hi for q in queries], dtype=np.intp),
+        np.array([q.qy_lo for q in queries], dtype=np.intp),
+        np.array([q.qy_hi for q in queries], dtype=np.intp),
+    )
+
+
+def all_cells_and_some_regions(grid, rng, num_regions=20):
+    queries = [
+        TileQuery(i, i + 1, j, j + 1) for i in range(grid.n1) for j in range(grid.n2)
+    ]
+    for _ in range(num_regions):
+        x_lo = int(rng.integers(0, grid.n1))
+        x_hi = int(rng.integers(x_lo + 1, grid.n1 + 1))
+        y_lo = int(rng.integers(0, grid.n2))
+        y_hi = int(rng.integers(y_lo + 1, grid.n2 + 1))
+        queries.append(TileQuery(x_lo, x_hi, y_lo, y_hi))
+    return queries
+
+
+def test_pairs_match_scalar_masks(small_grid, rng):
+    datasets = [random_dataset(rng, small_grid, 40, name=f"d{i}") for i in range(4)]
+    evaluators = [ExactEvaluator(d, small_grid) for d in datasets]
+    queries = all_cells_and_some_regions(small_grid, rng)
+    counts = ExactEvaluator.region_intersections_batch(evaluators, query_batch(queries))
+    assert counts.shape == (4, len(queries))
+    assert counts.dtype == np.int64
+    for d, ev in enumerate(evaluators):
+        for q, query in enumerate(queries):
+            assert counts[d, q] == np.count_nonzero(ev.masks(query)[0])
+
+
+def test_intersection_counts_single_dataset(small_grid, rng):
+    data = random_dataset(rng, small_grid, 60)
+    ev = ExactEvaluator(data, small_grid)
+    queries = all_cells_and_some_regions(small_grid, rng)
+    batch = query_batch(queries)
+    counts = ev.intersection_counts(batch)
+    expected = ev.estimate_batch(batch).n_intersect
+    assert np.array_equal(counts.astype(np.float64), expected)
+
+
+def test_empty_datasets_count_zero(small_grid, rng):
+    empty = RectDataset(
+        np.empty(0), np.empty(0), np.empty(0), np.empty(0), small_grid.extent, name="e"
+    )
+    datasets = [
+        empty,
+        random_dataset(rng, small_grid, 25, name="full"),
+        empty,
+    ]
+    evaluators = [ExactEvaluator(d, small_grid) for d in datasets]
+    queries = query_batch([TileQuery(0, small_grid.n1, 0, small_grid.n2), TileQuery(1, 2, 1, 2)])
+    counts = ExactEvaluator.region_intersections_batch(evaluators, queries)
+    assert (counts[0] == 0).all()
+    assert (counts[2] == 0).all()
+    # the non-empty neighbour is unaffected by the empty segments
+    assert counts[1, 0] == np.count_nonzero(
+        evaluators[1].masks(TileQuery(0, small_grid.n1, 0, small_grid.n2))[0]
+    )
+
+
+def test_all_empty(small_grid):
+    empty = RectDataset(
+        np.empty(0), np.empty(0), np.empty(0), np.empty(0), small_grid.extent
+    )
+    counts = ExactEvaluator.region_intersections_batch(
+        [ExactEvaluator(empty, small_grid)], query_batch([TileQuery(0, 1, 0, 1)])
+    )
+    assert counts.shape == (1, 1)
+    assert counts[0, 0] == 0
+
+
+def test_no_evaluators_yield_empty_matrix(small_grid):
+    counts = ExactEvaluator.region_intersections_batch(
+        [], query_batch([TileQuery(0, 1, 0, 1)])
+    )
+    assert counts.shape == (0, 1)
+    assert counts.dtype == np.int64
+
+
+def test_mixed_grids_rejected(small_grid, world_grid, rng):
+    a = ExactEvaluator(random_dataset(rng, small_grid, 5), small_grid)
+    b = ExactEvaluator(random_dataset(rng, world_grid, 5), world_grid)
+    with pytest.raises(ValueError, match="grid"):
+        ExactEvaluator.region_intersections_batch(
+            [a, b], query_batch([TileQuery(0, 1, 0, 1)])
+        )
+
+
+def test_chunked_path_is_bit_identical(small_grid, rng, monkeypatch):
+    """Force tiny chunks so the query loop takes many iterations."""
+    datasets = [random_dataset(rng, small_grid, 30, name=f"d{i}") for i in range(3)]
+    evaluators = [ExactEvaluator(d, small_grid) for d in datasets]
+    queries = query_batch(all_cells_and_some_regions(small_grid, rng))
+    full = ExactEvaluator.region_intersections_batch(evaluators, queries)
+    monkeypatch.setattr(evaluator_mod, "_BATCH_CHUNK_ELEMENTS", 64)
+    chunked = ExactEvaluator.region_intersections_batch(evaluators, queries)
+    assert np.array_equal(full, chunked)

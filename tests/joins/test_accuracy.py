@@ -1,0 +1,92 @@
+"""Accuracy evaluation: exact-sketch ground truth, ARE wiring, and the
+mass-vs-count bias diagnostic."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.joins import (
+    JoinSketch,
+    dataset_score_are,
+    exact_catalog,
+    region_mass_vs_count,
+    region_score_are,
+)
+from repro.workloads import (
+    build_catalog,
+    generate_catalog_sources,
+    generate_query_regions,
+)
+
+GRID = Grid(Rect(0.0, 360.0, 0.0, 180.0), 16, 8)
+
+
+@pytest.fixture(scope="module")
+def sources():
+    return generate_catalog_sources(GRID, 6, 250, seed=11)
+
+
+@pytest.fixture(scope="module")
+def truth(sources):
+    return exact_catalog(sources, GRID, names=[s.name for s in sources])
+
+
+@pytest.fixture(scope="module")
+def queries():
+    held_out = generate_catalog_sources(GRID, 3, 200, seed=12, name_prefix="q")
+    return [JoinSketch.from_dataset(d, GRID, name=d.name) for d in held_out]
+
+
+def test_exact_catalog_mirrors_sources(sources, truth):
+    assert len(truth) == len(sources)
+    assert truth.names == tuple(s.name for s in sources)
+
+
+def test_exact_families_have_zero_are(sources, truth, queries):
+    catalog = build_catalog(sources, GRID, family="exact")
+    assert dataset_score_are(catalog, truth, queries) == 0.0
+    regions = generate_query_regions(GRID, 5, seed=13)
+    assert region_score_are(catalog, truth, regions) == 0.0
+
+
+def test_overlap_is_exact_for_every_family(sources, truth, queries):
+    """n_ii is exact in Euler histograms, so the overlap metric carries
+    no estimator error for any family -- a property the benchmark leans
+    on (containment is the error-bearing metric)."""
+    summary_grid = Grid(GRID.extent, 64, 32)
+    for family in ("seuler", "euler", "meuler"):
+        catalog = build_catalog(
+            sources, GRID, family=family, summary_grid=summary_grid
+        )
+        assert dataset_score_are(catalog, truth, queries, metric="overlap") == 0.0
+
+
+def test_containment_are_is_finite_and_small(sources, truth, queries):
+    summary_grid = Grid(GRID.extent, 64, 32)
+    catalog = build_catalog(sources, GRID, family="seuler", summary_grid=summary_grid)
+    are = dataset_score_are(catalog, truth, queries, metric="containment")
+    assert np.isfinite(are)
+    assert 0.0 <= are < 1.0
+
+
+def test_size_mismatch_rejected(sources, truth, queries):
+    smaller = exact_catalog(sources[:3], GRID)
+    with pytest.raises(ValueError, match="disagree on size"):
+        dataset_score_are(smaller, truth, queries)
+    with pytest.raises(ValueError, match="unknown dataset metric"):
+        dataset_score_are(truth, truth, queries, metric="nope")
+
+
+def test_region_mass_vs_count_ratio_at_least_one(sources, truth):
+    """Mass counts object-cell incidences, so over populated pairs it can
+    only exceed the true pair count."""
+    regions = generate_query_regions(GRID, 8, seed=14)
+    report = region_mass_vs_count(truth, sources, regions)
+    assert report["mean_mass_count_ratio"] >= 1.0
+    assert report["mass_as_count_are"] >= 0.0
+
+
+def test_region_mass_vs_count_empty_inputs(truth, sources):
+    report = region_mass_vs_count(truth, sources, [])
+    assert report == {"mean_mass_count_ratio": 1.0, "mass_as_count_are": 0.0}

@@ -1,0 +1,162 @@
+"""Property suite for the join-search kernels (deliverable: batch kernels
+bit-identical to the scalar reference across all four estimator families,
+and pyramid-pruned top-k equal to the exhaustive top-k)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.base import RectDataset
+from repro.euler import EulerApprox, EulerHistogram, MEulerApprox, SEulerApprox
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+from repro.joins import (
+    DATASET_METRICS,
+    JoinSearchEngine,
+    JoinSketch,
+    SummaryCatalog,
+    coarsen_ladder,
+    score_dataset_batch,
+    score_dataset_scalar,
+    score_region_batch,
+    score_region_scalar,
+)
+
+GRID = Grid(Rect(0.0, 16.0, 0.0, 8.0), 16, 8)
+FAMILIES = ("seuler", "euler", "meuler", "exact")
+
+COMMON = dict(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def make_dataset(draw, n, name):
+    cx = draw_array(draw, n, 0.0, 16.0)
+    cy = draw_array(draw, n, 0.0, 8.0)
+    w = draw_array(draw, n, 0.0, 6.0)
+    h = draw_array(draw, n, 0.0, 4.0)
+    x_lo = np.clip(cx - w / 2, 0.0, 16.0)
+    x_hi = np.clip(cx + w / 2, 0.0, 16.0)
+    y_lo = np.clip(cy - h / 2, 0.0, 8.0)
+    y_hi = np.clip(cy + h / 2, 0.0, 8.0)
+    return RectDataset(x_lo, x_hi, y_lo, y_hi, GRID.extent, name=name)
+
+
+def draw_array(draw, n, lo, hi):
+    return np.array(
+        draw(
+            st.lists(
+                st.floats(lo, hi, allow_nan=False, allow_infinity=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+
+
+def build_estimator(dataset, family):
+    if family == "exact":
+        return ExactEvaluator(dataset, GRID)
+    if family == "meuler":
+        return MEulerApprox(dataset, GRID, [1.0, 9.0])
+    hist = EulerHistogram.from_dataset(dataset, GRID)
+    return SEulerApprox(hist) if family == "seuler" else EulerApprox(hist)
+
+
+@st.composite
+def catalog_and_query(draw, family):
+    n_summaries = draw(st.integers(min_value=1, max_value=5))
+    catalog = SummaryCatalog(GRID)
+    for i in range(n_summaries):
+        n = draw(st.integers(min_value=0, max_value=12))
+        dataset = make_dataset(draw, n, f"d{i}")
+        catalog.register(f"d{i}", build_estimator(dataset, family))
+    query = JoinSketch.from_estimator(
+        build_estimator(make_dataset(draw, draw(st.integers(1, 12)), "q"), family),
+        GRID,
+        name="q",
+    )
+    return catalog, query
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@settings(**COMMON)
+@given(data=st.data())
+def test_dataset_batch_bit_identical_to_scalar(family, data):
+    catalog, query = data.draw(catalog_and_query(family))
+    stacked = catalog.stacked()
+    batch = score_dataset_batch(stacked, query)
+    for i in range(len(stacked)):
+        overlap, containment, coverage = score_dataset_scalar(stacked, query, i)
+        assert batch.overlap[i] == overlap
+        assert batch.containment[i] == containment
+        assert batch.coverage[i] == coverage
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@settings(**COMMON)
+@given(data=st.data())
+def test_region_batch_bit_identical_to_scalar(family, data):
+    catalog, _ = data.draw(catalog_and_query(family))
+    stacked = catalog.stacked()
+    x_lo = data.draw(st.integers(0, GRID.n1 - 1))
+    x_hi = data.draw(st.integers(x_lo + 1, GRID.n1))
+    y_lo = data.draw(st.integers(0, GRID.n2 - 1))
+    y_hi = data.draw(st.integers(y_lo + 1, GRID.n2))
+    region = TileQuery(x_lo, x_hi, y_lo, y_hi)
+    batch = score_region_batch(stacked, region)
+    for i in range(len(stacked)):
+        mass, contained, containing, coverage = score_region_scalar(stacked, region, i)
+        assert batch.intersect_mass[i] == mass
+        assert batch.contained_mass[i] == contained
+        assert batch.containing_mass[i] == containing
+        assert batch.coverage[i] == coverage
+
+
+@settings(**COMMON)
+@given(data=st.data())
+def test_pruned_topk_equals_exhaustive_topk(data):
+    family = data.draw(st.sampled_from(FAMILIES))
+    metric = data.draw(st.sampled_from(DATASET_METRICS))
+    k = data.draw(st.integers(1, 8))
+    catalog = SummaryCatalog(GRID)
+    n_summaries = data.draw(st.integers(2, 10))
+    for i in range(n_summaries):
+        n = data.draw(st.integers(0, 10))
+        catalog.register(f"d{i}", build_estimator(make_dataset(data.draw, n, f"d{i}"), family))
+    query = JoinSketch.from_estimator(
+        build_estimator(make_dataset(data.draw, data.draw(st.integers(1, 10)), "q"), family),
+        GRID,
+        name="q",
+    )
+    # seed_pool=k keeps the planner's seed set minimal so pruning paths
+    # are genuinely exercised on these small catalogs
+    engine = JoinSearchEngine(catalog, seed_pool=k)
+    pruned = engine.search_dataset(query, metric=metric, k=k, prune=True)
+    exhaustive = engine.search_dataset(query, metric=metric, k=k, prune=False)
+    assert np.array_equal(pruned.indices, exhaustive.indices)
+    assert np.array_equal(pruned.scores, exhaustive.scores)
+    assert pruned.fully_scored + pruned.pruned == pruned.candidates
+
+
+@settings(**COMMON)
+@given(data=st.data())
+def test_coarse_bound_dominates_exact_score(data):
+    """Every pyramid level's bound is >= the exact level-0 score."""
+    family = data.draw(st.sampled_from(FAMILIES))
+    metric = data.draw(st.sampled_from(DATASET_METRICS))
+    catalog, query = data.draw(catalog_and_query(family))
+    stacked = catalog.stacked()
+    if len(stacked) == 0:
+        return
+    exact = score_dataset_batch(stacked, query).metric(metric)
+    q_levels = coarsen_ladder(query.channels, len(stacked.levels))
+    from repro.joins.scoring import _coverage_denominator
+
+    denom = _coverage_denominator(query)
+    for level, q_level in zip(stacked.levels, q_levels):
+        bound = JoinSearchEngine._bound(level, q_level, metric, denom, None)
+        assert (bound >= exact - 1e-9).all()

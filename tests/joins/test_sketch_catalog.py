@@ -1,0 +1,164 @@
+"""Sketch extraction and catalog stacking: shapes, dtypes, alignment,
+generations and the coarsening ladder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BrowseError, CatalogAlignmentError
+from repro.euler.histogram import EulerHistogram
+from repro.euler.simple import SEulerApprox
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.grid.tiles_math import TileQuery
+from repro.joins import (
+    CHANNELS,
+    JoinSketch,
+    SummaryCatalog,
+    coarsen_channel,
+    level_shapes,
+)
+
+from tests.conftest import random_dataset
+
+
+@pytest.fixture
+def reference() -> Grid:
+    return Grid(Rect(0.0, 12.0, 0.0, 8.0), 12, 8)
+
+
+def test_exact_sketch_matches_per_cell_counts(reference, rng):
+    data = random_dataset(rng, reference, 60)
+    evaluator = ExactEvaluator(data, reference)
+    sketch = JoinSketch.from_dataset(data, reference)
+    for i in (0, 3, 11):
+        for j in (0, 2, 7):
+            counts = evaluator.estimate(TileQuery(i, i + 1, j, j + 1))
+            assert sketch.n_ii[i, j] == counts.n_intersect
+            assert sketch.n_cs[i, j] == counts.n_cs
+            assert sketch.n_cd[i, j] == counts.n_cd
+            assert sketch.occupancy[i, j] == (1.0 if counts.n_intersect > 0 else 0.0)
+    assert sketch.num_objects == len(data)
+
+
+def test_sketch_from_finer_summary_grid(reference, rng):
+    """A summary at 4x the reference resolution sketches onto the same
+    reference cells with identical intersect counts (exact channel)."""
+    fine = Grid(reference.extent, 48, 32)
+    data = random_dataset(rng, reference, 40)
+    coarse = JoinSketch.from_estimator(ExactEvaluator(data, reference), reference)
+    from_fine = JoinSketch.from_estimator(ExactEvaluator(data, fine), reference)
+    # n_ii at reference-cell granularity is resolution-independent: both
+    # grids snap object interiors against the same reference-cell spans.
+    assert np.array_equal(coarse.n_ii, from_fine.n_ii)
+
+
+def test_channels_are_clamped_nonnegative(reference, rng):
+    data = random_dataset(rng, reference, 200, degenerate_fraction=0.3)
+    sketch = JoinSketch.from_estimator(
+        SEulerApprox(EulerHistogram.from_dataset(data, reference)), reference
+    )
+    for channel in CHANNELS:
+        arr = getattr(sketch, channel)
+        assert arr.dtype == np.float64
+        assert arr.flags["C_CONTIGUOUS"]
+        assert (arr >= 0.0).all()
+
+
+def test_misaligned_extent_raises_structured_error(reference, rng):
+    other = Grid(Rect(0.0, 10.0, 0.0, 8.0), 12, 8)
+    data = random_dataset(rng, other, 10)
+    est = ExactEvaluator(data, other)
+    with pytest.raises(CatalogAlignmentError) as excinfo:
+        SummaryCatalog(reference).register("bad", est)
+    assert isinstance(excinfo.value, BrowseError)
+    assert isinstance(excinfo.value, ValueError)
+    assert excinfo.value.summary_name == "bad"
+    assert excinfo.value.reference_cells == (12, 8)
+
+
+def test_non_integer_refinement_raises(reference, rng):
+    odd = Grid(reference.extent, 18, 8)  # 18 % 12 != 0
+    data = random_dataset(rng, odd, 10)
+    with pytest.raises(CatalogAlignmentError) as excinfo:
+        SummaryCatalog(reference).register("odd", ExactEvaluator(data, odd))
+    assert excinfo.value.summary_cells == (18, 8)
+
+
+def test_duplicate_name_rejected(reference, rng):
+    catalog = SummaryCatalog(reference)
+    data = random_dataset(rng, reference, 10)
+    catalog.register("a", ExactEvaluator(data, reference))
+    with pytest.raises(ValueError, match="already registered"):
+        catalog.register("a", ExactEvaluator(data, reference))
+
+
+def test_register_bumps_generation_and_rebuilds_stacking(reference, rng):
+    catalog = SummaryCatalog(reference)
+    assert catalog.generation == 0
+    for i in range(3):
+        data = random_dataset(rng, reference, 20, name=f"d{i}")
+        catalog.register(f"d{i}", ExactEvaluator(data, reference))
+    assert catalog.generation == 3
+    first = catalog.stacked()
+    assert first is catalog.stacked()  # cached
+    catalog.register("d3", ExactEvaluator(random_dataset(rng, reference, 5), reference))
+    second = catalog.stacked()
+    assert second is not first
+    assert second.generation == 4
+    assert len(second) == 4
+
+
+def test_stacked_layout_and_cubes(reference, rng):
+    catalog = SummaryCatalog(reference)
+    datasets = [random_dataset(rng, reference, 30, name=f"d{i}") for i in range(5)]
+    for i, data in enumerate(datasets):
+        catalog.register(f"d{i}", ExactEvaluator(data, reference))
+    stacked = catalog.stacked()
+    for channel in CHANNELS:
+        block = stacked.blocks[channel]
+        assert block.shape == (5, 12, 8)
+        assert block.dtype == np.float64
+        assert block.flags["C_CONTIGUOUS"]
+        # each row is exactly the per-summary sketch
+        for i in range(5):
+            assert np.array_equal(block[i], getattr(catalog[i], channel))
+        # the cube answers any aligned region with four gathers
+        cube = stacked.cubes[channel]
+        assert cube.shape == (5, 13, 9)
+        region_sum = cube[:, 9, 6] - cube[:, 2, 6] - cube[:, 9, 1] + cube[:, 2, 1]
+        direct = block[:, 2:9, 1:6].sum(axis=(1, 2))
+        np.testing.assert_allclose(region_sum, direct)
+
+
+def test_level_shapes_and_coarsening_sums(reference, rng):
+    assert level_shapes(12, 8, min_cells=4) == [(12, 8), (6, 4), (3, 2)]
+    assert level_shapes(32, 16) == [(32, 16), (16, 8), (8, 4), (4, 2)]
+    assert level_shapes(5, 3, min_cells=1) == [(5, 3), (3, 2), (2, 1), (1, 1)]
+
+    block = rng.random((4, 12, 8))
+    coarse = coarsen_channel(block)
+    assert coarse.shape == (4, 6, 4)
+    # every coarse cell is the exact sum of its 2x2 descendants
+    np.testing.assert_allclose(
+        coarse, block.reshape(4, 6, 2, 4, 2).sum(axis=(2, 4))
+    )
+
+
+def test_catalog_levels_preserve_total_mass(reference, rng):
+    catalog = SummaryCatalog(reference)
+    for i in range(3):
+        catalog.register(
+            f"d{i}", ExactEvaluator(random_dataset(rng, reference, 25), reference)
+        )
+    stacked = catalog.stacked()
+    for channel in CHANNELS:
+        totals = [level[channel].sum(axis=(1, 2)) for level in stacked.levels]
+        for level_totals in totals[1:]:
+            np.testing.assert_allclose(level_totals, totals[0])
+
+
+def test_empty_catalog_stacks(reference):
+    stacked = SummaryCatalog(reference).stacked()
+    assert len(stacked) == 0
+    assert stacked.blocks["n_ii"].shape == (0, 12, 8)

@@ -347,3 +347,63 @@ class TestServe:
         response = asyncio.run(round_trip())
         assert response["status"] == "ok"
         assert response["valid_fraction"] == 1.0
+
+
+class TestJoinSearch:
+    ARGS = ["join-search", "--sources", "12", "--objects", "120", "--ref-cells", "16", "8"]
+
+    def test_dataset_mode_prints_ranking(self, capsys):
+        assert main(self.ARGS + ["--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "dataset search over 12 summaries" in out
+        assert "pruned" in out
+        assert "# 1" in out
+
+    def test_region_mode_json(self, capsys):
+        code = main(
+            self.ARGS
+            + ["--region", "0", "90", "0", "90", "--top", "3", "--json"]
+        )
+        assert code == 0
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["mode"] == "region"
+        assert doc["metric"] == "intersect_mass"
+        assert len(doc["ranking"]) == 3
+        assert doc["fully_scored"] == 12
+        assert doc["pruned"] == 0
+
+    def test_truth_reports_are_and_agreement(self, capsys):
+        code = main(self.ARGS + ["--family", "exact", "--top", "4", "--truth"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ARE=0.0000" in out
+        assert "agreement=1.00" in out
+
+    def test_no_prune_scores_everything(self, capsys):
+        assert main(self.ARGS + ["--no-prune", "--top", "3"]) == 0
+        assert "scored 12, pruned 0" in capsys.readouterr().out
+
+    def test_rejects_bad_flags(self, capsys):
+        assert main(["join-search", "--sources", "0"]) == 2
+        assert "--sources" in capsys.readouterr().err
+        assert main(["join-search", "--top", "0"]) == 2
+        assert "--top" in capsys.readouterr().err
+
+    def test_rejects_unalignable_summary_grid(self, capsys):
+        code = main(self.ARGS + ["--summary-cells", "24", "8"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_rejects_unknown_metric(self, capsys):
+        code = main(self.ARGS + ["--metric", "bogus"])
+        assert code == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_seed_pool_controls_pruning(self, capsys):
+        assert main(self.ARGS + ["--seed-pool", "4", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        assert main(["join-search", "--seed-pool", "0"]) == 2
+        assert "--seed-pool" in capsys.readouterr().err

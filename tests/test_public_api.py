@@ -22,6 +22,7 @@ SUBPACKAGES = [
     "repro.metrics",
     "repro.browse",
     "repro.cache",
+    "repro.joins",
     "repro.experiments",
     "repro.gateway",
     "repro.ingest",

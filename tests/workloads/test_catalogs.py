@@ -1,0 +1,110 @@
+"""Multi-source catalog workload generator: determinism, extents,
+family cycling and catalog assembly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogAlignmentError
+from repro.euler import EulerApprox, MEulerApprox, SEulerApprox
+from repro.exact.evaluator import ExactEvaluator
+from repro.geometry.rect import Rect
+from repro.grid.grid import Grid
+from repro.workloads import (
+    CATALOG_FAMILIES,
+    build_catalog,
+    catalog_estimator,
+    generate_catalog_sources,
+    generate_query_regions,
+)
+
+GRID = Grid(Rect(0.0, 360.0, 0.0, 180.0), 16, 8)
+
+
+def test_sources_are_deterministic():
+    a = generate_catalog_sources(GRID, 6, 200, seed=4)
+    b = generate_catalog_sources(GRID, 6, 200, seed=4)
+    assert len(a) == len(b) == 6
+    for da, db in zip(a, b):
+        assert da.name == db.name
+        assert np.array_equal(da.x_lo, db.x_lo)
+        assert np.array_equal(da.y_hi, db.y_hi)
+    c = generate_catalog_sources(GRID, 6, 200, seed=5)
+    assert not np.array_equal(a[0].x_lo, c[0].x_lo)
+
+
+def test_sources_live_inside_the_grid_extent():
+    for source in generate_catalog_sources(GRID, 5, 300, seed=1):
+        assert len(source) == 300
+        assert source.extent == GRID.extent
+        assert (source.x_lo >= GRID.extent.x_lo).all()
+        assert (source.x_hi <= GRID.extent.x_hi).all()
+        assert (source.y_lo >= GRID.extent.y_lo).all()
+        assert (source.y_hi <= GRID.extent.y_hi).all()
+        assert (source.x_lo <= source.x_hi).all()
+        assert (source.y_lo <= source.y_hi).all()
+
+
+def test_sources_occupy_distinct_territories():
+    """Each source is clustered, not uniform over the world -- otherwise
+    a join search would have nothing to discriminate."""
+    sources = generate_catalog_sources(GRID, 8, 400, seed=2)
+    spans = [
+        (s.x_hi.max() - s.x_lo.min(), s.y_hi.max() - s.y_lo.min()) for s in sources
+    ]
+    extent_w = GRID.extent.x_hi - GRID.extent.x_lo
+    extent_h = GRID.extent.y_hi - GRID.extent.y_lo
+    assert all(w <= 0.75 * extent_w and h <= 0.75 * extent_h for w, h in spans)
+    centers = {(round(s.x_lo.mean(), 1), round(s.y_lo.mean(), 1)) for s in sources}
+    assert len(centers) == 8
+
+
+def test_names_are_stable_and_prefixed():
+    sources = generate_catalog_sources(GRID, 3, 50, seed=0, name_prefix="cat")
+    assert [s.name for s in sources] == ["cat-000", "cat-001", "cat-002"]
+
+
+def test_query_regions_deterministic_and_aligned():
+    a = generate_query_regions(GRID, 10, seed=3)
+    b = generate_query_regions(GRID, 10, seed=3)
+    assert [(q.qx_lo, q.qx_hi, q.qy_lo, q.qy_hi) for q in a] == [
+        (q.qx_lo, q.qx_hi, q.qy_lo, q.qy_hi) for q in b
+    ]
+    for q in a:
+        assert 0 <= q.qx_lo < q.qx_hi <= GRID.n1
+        assert 0 <= q.qy_lo < q.qy_hi <= GRID.n2
+
+
+@pytest.mark.parametrize("family", CATALOG_FAMILIES)
+def test_catalog_estimator_families(family):
+    source = generate_catalog_sources(GRID, 1, 100, seed=6)[0]
+    est = catalog_estimator(source, family, GRID, area_thresholds=(1.0, 9.0))
+    expected = {
+        "seuler": SEulerApprox,
+        "euler": EulerApprox,
+        "meuler": MEulerApprox,
+        "exact": ExactEvaluator,
+    }[family]
+    assert isinstance(est, expected)
+
+
+def test_catalog_estimator_rejects_unknown_family():
+    source = generate_catalog_sources(GRID, 1, 10, seed=0)[0]
+    with pytest.raises(ValueError, match="family"):
+        catalog_estimator(source, "bogus", GRID, area_thresholds=(1.0,))
+
+
+def test_build_catalog_mixed_cycles_families():
+    sources = generate_catalog_sources(GRID, 4, 150, seed=7)
+    catalog = build_catalog(sources, GRID, family="mixed")
+    assert len(catalog) == 4
+    assert catalog.names == tuple(s.name for s in sources)
+    # every sketch landed on the shared reference grid
+    stacked = catalog.stacked()
+    assert stacked.blocks["n_ii"].shape == (4, GRID.n1, GRID.n2)
+
+
+def test_build_catalog_summary_grid_must_align():
+    sources = generate_catalog_sources(GRID, 1, 50, seed=8)
+    bad = Grid(GRID.extent, 24, 8)  # 24 % 16 != 0
+    with pytest.raises(CatalogAlignmentError):
+        build_catalog(sources, GRID, family="seuler", summary_grid=bad)
